@@ -1,0 +1,98 @@
+"""A1 (ablation) — knocking out individual design choices of the
+candidate de facto model (paper §5.9).
+
+Each ablation disables one option the paper argues for and shows which
+real-world idioms (suite tests) stop working — evidence that each
+choice is load-bearing:
+
+* no provenance through integers (Q5 off) -> the uintptr_t round trip
+  and the tag-bit idiom keep working only by accident of wildcard
+  provenance; with strict empty-provenance rejection they break;
+* no transient out-of-bounds construction (Q31 off) -> `p = a + 7;
+  p -= 5;` becomes UB at construction;
+* relational comparison restricted to same-object (Q25 off) -> the
+  global-lock-ordering idiom becomes UB;
+* provenance checking off entirely -> the DR260 example silently
+  corrupts the adjacent object (the concrete behaviour GCC's
+  optimisation contradicts).
+"""
+
+from repro.memory.base import MemoryOptions
+from repro.pipeline import run_c
+from repro.testsuite import TESTS
+
+BASE = dict(
+    uninit_read="unspecified",
+    check_provenance=True,
+    reject_empty_provenance=False,
+    allow_inter_object_relational=True,
+    allow_inter_object_ptrdiff=False,
+    allow_oob_construction=True,
+    provenance_sensitive_equality=False,
+    track_int_provenance=True,
+    check_effective_types=False,
+)
+
+
+def _verdict(test_name: str, **overrides) -> str:
+    opts = MemoryOptions(**{**BASE, **overrides})
+    out = run_c(TESTS[test_name].source, model="provenance",
+                options=opts)
+    if out.status == "ub":
+        return f"ub:{out.ub.name}"
+    return "ok"
+
+
+def run_ablations():
+    return {
+        "baseline int_cast_roundtrip":
+            _verdict("int_cast_roundtrip"),
+        "no-int-provenance int_cast_roundtrip":
+            _verdict("int_cast_roundtrip",
+                     track_int_provenance=False,
+                     reject_empty_provenance=True),
+        "baseline tag_bits":
+            _verdict("tag_bits_roundtrip"),
+        "no-int-provenance tag_bits":
+            _verdict("tag_bits_roundtrip",
+                     track_int_provenance=False,
+                     reject_empty_provenance=True),
+        "baseline oob_transient":
+            _verdict("oob_transient"),
+        "no-oob-construction oob_transient":
+            _verdict("oob_transient", allow_oob_construction=False),
+        "baseline relational":
+            _verdict("relational_cross_object"),
+        "no-cross-relational relational":
+            _verdict("relational_cross_object",
+                     allow_inter_object_relational=False),
+        "baseline dr260":
+            _verdict("provenance_basic_global_yx"),
+        "no-provenance-check dr260":
+            _verdict("provenance_basic_global_yx",
+                     check_provenance=False),
+    }
+
+
+def test_a1_ablations(benchmark):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    # Q5: integer provenance is what makes the round trip usable.
+    assert results["baseline int_cast_roundtrip"] == "ok"
+    assert results["no-int-provenance int_cast_roundtrip"].startswith(
+        "ub")
+    assert results["baseline tag_bits"] == "ok"
+    assert results["no-int-provenance tag_bits"].startswith("ub")
+    # Q31: access-time (not construction-time) checking.
+    assert results["baseline oob_transient"] == "ok"
+    assert results["no-oob-construction oob_transient"] == \
+        "ub:Out_of_bounds_pointer_arithmetic"
+    # Q25: permitting cross-object relational comparison.
+    assert results["baseline relational"] == "ok"
+    assert results["no-cross-relational relational"] == \
+        "ub:Relational_distinct_objects"
+    # DR260: without the provenance check, the store corrupts y.
+    assert results["baseline dr260"] == "ub:Access_wrong_provenance"
+    assert results["no-provenance-check dr260"] == "ok"
+    print("\nmodel-option ablations (candidate de facto model):")
+    for name, verdict in results.items():
+        print(f"  {name:45s} {verdict}")

@@ -1,0 +1,67 @@
+"""E10 — Fig. 3: the left-shift elaboration, point by point.
+
+The paper's figure shows the ISO 6.5.7 text beside the calculated Core
+for ``e1 << e2``. We regenerate the Core for a signed and an unsigned
+shift and execute every semantic arm the figure contains: the negative
+shift, the too-large shift, the signed-overflow case, the unsigned
+modulo reduction, and the unspecified-operand cases (Q43/Q52).
+"""
+
+from repro.core import pretty_program
+from repro.pipeline import compile_c, run_c
+
+
+def run_all_arms():
+    return {
+        "ok": run_c("int main(void){ return (1 << 4) - 16; }"),
+        "negative": run_c(
+            "int main(void){ int n = -1; return 1 << n; }"),
+        "too_large": run_c(
+            "int main(void){ int n = 40; return 1 << n; }"),
+        "signed_overflow": run_c(
+            "int main(void){ int x = 1; return x << 31; }"),
+        "unsigned_modulo": run_c(r'''
+#include <stdio.h>
+int main(void){ unsigned x = 3u; printf("%u\n", x << 31); return 0; }
+'''),
+        "unspec_left_unsigned": run_c(r'''
+#include <stdio.h>
+int main(void){ unsigned u; unsigned v = u << 1; return 0; }''',
+                                      model="provenance"),
+        "unspec_right": run_c(
+            "int main(void){ int n; return 1 << n; }",
+            model="provenance"),
+    }
+
+
+def test_e10_shift_arms(benchmark):
+    r = benchmark.pedantic(run_all_arms, rounds=1, iterations=1)
+    assert r["ok"].exit_code == 0
+    assert r["negative"].ub.name == "Negative_shift"
+    assert r["too_large"].ub.name == "Shift_too_large"
+    assert r["signed_overflow"].ub.name == "Exceptional_condition"
+    assert r["unsigned_modulo"].stdout == "2147483648\n"
+    # Fig. 3's case split: unspecified *left* operand of an unsigned
+    # shift propagates Unspecified; an unspecified *right* operand is
+    # Exceptional_condition.
+    assert r["unspec_left_unsigned"].status == "done"
+    assert r["unspec_right"].ub.name == "Exceptional_condition"
+    print("\nISO 6.5.7 arms, all exercised:")
+    for arm, out in r.items():
+        print(f"  {arm:22s} {out.summary()}")
+
+
+def test_e10_core_matches_fig3(benchmark):
+    pipe = benchmark(compile_c,
+                     "int main(void){ int a = 2, b = 3; "
+                     "return (a << b) - 16; }")
+    text = pretty_program(pipe.core)
+    for needle in ("let weak", "unseq(", "undef(Negative_shift)",
+                   "undef(Shift_too_large)",
+                   "undef(Exceptional_condition)", "ctype_width",
+                   "is_representable", "Unspecified", "Specified"):
+        assert needle in text, needle
+    print("\nFig. 3 ingredients present in the calculated Core: "
+          "let weak + unseq sequencing, the three undef arms, "
+          "ctype_width / is_representable auxiliaries, "
+          "Specified/Unspecified case split")

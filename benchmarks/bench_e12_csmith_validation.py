@@ -1,0 +1,44 @@
+"""E12 — §6 validation against Csmith-style tests.
+
+Paper: "Of their 561 Csmith tests, Cerberus currently gives the same
+result as GCC for 556; the other 5 time-out after 5min"; of 400 larger
+tests "Cerberus terminates and agrees with GCC on 316, times out on 56
+more, and fails on 6". Shape to reproduce: agreement on essentially
+all small tests, and a timeout tail (no disagreements) appearing on
+larger ones under a bounded step budget.
+"""
+
+from repro.csmith import validate_programs
+
+SMALL_COUNT = 60
+LARGE_COUNT = 12
+
+
+def small_sweep():
+    return validate_programs(SMALL_COUNT, size=10, seed_base=10_000)
+
+
+def large_sweep():
+    return validate_programs(LARGE_COUNT, size=50,
+                             max_steps=250_000, seed_base=20_000)
+
+
+def test_e12_small_tests(benchmark):
+    report = benchmark.pedantic(small_sweep, rounds=1, iterations=1)
+    print(f"\nsmall tests   (paper: 561 tests, 556 agree, 5 "
+          f"time out): {report.summary()}")
+    assert report.disagree == 0
+    assert report.failed == 0
+    assert report.agree >= SMALL_COUNT - 3  # near-total agreement
+
+
+def test_e12_large_tests(benchmark):
+    report = benchmark.pedantic(large_sweep, rounds=1, iterations=1)
+    print(f"\nlarger tests  (paper: 400 tests, 316 agree / 56 "
+          f"timeout / 6 fail): {report.summary()}")
+    assert report.disagree == 0
+    # The paper's larger-test sweep has a timeout tail; agreements
+    # must still dominate.
+    assert report.agree >= report.timeout
+    assert report.agree + report.timeout + report.failed == \
+        LARGE_COUNT

@@ -1,0 +1,56 @@
+"""E14 — §6: tvc, the translation validator for the front end.
+
+Paper: tvc "supports only extremely simple single-function C programs
+that perform no I/O, take no arguments", producing a proof that the
+compiled IR's behaviours are a subset of Cerberus's. We validate a
+batch of tvc-class programs (including UB ones, where refinement is
+vacuous) and check that unsupported programs are rejected, as tvc
+does.
+"""
+
+from repro.tvc import validate
+
+TVC_CLASS = [
+    "int main(void){ return 0; }",
+    "int main(void){ int x = 3; int y = 4; return x*x + y*y; }",
+    "int main(void){ int s = 0; int i = 1; "
+    "while (i <= 10) { s = s + i; i = i + 1; } return s; }",
+    "int main(void){ int a = 5; if (a > 3) { a = a - 1; } "
+    "else { a = a + 1; } return a; }",
+    "int main(void){ int a = 1; int b = 0; "
+    "if (a == 1) { b = 10; } return b; }",
+    "int main(void){ int x = 6; int y = x / 2; return y % 2; }",
+    "int main(void){ int x = 2147483647; return x + 1; }",   # UB
+    "int main(void){ int d = 0; return 5 / d; }",            # UB
+    "int main(void){ int x = 1; return x << 35; }",          # UB
+    "int main(void){ int n = 3; int r = 1; "
+    "while (n > 0) { r = r * n; n = n - 1; } return r; }",
+]
+
+UNSUPPORTED = [
+    '#include <stdio.h>\nint main(void){ printf("x"); return 0; }',
+    "int f(void){ return 1; } int main(void){ return f(); }",
+    "int main(void){ int x; int *p = &x; *p = 1; return x; }",
+]
+
+
+def validate_batch():
+    return ([validate(src) for src in TVC_CLASS],
+            [validate(src) for src in UNSUPPORTED])
+
+
+def test_e14_tvc(benchmark):
+    supported, unsupported = benchmark.pedantic(validate_batch,
+                                                rounds=1, iterations=1)
+    for r in supported:
+        assert r.supported
+        assert r.validated, (r.source, r.ir_result,
+                             r.cerberus_behaviours)
+    for r in unsupported:
+        assert not r.supported
+    validated = sum(1 for r in supported if r.validated)
+    print(f"\ntvc: {validated}/{len(supported)} tvc-class programs "
+          f"validated (IR behaviour ⊆ Cerberus behaviours); "
+          f"{len(unsupported)} out-of-class programs rejected")
+    for r in supported[:4]:
+        print(f"  {r.ir_result:26s} ⊆ {r.cerberus_behaviours}")

@@ -1,0 +1,77 @@
+"""E15 — §2.4/§2.5: the unspecified-value and padding semantic
+options, side by side.
+
+Uninitialised reads (§2.4): (1) UB — strict/tis; (2/3) unstable /
+unpredictable — the candidate model's daemonic unspecified values;
+(4) arbitrary-but-stable — MSVC-ish, our concrete model.
+
+Padding after a member store (§2.5): keep (option 4) / write
+unspecified (option 2) / write zeros (option 3), all observable.
+"""
+
+from repro.memory.base import MemoryOptions
+from repro.pipeline import run_c
+
+UNINIT = r'''
+#include <stdio.h>
+int main(void) {
+    unsigned int x;
+    unsigned int a = x;
+    unsigned int b = x;
+    printf("%d\n", a == b);
+    return 0;
+}
+'''
+
+PADDING = r'''
+#include <stdio.h>
+#include <string.h>
+struct padded { char c; int i; };
+int main(void) {
+    struct padded s;
+    memset(&s, 0, sizeof(s));
+    s.c = 'x';
+    unsigned char *bytes = (unsigned char *)&s;
+    printf("%d\n", bytes[1]);
+    return 0;
+}
+'''
+
+
+def run_matrix():
+    uninit = {
+        "(1) UB": run_c(UNINIT, model="strict"),
+        "(2/3) unspecified": run_c(UNINIT, model="provenance"),
+        "(4) stable": run_c(UNINIT, model="concrete"),
+    }
+    padding = {
+        "keep (option 4)": run_c(PADDING, model="concrete"),
+        "unspec (option 2)": run_c(
+            PADDING, model="concrete",
+            options=MemoryOptions(uninit_read="unspecified",
+                                  padding_on_member_store="unspec")),
+        "zero (option 3)": run_c(
+            PADDING, model="concrete",
+            options=MemoryOptions(uninit_read="stable",
+                                  padding_on_member_store="zero")),
+    }
+    return uninit, padding
+
+
+def test_e15_option_matrix(benchmark):
+    uninit, padding = benchmark.pedantic(run_matrix, rounds=1,
+                                         iterations=1)
+    assert uninit["(1) UB"].is_ub
+    assert uninit["(1) UB"].ub.name == "Read_uninitialised"
+    assert uninit["(2/3) unspecified"].is_ub  # comparison on unspec
+    assert uninit["(4) stable"].stdout == "1\n"
+    assert padding["keep (option 4)"].stdout == "0\n"
+    assert padding["unspec (option 2)"].stdout == "<unspec>\n"
+    assert padding["zero (option 3)"].stdout == "0\n"
+    print("\nuninitialised read (survey [2/15] was bimodal "
+          "139 UB / 112 stable):")
+    for option, out in uninit.items():
+        print(f"  {option:20s} {out.summary()}")
+    print("padding byte after member store ([1/15] mixed):")
+    for option, out in padding.items():
+        print(f"  {option:20s} {out.summary()}")

@@ -1,0 +1,28 @@
+"""E1 — §2 survey respondent expertise table (323 responses)."""
+
+from repro.survey import EXPERTISE, RESPONSES_TOTAL, expertise_table
+
+PAPER_ROWS = {
+    "C applications programming": 255,
+    "C systems programming": 230,
+    "Linux developer": 160,
+    "Other OS developer": 111,
+    "C embedded systems programming": 135,
+    "C standard": 70,
+    "C or C++ standards committee member": 8,
+    "Compiler internals": 64,
+    "GCC developer": 15,
+    "Clang developer": 26,
+    "Other C compiler developer": 22,
+    "Program analysis tools": 44,
+    "Formal semantics": 18,
+    "no response": 6,
+    "other": 18,
+}
+
+
+def test_e1_expertise_table(benchmark):
+    table = benchmark(expertise_table)
+    assert RESPONSES_TOTAL == 323
+    assert dict(EXPERTISE) == PAPER_ROWS
+    print("\n" + table)

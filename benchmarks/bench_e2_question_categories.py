@@ -1,0 +1,36 @@
+"""E2 — §2 table: 85 design-space questions in 22 categories."""
+
+from repro.survey.report import design_space_table
+from repro.testsuite import QUESTIONS, category_counts
+
+PAPER_TABLE = {
+    "Pointer provenance basics": 3,
+    "Pointer provenance via integer types": 5,
+    "Pointers involving multiple provenances": 5,
+    "Pointer provenance via pointer representation copying": 4,
+    "Pointer provenance and union type punning": 2,
+    "Pointer provenance via IO": 1,
+    "Stability of pointer values": 1,
+    "Pointer equality comparison (with == or !=)": 3,
+    "Pointer relational comparison (with <, >, <=, or >=)": 3,
+    "Null pointers": 3,
+    "Pointer arithmetic": 6,
+    "Casts between pointer types": 2,
+    "Accesses to related structure and union types": 4,
+    "Pointer lifetime end": 2,
+    "Invalid accesses": 2,
+    "Trap representations": 2,
+    "Unspecified values": 11,
+    "Structure and union padding": 13,
+    "Basic effective types": 2,
+    "Effective types and character arrays": 1,
+    "Effective types and subobjects": 6,
+    "Other questions": 5,
+}
+
+
+def test_e2_category_table(benchmark):
+    counts = benchmark(category_counts)
+    assert counts == PAPER_TABLE
+    assert len(QUESTIONS) == 85
+    print("\n" + design_space_table())

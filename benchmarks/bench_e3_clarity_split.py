@@ -1,0 +1,11 @@
+"""E3 — §2: "for 38 the ISO standard is unclear; for 28 the de facto
+standards are unclear; for 26 there are significant differences"."""
+
+from repro.survey.report import clarity_table
+from repro.testsuite import clarity_split
+
+
+def test_e3_clarity_split(benchmark):
+    iso, defacto, diverges = benchmark(clarity_split)
+    assert (iso, defacto, diverges) == (38, 28, 26)
+    print("\n" + clarity_table())

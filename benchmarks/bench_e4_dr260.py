@@ -1,0 +1,35 @@
+"""E4 — §2.1 the DR260 example ``provenance_basic_global_yx.c``.
+
+Paper: "In a concrete semantics we would expect to see
+``x=1 y=11 *p=11 *q=11``, but GCC produces ``x=1 y=2 *p=11 *q=2``";
+the provenance semantics makes the store undefined behaviour, which is
+what licenses GCC's constant propagation.
+"""
+
+from repro.pipeline import run_c
+from repro.testsuite import TESTS
+
+SRC = TESTS["provenance_basic_global_yx"].source
+
+
+def run_all_models():
+    return {model: run_c(SRC, model=model)
+            for model in ("concrete", "provenance", "strict")}
+
+
+def test_e4_dr260(benchmark):
+    outcomes = benchmark(run_all_models)
+    concrete = outcomes["concrete"]
+    # The concrete semantics: the store lands in y.
+    assert concrete.status == "done"
+    assert "x=1 y=11 *p=11 *q=11" in concrete.stdout
+    # The candidate de facto model: the DR260 licence makes it UB,
+    # (vacuously) justifying GCC's x=1 y=2 output.
+    prov = outcomes["provenance"]
+    assert prov.is_ub and prov.ub.name == "Access_wrong_provenance"
+    assert outcomes["strict"].is_ub
+    print("\nDR260 example (provenance_basic_global_yx.c):")
+    for model, out in outcomes.items():
+        print(f"  {model:12s} {out.summary()}")
+    print("  paper: concrete = x=1 y=11 *p=11 *q=11; "
+          "GCC = x=1 y=2 *p=11 *q=2 (justified by the UB above)")

@@ -1,0 +1,35 @@
+"""E5 — §2 survey numbers for the questions the paper quotes:
+[2/15] (Q48 uninit), [5/15] (Q14 copying), [7/15] (Q25 relational),
+[9/15] (Q31 OOB), [11/15] (Q75 char array) — plus the candidate
+model's stance on each."""
+
+from repro.survey import SURVEY_15, survey_question_table
+from repro.testsuite.questions import QUESTION_BY_ID
+
+PAPER_NUMBERS = {
+    "[2/15]": [139, 42, 21, 112],
+    "[5/15]": [216, 50, 18, 24],
+    "[7/15]": [191, 52, 31, 38, 3],
+    "[9/15]": [230, 43, 13, 27],
+    "[11/15]": [243],
+}
+
+
+def collect():
+    return {ref: [o.count for o in SURVEY_15[ref].options]
+            for ref in PAPER_NUMBERS}
+
+
+def test_e5_survey_questions(benchmark):
+    counts = benchmark(collect)
+    assert counts == PAPER_NUMBERS
+    for ref in sorted(PAPER_NUMBERS):
+        q = SURVEY_15[ref]
+        stance = QUESTION_BY_ID[q.question_id].stance
+        print("\n" + survey_question_table(ref))
+        print(f"  candidate model stance: {stance}")
+    # The paper's [7/15] extant-code numbers.
+    extant = {o.label: o.count for o in SURVEY_15["[7/15]"]
+              .extant_options}
+    assert extant["yes"] == 101 and extant["no, that would be crazy"] \
+        == 50

@@ -1,0 +1,51 @@
+"""E7 — §4: the CHERI C findings.
+
+* pointer == compared addresses only (fixed by CExEq);
+* (i & 3u) == 0u evaluates false (offset masking on the capability);
+* non-intptr_t integers carry no provenance; arithmetic provenance is
+  inherited from the left-hand side only;
+* capability bounds are enforced at access time (transient OOB fine).
+"""
+
+from repro.pipeline import run_c
+from repro.testsuite import TESTS
+
+EQ_SRC = TESTS["provenance_equality_gcc"].source
+
+MASK_SRC = r'''
+#include <stdio.h>
+#include <stdint.h>
+int main(void) {
+  int x = 1;
+  uintptr_t i = (uintptr_t)&x;
+  if ((i & 3u) == 0u) printf("aligned\n");
+  else printf("not-aligned\n");
+  return 0;
+}
+'''
+
+
+def run_findings():
+    return {
+        "eq_prefix": run_c(EQ_SRC, model="cheri"),
+        "eq_fixed": run_c(EQ_SRC, model="cheri", exact_equality=True),
+        "mask_lp64": run_c(MASK_SRC, model="provenance"),
+        "mask_cheri": run_c(MASK_SRC, model="cheri"),
+        "oob": run_c(TESTS["oob_transient"].source, model="cheri"),
+    }
+
+
+def test_e7_cheri_findings(benchmark):
+    r = benchmark.pedantic(run_findings, rounds=1, iterations=1)
+    assert r["eq_prefix"].stdout == "eq\n"      # the equality bug
+    assert r["eq_fixed"].stdout == "neq\n"      # CExEq fix
+    assert r["mask_lp64"].stdout == "aligned\n"
+    assert r["mask_cheri"].stdout == "not-aligned\n"  # the mask bug
+    assert r["oob"].status == "done"            # access-time bounds
+    print("\nCHERI C findings (paper §4):")
+    print(f"  pointer == (pre-fix):  {r['eq_prefix'].stdout.strip()}"
+          f"   (fixed: {r['eq_fixed'].stdout.strip()})")
+    print(f"  (i & 3u) == 0u:  LP64 {r['mask_lp64'].stdout.strip()}"
+          f" / CHERI {r['mask_cheri'].stdout.strip()}")
+    print(f"  transient OOB + in-bounds deref: "
+          f"{r['oob'].summary()}")

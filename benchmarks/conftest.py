@@ -1,0 +1,11 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` regenerates one table or figure of the paper
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the
+paper-vs-measured record). Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The reproduced rows/series are printed on the "-s" stream and asserted
+structurally (who wins / what is flagged), not on absolute numbers.
+"""

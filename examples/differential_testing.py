@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Differential validation with the Csmith-like generator (paper §6).
+
+Generates defined-behaviour random C programs together with their
+independently computed expected output (the "GCC side" of the paper's
+comparison), runs them through Cerberus-py, and reports the agreement
+statistics — the analogue of "556 of 561 agree; the other 5 time out".
+"""
+
+import time
+
+from repro.csmith import generate_program, validate_programs
+from repro.tvc import validate
+
+
+def main() -> None:
+    print("one generated program (seed 42):")
+    program = generate_program(42, size=8)
+    print("-" * 60)
+    print(program.source)
+    print("-" * 60)
+    print(f"expected output: {program.expected_stdout!r}")
+
+    print("\nvalidating 40 small programs "
+          "(paper: 561 small Csmith tests)...")
+    start = time.time()
+    report = validate_programs(40, size=10, seed_base=100)
+    print(f"  {report.summary()}  [{time.time() - start:.1f}s]")
+
+    print("\nvalidating 10 larger programs "
+          "(paper: 400 larger tests, with a timeout tail)...")
+    start = time.time()
+    report = validate_programs(10, size=45, max_steps=400_000,
+                               seed_base=200)
+    print(f"  {report.summary()}  [{time.time() - start:.1f}s]")
+
+    print("\ntranslation validation (tvc, paper §6):")
+    for src in [
+        "int main(void){ int x = 6; int y = 7; return x * y; }",
+        "int main(void){ int s = 0; int i = 0; "
+        "while (i < 5) { s = s + i; i = i + 1; } return s; }",
+        "int main(void){ int d = 0; return 1 / d; }",
+    ]:
+        r = validate(src)
+        print(f"  IR {r.ir_result:24s} Cerberus "
+              f"{r.cerberus_behaviours} -> "
+              f"{'validated' if r.validated else 'REFUTED'}")
+
+
+if __name__ == "__main__":
+    main()

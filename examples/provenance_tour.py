@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A tour of the de facto pointer-provenance questions (paper §2).
+
+Runs the paper's flagship examples under the four memory object models
+and prints the verdict matrix: where the concrete semantics computes
+merrily along, the candidate de facto model applies the DR260
+access-time check, and the strict ISO model rejects even more.
+"""
+
+from repro.pipeline import run_c
+from repro.testsuite import TESTS
+
+MODELS = ("concrete", "provenance", "strict")
+
+SHOWCASE = [
+    ("provenance_basic_global_yx",
+     "DR260: one-past-the-end store into the adjacent object (§2.1)"),
+    ("int_cast_roundtrip",
+     "Q5/Q6: uintptr_t round trip keeps provenance"),
+    ("inter_object_offset",
+     "Q9: the Linux per-CPU-variable idiom (inter-object offset)"),
+    ("oob_transient",
+     "Q31: transiently out-of-bounds pointer, brought back (§2.2)"),
+    ("ptr_copy_userbytes",
+     "Q14: user code copies pointer bytes one by one (§2.3)"),
+    ("relational_cross_object",
+     "Q25: global lock ordering via < on unrelated objects"),
+    ("uninit_read",
+     "Q48: reading an uninitialised variable (§2.4)"),
+    ("char_array_as_heap",
+     "Q75: static char array used as an allocation (§2.6)"),
+]
+
+
+def verdict(source: str, model: str) -> str:
+    out = run_c(source, model=model)
+    if out.status == "ub":
+        return f"UB:{out.ub.name}"
+    if out.status in ("done", "exit"):
+        return f"ok({out.exit_code})"
+    return out.status
+
+
+def main() -> None:
+    width = 36
+    header = f"{'test':34s}" + "".join(f"{m:>{width}}" for m in MODELS)
+    print(header)
+    print("-" * len(header))
+    for name, blurb in SHOWCASE:
+        test = TESTS[name]
+        cells = [verdict(test.source, m) for m in MODELS]
+        print(f"{name:34s}" + "".join(f"{c:>{width}}" for c in cells))
+        print(f"    {blurb}")
+    print()
+    print("The DR260 example, in detail:")
+    out = run_c(TESTS["provenance_basic_global_yx"].source,
+                model="concrete")
+    print(f"  concrete semantics prints: "
+          f"{out.stdout.splitlines()[-1]!r}")
+    out = run_c(TESTS["provenance_basic_global_yx"].source,
+                model="provenance")
+    print(f"  candidate de facto model: {out.ub.name} — "
+          f"{out.ub_detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's §2 survey and design-space tables."""
+
+from repro.survey import (
+    clarity_table, design_space_table, expertise_table,
+    survey_question_table,
+)
+from repro.survey.report import all_survey_refs
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Respondent expertise (2015 survey)")
+    print("=" * 70)
+    print(expertise_table())
+
+    print()
+    print("=" * 70)
+    print("The design space: 85 questions in 22 categories")
+    print("=" * 70)
+    print(design_space_table())
+    print()
+    print(clarity_table())
+
+    for ref in all_survey_refs():
+        print()
+        print("=" * 70)
+        print(survey_question_table(ref))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Cerberus-py: an executable de facto semantics for C.
+
+A reproduction of Memarian et al., *Into the Depths of C: Elaborating
+the De Facto Standards* (PLDI 2016). The public surface:
+
+* :func:`repro.pipeline.run_c` — compile and run a C program on a
+  chosen memory object model;
+* :func:`repro.pipeline.explore_c` — exhaustively enumerate all
+  allowed executions (the test-oracle mode);
+* :func:`repro.pipeline.compile_c` — the front half of the pipeline
+  (Cabs -> Ail -> Typed Ail -> Core) for inspection;
+* :mod:`repro.memory` — the pluggable memory object models
+  (concrete / provenance / strict / cheri);
+* :mod:`repro.testsuite` — the 85 design-space questions and the
+  executable de facto test suite;
+* :mod:`repro.survey` — the paper's survey data and table generators.
+
+See README.md for a tour and DESIGN.md for the architecture.
+"""
+
+from .pipeline import compile_c, explore_c, run_c
+
+__version__ = "1.0.0"
+
+__all__ = ["compile_c", "explore_c", "run_c", "__version__"]

@@ -1,0 +1,6 @@
+"""Ail: the desugared, scoped, type-normalised C AST (paper §5.1)."""
+
+from . import ast
+from .desugar import Desugarer, desugar
+
+__all__ = ["ast", "Desugarer", "desugar"]

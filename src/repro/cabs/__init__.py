@@ -1,0 +1,6 @@
+"""Cabs: the parse-level C abstract syntax, closely following the ISO
+grammar (paper Fig. 1: "parsing -> Cabs")."""
+
+from . import ast
+
+__all__ = ["ast"]

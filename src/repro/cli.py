@@ -1,0 +1,83 @@
+"""Command-line interface: ``cerberus-py file.c``.
+
+Modes mirror the paper's tool: run one path, exhaustively explore all
+allowed behaviours, or pretty-print the elaborated Core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.pretty import pretty_program
+from .ctypes.implementation import ILP32, LP64
+from .errors import CerberusError
+from .pipeline import MODELS, compile_c
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cerberus-py",
+        description="An executable de facto semantics for C "
+                    "(PLDI 2016 reproduction)")
+    p.add_argument("file", help="C source file")
+    p.add_argument("--model", choices=sorted(MODELS),
+                   default="provenance",
+                   help="memory object model (default: provenance)")
+    p.add_argument("--impl", choices=["LP64", "ILP32"], default="LP64",
+                   help="implementation environment")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="explore all allowed executions (test oracle "
+                        "mode)")
+    p.add_argument("--pp-core", action="store_true",
+                   help="pretty-print the elaborated Core and exit")
+    p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.add_argument("--max-paths", type=int, default=500)
+    p.add_argument("--seed", type=int, default=None,
+                   help="pseudorandom single-path exploration seed")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"cerberus-py: {exc}", file=sys.stderr)
+        return 2
+    impl = LP64 if args.impl == "LP64" else ILP32
+    try:
+        pipeline = compile_c(source, impl, name=args.file)
+    except CerberusError as exc:
+        print(f"cerberus-py: {exc}", file=sys.stderr)
+        return 2
+    if args.pp_core:
+        print(pretty_program(pipeline.core))
+        return 0
+    if args.exhaustive:
+        result = pipeline.explore(args.model, max_paths=args.max_paths,
+                                  max_steps=args.max_steps)
+        print(f"executions explored: {result.paths_run} "
+              f"({'complete' if result.exhausted else 'budget hit'})")
+        for outcome in result.distinct():
+            print(f"  {outcome.summary()}")
+        return 1 if result.has_ub() else 0
+    outcome = pipeline.run(args.model, max_steps=args.max_steps,
+                           seed=args.seed)
+    sys.stdout.write(outcome.stdout)
+    if outcome.status == "ub":
+        print(f"\nUndefined behaviour: {outcome.ub} "
+              f"[{outcome.loc}] {outcome.ub_detail}", file=sys.stderr)
+        return 1
+    if outcome.status == "error":
+        print(f"\nerror: {outcome.error}", file=sys.stderr)
+        return 2
+    if outcome.status == "timeout":
+        print("\ntimeout", file=sys.stderr)
+        return 3
+    return outcome.exit_code or 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

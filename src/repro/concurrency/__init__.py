@@ -1,0 +1,10 @@
+"""The restricted operational concurrency fragment (paper §1: "Threads,
+atomic types, and atomic operations are supported only with a more
+restricted memory object model")."""
+
+from .model import (
+    run_litmus, LitmusResult, sc_atomic_store, sc_atomic_load,
+)
+
+__all__ = ["run_litmus", "LitmusResult", "sc_atomic_store",
+           "sc_atomic_load"]

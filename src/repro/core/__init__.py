@@ -1,0 +1,9 @@
+"""Core: the typed call-by-value target calculus of the elaboration
+(paper §5.2, Fig. 2)."""
+
+from . import ast
+from .pretty import pretty_program, pretty_expr, pretty_pure
+from .typecheck import typecheck_program
+
+__all__ = ["ast", "pretty_program", "pretty_expr", "pretty_pure",
+           "typecheck_program"]

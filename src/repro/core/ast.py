@@ -1,0 +1,533 @@
+"""The Core language abstract syntax (paper Fig. 2).
+
+Core is "a typed call-by-value language of function definitions and
+expressions, with first-order recursive functions, lists, tuples,
+booleans, mathematical integers, a type of the values of C pointers, and
+a type of C function designators". It includes a type ``ctype`` of
+first-class values representing C type AST terms, and the novel
+sequencing constructs (unseq / let weak / let strong / let atomic /
+indet / bound / nd / save / run / par / wait).
+
+Deviation from the paper (documented in DESIGN.md): ``save``/``run`` are
+given *dynamically-enclosing re-establishment* semantics — ``run l(args)``
+re-enters the dynamically enclosing ``save l`` with rebound parameters —
+and the elaboration encodes break/continue/return/goto with guard
+parameters accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ctypes.types import CType, QualType, TagEnv
+from ..ctypes.implementation import Implementation
+from ..source import Loc
+from ..ub import UBName
+
+_name_counter = itertools.count(1)
+
+
+def fresh_name(base: str) -> str:
+    """E.fresh_symbol of the paper's elaboration monad (Fig. 3)."""
+    return f"{base}.{next(_name_counter)}"
+
+
+# --------------------------------------------------------------------------
+# Core base types (bTy of Fig. 2) — used by the Core type checker.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoreTy:
+    pass
+
+
+@dataclass(frozen=True)
+class TyUnit(CoreTy):
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class TyBoolean(CoreTy):
+    def __str__(self) -> str:
+        return "boolean"
+
+
+@dataclass(frozen=True)
+class TyCtype(CoreTy):
+    def __str__(self) -> str:
+        return "ctype"
+
+
+@dataclass(frozen=True)
+class TyList(CoreTy):
+    elem: CoreTy
+
+    def __str__(self) -> str:
+        return f"[{self.elem}]"
+
+
+@dataclass(frozen=True)
+class TyTuple(CoreTy):
+    elems: Tuple[CoreTy, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(t) for t in self.elems) + ")"
+
+
+@dataclass(frozen=True)
+class TyObject(CoreTy):
+    """oTy: a C object value (integer/floating/pointer/array/...)."""
+
+    kind: str  # "integer"|"floating"|"pointer"|"cfunction"|"array"|
+    #            "struct"|"union"
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class TyLoaded(CoreTy):
+    """``loaded oTy``: an oTy or an unspecified value."""
+
+    obj: TyObject
+
+    def __str__(self) -> str:
+        return f"loaded {self.obj}"
+
+
+@dataclass(frozen=True)
+class TyEff(CoreTy):
+    """``eff bTy``: the type of effectful expressions."""
+
+    result: CoreTy
+
+    def __str__(self) -> str:
+        return f"eff {self.result}"
+
+
+# --------------------------------------------------------------------------
+# Patterns
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Pattern:
+    pass
+
+
+@dataclass(frozen=True)
+class PatWild(Pattern):
+    def __str__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class PatSym(Pattern):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PatCtor(Pattern):
+    """Constructor patterns: Specified/Unspecified/Tuple/Cons/Nil/
+    True/False/IVmax-style value constructors."""
+
+    ctor: str
+    args: Tuple[Pattern, ...] = ()
+
+    def __str__(self) -> str:
+        if self.ctor == "Tuple":
+            return "(" + ", ".join(str(a) for a in self.args) + ")"
+        if not self.args:
+            return self.ctor
+        return f"{self.ctor}({', '.join(str(a) for a in self.args)})"
+
+
+# --------------------------------------------------------------------------
+# Pure expressions (pe of Fig. 2)
+# --------------------------------------------------------------------------
+
+@dataclass
+class Pexpr:
+    loc: Loc = field(default_factory=Loc.unknown, kw_only=True)
+
+
+@dataclass
+class PSym(Pexpr):
+    name: str
+
+
+@dataclass
+class PVal(Pexpr):
+    value: object  # a runtime value (see dynamics.evaluator)
+
+
+@dataclass
+class PImpl(Pexpr):
+    """<impl-const>: an implementation-defined constant."""
+
+    name: str
+
+
+@dataclass
+class PUndef(Pexpr):
+    """undef(ub-name): reaching this is undefined behaviour (§5.4)."""
+
+    ub: UBName
+
+
+@dataclass
+class PError(Pexpr):
+    """error(msg): an implementation-defined static error."""
+
+    msg: str
+
+
+@dataclass
+class PCtor(Pexpr):
+    """Constructor application: Specified/Unspecified/Tuple/Cons/Nil/
+    Array/IVmax..."""
+
+    ctor: str
+    args: List[Pexpr]
+
+
+@dataclass
+class PCase(Pexpr):
+    scrutinee: Pexpr
+    branches: List[Tuple[Pattern, Pexpr]]
+
+
+@dataclass
+class PArrayShift(Pexpr):
+    ptr: Pexpr
+    elem_ty: CType
+    index: Pexpr
+
+
+@dataclass
+class PMemberShift(Pexpr):
+    ptr: Pexpr
+    tag: str
+    member: str
+
+
+@dataclass
+class PNot(Pexpr):
+    operand: Pexpr
+
+
+@dataclass
+class PBinop(Pexpr):
+    """Core binary operators over mathematical integers / booleans:
+    + - * / rem_t rem_f ^ (exponentiation) == != < <= > >= /\\ \\/ ."""
+
+    op: str
+    lhs: Pexpr
+    rhs: Pexpr
+
+
+@dataclass
+class PStruct(Pexpr):
+    tag: str
+    members: List[Tuple[str, Pexpr]]
+
+
+@dataclass
+class PUnion(Pexpr):
+    tag: str
+    member: str
+    value: Pexpr
+
+
+@dataclass
+class PCall(Pexpr):
+    """Pure Core function call — either a Core-defined fun or one of the
+    native auxiliary functions the elaboration uses (integer_promotion,
+    ctype_width, is_representable, conv_int, catch_exceptional_condition,
+    is_unsigned, ...)."""
+
+    name: str
+    args: List[Pexpr]
+
+
+@dataclass
+class PLet(Pexpr):
+    pat: Pattern
+    bound: Pexpr
+    body: Pexpr
+
+
+@dataclass
+class PIf(Pexpr):
+    cond: Pexpr
+    then: Pexpr
+    els: Pexpr
+
+
+# --------------------------------------------------------------------------
+# Memory actions (a / pa of Fig. 2)
+# --------------------------------------------------------------------------
+
+@dataclass
+class Action:
+    """One memory action; ``polarity`` is positive by default — negative
+    actions (``neg``) are sequenced only by ``let strong`` (§5.6)."""
+
+    kind: str  # "create"|"alloc"|"kill"|"store"|"load"|"rmw"|"fence"
+    # create: (align, ctype, prefix)     alloc: (align, size)
+    # kill: (ptr, dyn)  store: (ctype, ptr, value, order)
+    # load: (ctype, ptr, order)  rmw: (ctype, ptr, expected, desired, ...)
+    args: List[Pexpr]
+    polarity: str = "pos"  # "pos" | "neg"
+    order: str = "na"      # memory order for atomics ("na" non-atomic)
+    loc: Loc = field(default_factory=Loc.unknown)
+
+
+# --------------------------------------------------------------------------
+# Effectful expressions (e of Fig. 2)
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    loc: Loc = field(default_factory=Loc.unknown, kw_only=True)
+
+
+@dataclass
+class EPure(Expr):
+    pe: Pexpr
+
+
+@dataclass
+class EPtrOp(Expr):
+    """ptrop: pointer operations involving the memory state."""
+
+    op: str  # "eq"|"ne"|"lt"|"gt"|"le"|"ge"|"ptrdiff"|"intFromPtr"|
+    #          "ptrFromInt"|"ptrValidForDeref"
+    args: List[Pexpr]
+    # auxiliary static payload (e.g. the element ctype for ptrdiff,
+    # target integer ctype for intFromPtr)
+    aux: Optional[object] = None
+
+
+@dataclass
+class EAction(Expr):
+    action: Action
+
+
+@dataclass
+class ECase(Expr):
+    scrutinee: Pexpr
+    branches: List[Tuple[Pattern, Expr]]
+
+
+@dataclass
+class ELet(Expr):
+    pat: Pattern
+    bound: Pexpr
+    body: Expr
+
+
+@dataclass
+class EIf(Expr):
+    cond: Pexpr
+    then: Expr
+    els: Expr
+
+
+@dataclass
+class ESkip(Expr):
+    pass
+
+
+@dataclass
+class EProc(Expr):
+    """pcall of a named Core procedure."""
+
+    name: str
+    args: List[Pexpr]
+
+
+@dataclass
+class ECcall(Expr):
+    """Call of a C function through a function-designator value; the
+    body is indeterminately sequenced w.r.t. the enclosing expression
+    (§5.6 point 6)."""
+
+    fn: Pexpr
+    args: List[Pexpr]
+    ret_ty: Optional[QualType] = None
+
+
+@dataclass
+class EUnseq(Expr):
+    """unseq(e1..en): arbitrary interleaving, reduces to a tuple."""
+
+    exprs: List[Expr]
+
+
+@dataclass
+class EWseq(Expr):
+    """let weak pat = e1 in e2: positive actions of e1 sequence before
+    e2."""
+
+    pat: Pattern
+    first: Expr
+    second: Expr
+
+
+@dataclass
+class ESseq(Expr):
+    """let strong pat = e1 in e2: all actions of e1 sequence before e2."""
+
+    pat: Pattern
+    first: Expr
+    second: Expr
+
+
+@dataclass
+class EAtomicSeq(Expr):
+    """let atomic (sym : oTy) = a1 in pa2: the two actions are
+    sequenced and form an atomic unit no other action may come between
+    (postfix ++/--)."""
+
+    sym: str
+    first: Action
+    second: Action
+
+
+@dataclass
+class EIndet(Expr):
+    """indet[n](e): e is indeterminately sequenced w.r.t. its context."""
+
+    n: int
+    body: Expr
+
+
+@dataclass
+class EBound(Expr):
+    """bound[n](e): delimits the context of indet[n]."""
+
+    n: int
+    body: Expr
+
+
+@dataclass
+class ENd(Expr):
+    """nd(e1..en): nondeterministic choice."""
+
+    exprs: List[Expr]
+
+
+@dataclass
+class ESave(Expr):
+    """save label(x_i := default_i) in e  (see module docstring for the
+    re-establishment semantics used here)."""
+
+    label: str
+    params: List[Tuple[str, Pexpr]]
+    body: Expr
+
+
+@dataclass
+class ERun(Expr):
+    label: str
+    args: List[Pexpr]
+
+
+@dataclass
+class EPar(Expr):
+    exprs: List[Expr]
+
+
+@dataclass
+class EWait(Expr):
+    thread: Pexpr
+
+
+@dataclass
+class EReturn(Expr):
+    """return(pe): return from the current Core procedure."""
+
+    pe: Pexpr
+
+
+@dataclass
+class EScope(Expr):
+    """Block-structured object lifetime (deviation, see DESIGN.md): on
+    entry, a ``create`` is performed for every declared object of the C
+    block (§6.2.4p5-6: lifetimes start at block entry) and the resulting
+    pointers are bound to the given Core symbols; on any exit — normal,
+    ``run``, or procedure return — the objects are killed. Equivalent to
+    Cerberus's save/run annotations carrying scope create/kill sets
+    (paper §5.8)."""
+
+    creates: List["ScopedCreate"]
+    body: Expr
+
+
+@dataclass
+class ScopedCreate:
+    sym: str
+    ty: CType
+    prefix: str            # human-readable object name
+    readonly: bool = False
+    loc: Loc = field(default_factory=Loc.unknown)
+
+
+# --------------------------------------------------------------------------
+# Definitions and programs
+# --------------------------------------------------------------------------
+
+@dataclass
+class FunDef:
+    """A pure Core function definition."""
+
+    name: str
+    params: List[str]
+    body: Pexpr
+
+
+@dataclass
+class ProcDef:
+    """An effectful Core procedure definition."""
+
+    name: str
+    params: List[str]
+    body: Expr
+    # C-level metadata for procedures elaborated from C functions:
+    ret_ty: Optional[QualType] = None
+    param_tys: List[QualType] = field(default_factory=list)
+    variadic: bool = False
+    loc: Loc = field(default_factory=Loc.unknown)
+
+
+@dataclass
+class GlobDef:
+    """A C object with static storage duration: name, ctype, and the
+    Core expression computing its initial value (or None for
+    zero/unspecified initialisation)."""
+
+    name: str
+    qty: QualType
+    init: Optional[Expr]
+    readonly: bool = False
+    loc: Loc = field(default_factory=Loc.unknown)
+
+
+@dataclass
+class Program:
+    """The result of elaborating a C program (paper Fig. 2 caption)."""
+
+    tags: TagEnv
+    impl: Implementation
+    funs: Dict[str, FunDef] = field(default_factory=dict)
+    procs: Dict[str, ProcDef] = field(default_factory=dict)
+    globs: List[GlobDef] = field(default_factory=list)
+    main: Optional[str] = None
+    # implementation-defined constants
+    impl_constants: Dict[str, object] = field(default_factory=dict)

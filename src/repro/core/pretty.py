@@ -1,0 +1,170 @@
+"""A pretty-printer for Core, using the concrete syntax of paper Fig. 2
+(``let weak``, ``unseq``, ``save``/``run``, ``undef(...)``, ...).
+
+Used by the Fig. 3 reproduction (bench E10) and by ``cerberus-py
+--pp-core``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast as K
+
+_INDENT = "  "
+
+
+def pretty_program(program: K.Program) -> str:
+    out: List[str] = []
+    for g in program.globs:
+        init = " := <init>" if g.init is not None else ""
+        out.append(f"glob {g.name}: {g.qty}{init}")
+    for fun in program.funs.values():
+        params = ", ".join(fun.params)
+        out.append(f"fun {fun.name}({params}) :=")
+        out.append(_ind(pretty_pure(fun.body), 1))
+    for proc in program.procs.values():
+        params = ", ".join(proc.params)
+        out.append(f"proc {proc.name}({params}): eff :=")
+        out.append(_ind(pretty_expr(proc.body), 1))
+        out.append("")
+    if program.main:
+        out.append(f"-- startup: {program.main}")
+    return "\n".join(out)
+
+
+def _ind(text: str, n: int) -> str:
+    pad = _INDENT * n
+    return "\n".join(pad + line for line in text.split("\n"))
+
+
+def pretty_pure(pe: K.Pexpr) -> str:
+    if isinstance(pe, K.PSym):
+        return pe.name
+    if isinstance(pe, K.PVal):
+        return repr(pe.value)
+    if isinstance(pe, K.PImpl):
+        return f"<{pe.name}>"
+    if isinstance(pe, K.PUndef):
+        return f"undef({pe.ub.name})"
+    if isinstance(pe, K.PError):
+        return f"error({pe.msg!r})"
+    if isinstance(pe, K.PCtor):
+        args = ", ".join(pretty_pure(a) for a in pe.args)
+        if pe.ctor == "Tuple":
+            return f"({args})"
+        return f"{pe.ctor}({args})"
+    if isinstance(pe, K.PCase):
+        branches = "\n".join(
+            f"| {pat} =>\n{_ind(pretty_pure(body), 2)}"
+            for pat, body in pe.branches)
+        return (f"case {pretty_pure(pe.scrutinee)} with\n"
+                f"{_ind(branches, 1)}\nend")
+    if isinstance(pe, K.PArrayShift):
+        return (f"array_shift({pretty_pure(pe.ptr)}, '{pe.elem_ty}', "
+                f"{pretty_pure(pe.index)})")
+    if isinstance(pe, K.PMemberShift):
+        return (f"member_shift({pretty_pure(pe.ptr)}, "
+                f"{pe.tag}.{pe.member})")
+    if isinstance(pe, K.PNot):
+        return f"not({pretty_pure(pe.operand)})"
+    if isinstance(pe, K.PBinop):
+        return (f"({pretty_pure(pe.lhs)} {pe.op} "
+                f"{pretty_pure(pe.rhs)})")
+    if isinstance(pe, K.PStruct):
+        ms = ", ".join(f".{n} = {pretty_pure(v)}" for n, v in pe.members)
+        return f"(struct {pe.tag}){{{ms}}}"
+    if isinstance(pe, K.PUnion):
+        return (f"(union {pe.tag}){{.{pe.member} = "
+                f"{pretty_pure(pe.value)}}}")
+    if isinstance(pe, K.PCall):
+        args = ", ".join(pretty_pure(a) for a in pe.args)
+        return f"{pe.name}({args})"
+    if isinstance(pe, K.PLet):
+        return (f"let {pe.pat} = {pretty_pure(pe.bound)} in\n"
+                f"{pretty_pure(pe.body)}")
+    if isinstance(pe, K.PIf):
+        return (f"if {pretty_pure(pe.cond)} then\n"
+                f"{_ind(pretty_pure(pe.then), 1)}\nelse\n"
+                f"{_ind(pretty_pure(pe.els), 1)}")
+    return f"<?pure {type(pe).__name__}>"
+
+
+def pretty_action(a: K.Action) -> str:
+    args = ", ".join(pretty_pure(x) if isinstance(x, K.Pexpr)
+                     else repr(x) for x in a.args)
+    body = f"{a.kind}({args})"
+    if a.polarity == "neg":
+        return f"neg({body})"
+    return body
+
+
+def pretty_expr(e: K.Expr) -> str:
+    if isinstance(e, K.EPure):
+        return f"pure({pretty_pure(e.pe)})"
+    if isinstance(e, K.EPtrOp):
+        args = ", ".join(pretty_pure(a) for a in e.args)
+        return f"ptrop({e.op}, {args})"
+    if isinstance(e, K.EAction):
+        return pretty_action(e.action)
+    if isinstance(e, K.ECase):
+        branches = "\n".join(
+            f"| {pat} =>\n{_ind(pretty_expr(body), 2)}"
+            for pat, body in e.branches)
+        return (f"case {pretty_pure(e.scrutinee)} with\n"
+                f"{_ind(branches, 1)}\nend")
+    if isinstance(e, K.ELet):
+        return (f"let {e.pat} = {pretty_pure(e.bound)} in\n"
+                f"{pretty_expr(e.body)}")
+    if isinstance(e, K.EIf):
+        return (f"if {pretty_pure(e.cond)} then\n"
+                f"{_ind(pretty_expr(e.then), 1)}\nelse\n"
+                f"{_ind(pretty_expr(e.els), 1)}")
+    if isinstance(e, K.ESkip):
+        return "skip"
+    if isinstance(e, K.EProc):
+        args = ", ".join(pretty_pure(a) for a in e.args)
+        return f"pcall({e.name}, {args})"
+    if isinstance(e, K.ECcall):
+        args = ", ".join(pretty_pure(a) for a in e.args)
+        return f"ccall({pretty_pure(e.fn)}, {args})"
+    if isinstance(e, K.EUnseq):
+        inner = ",\n".join(_ind(pretty_expr(x), 1) for x in e.exprs)
+        return f"unseq(\n{inner})"
+    if isinstance(e, K.EWseq):
+        return (f"let weak {e.pat} =\n{_ind(pretty_expr(e.first), 1)}\n"
+                f"in\n{pretty_expr(e.second)}")
+    if isinstance(e, K.ESseq):
+        return (f"let strong {e.pat} =\n"
+                f"{_ind(pretty_expr(e.first), 1)}\n"
+                f"in\n{pretty_expr(e.second)}")
+    if isinstance(e, K.EAtomicSeq):
+        return (f"let atomic {e.sym} = {pretty_action(e.first)} in "
+                f"{pretty_action(e.second)}")
+    if isinstance(e, K.EIndet):
+        return f"indet[{e.n}](\n{_ind(pretty_expr(e.body), 1)})"
+    if isinstance(e, K.EBound):
+        return f"bound[{e.n}](\n{_ind(pretty_expr(e.body), 1)})"
+    if isinstance(e, K.ENd):
+        inner = ",\n".join(_ind(pretty_expr(x), 1) for x in e.exprs)
+        return f"nd(\n{inner})"
+    if isinstance(e, K.ESave):
+        params = ", ".join(f"{n} := {pretty_pure(d)}"
+                           for n, d in e.params)
+        return (f"save {e.label}({params}) in\n"
+                f"{_ind(pretty_expr(e.body), 1)}")
+    if isinstance(e, K.ERun):
+        args = ", ".join(pretty_pure(a) for a in e.args)
+        return f"run {e.label}({args})"
+    if isinstance(e, K.EPar):
+        inner = " ||| ".join(pretty_expr(x) for x in e.exprs)
+        return f"par({inner})"
+    if isinstance(e, K.EWait):
+        return f"wait({pretty_pure(e.thread)})"
+    if isinstance(e, K.EReturn):
+        return f"return({pretty_pure(e.pe)})"
+    if isinstance(e, K.EScope):
+        creates = "; ".join(f"{c.sym}: '{c.ty}'" for c in e.creates)
+        return (f"scope [{creates}] in\n"
+                f"{_ind(pretty_expr(e.body), 1)}")
+    return f"<?expr {type(e).__name__}>"

@@ -1,0 +1,5 @@
+"""The clean-slate C parser (ISO C11 §6.5-6.9), producing Cabs."""
+
+from .parser import Parser, parse_tokens, parse_text
+
+__all__ = ["Parser", "parse_tokens", "parse_text"]

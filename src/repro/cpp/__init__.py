@@ -1,0 +1,6 @@
+"""The C preprocessor (ISO C11 §6.10) and built-in library headers."""
+
+from .preprocessor import Preprocessor, preprocess
+from .headers import BUILTIN_HEADERS
+
+__all__ = ["Preprocessor", "preprocess", "BUILTIN_HEADERS"]

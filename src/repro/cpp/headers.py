@@ -1,0 +1,211 @@
+"""Built-in standard-library headers.
+
+Cerberus-py has no host filesystem dependency: ``#include <...>`` resolves
+against this table. The headers declare exactly the fragment of the
+standard library that the interpreter implements natively (paper: "It
+supports only small parts of the standard libraries", §1), plus the usual
+typedefs and limit macros for the chosen implementation environment
+(LP64 by default; the macros use ``__cerberus_*`` built-in constants that
+the parser resolves via the implementation environment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_STDDEF = """
+#ifndef __CERBERUS_STDDEF_H
+#define __CERBERUS_STDDEF_H
+typedef unsigned long size_t;
+typedef long ptrdiff_t;
+typedef int wchar_t;
+#define NULL ((void*)0)
+#define offsetof(type, member) __cerberus_offsetof(type, member)
+#endif
+"""
+
+_STDBOOL = """
+#ifndef __CERBERUS_STDBOOL_H
+#define __CERBERUS_STDBOOL_H
+#define bool _Bool
+#define true 1
+#define false 0
+#define __bool_true_false_are_defined 1
+#endif
+"""
+
+_LIMITS = """
+#ifndef __CERBERUS_LIMITS_H
+#define __CERBERUS_LIMITS_H
+#define CHAR_BIT 8
+#define SCHAR_MIN (-128)
+#define SCHAR_MAX 127
+#define UCHAR_MAX 255
+#define CHAR_MIN SCHAR_MIN
+#define CHAR_MAX SCHAR_MAX
+#define SHRT_MIN (-32768)
+#define SHRT_MAX 32767
+#define USHRT_MAX 65535
+#define INT_MIN (-INT_MAX - 1)
+#define INT_MAX 2147483647
+#define UINT_MAX 4294967295u
+#define LONG_MIN (-LONG_MAX - 1L)
+#define LONG_MAX __cerberus_long_max
+#define ULONG_MAX __cerberus_ulong_max
+#define LLONG_MIN (-LLONG_MAX - 1LL)
+#define LLONG_MAX 9223372036854775807LL
+#define ULLONG_MAX 18446744073709551615ULL
+#endif
+"""
+
+_STDINT = """
+#ifndef __CERBERUS_STDINT_H
+#define __CERBERUS_STDINT_H
+#include <limits.h>
+typedef signed char int8_t;
+typedef unsigned char uint8_t;
+typedef short int16_t;
+typedef unsigned short uint16_t;
+typedef int int32_t;
+typedef unsigned int uint32_t;
+typedef long long int64_t;
+typedef unsigned long long uint64_t;
+typedef unsigned long uintptr_t;
+typedef long intptr_t;
+typedef long long intmax_t;
+typedef unsigned long long uintmax_t;
+#define INT8_MIN (-128)
+#define INT8_MAX 127
+#define UINT8_MAX 255
+#define INT16_MIN (-32768)
+#define INT16_MAX 32767
+#define UINT16_MAX 65535
+#define INT32_MIN (-2147483647 - 1)
+#define INT32_MAX 2147483647
+#define UINT32_MAX 4294967295u
+#define INT64_MIN (-INT64_MAX - 1)
+#define INT64_MAX 9223372036854775807LL
+#define UINT64_MAX 18446744073709551615ULL
+#define INTPTR_MIN (-__cerberus_long_max - 1)
+#define INTPTR_MAX __cerberus_long_max
+#define UINTPTR_MAX __cerberus_ulong_max
+#define SIZE_MAX __cerberus_ulong_max
+#endif
+"""
+
+_STDIO = """
+#ifndef __CERBERUS_STDIO_H
+#define __CERBERUS_STDIO_H
+#include <stddef.h>
+typedef struct __cerberus_file FILE;
+int printf(const char *format, ...);
+int putchar(int c);
+int puts(const char *s);
+int snprintf(char *s, size_t n, const char *format, ...);
+int sprintf(char *s, const char *format, ...);
+#define EOF (-1)
+#endif
+"""
+
+_STDLIB = """
+#ifndef __CERBERUS_STDLIB_H
+#define __CERBERUS_STDLIB_H
+#include <stddef.h>
+void *malloc(size_t size);
+void *calloc(size_t nmemb, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+void abort(void);
+void exit(int status);
+int abs(int j);
+long labs(long j);
+int atoi(const char *nptr);
+long atol(const char *nptr);
+long strtol(const char *nptr, char **endptr, int base);
+int rand(void);
+void srand(unsigned int seed);
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+#define RAND_MAX 2147483647
+#endif
+"""
+
+_STRING = """
+#ifndef __CERBERUS_STRING_H
+#define __CERBERUS_STRING_H
+#include <stddef.h>
+void *memcpy(void *dest, const void *src, size_t n);
+void *memmove(void *dest, const void *src, size_t n);
+void *memset(void *s, int c, size_t n);
+int memcmp(const void *s1, const void *s2, size_t n);
+size_t strlen(const char *s);
+int strcmp(const char *s1, const char *s2);
+int strncmp(const char *s1, const char *s2, size_t n);
+char *strcpy(char *dest, const char *src);
+char *strncpy(char *dest, const char *src, size_t n);
+char *strcat(char *dest, const char *src);
+char *strchr(const char *s, int c);
+#endif
+"""
+
+_ASSERT = """
+#ifndef __CERBERUS_ASSERT_H
+#define __CERBERUS_ASSERT_H
+void __cerberus_assert_fail(const char *expr, const char *file, int line);
+#define assert(e) ((e) ? (void)0 : \
+    __cerberus_assert_fail(#e, "<assert>", __LINE__))
+#define static_assert _Static_assert
+#endif
+"""
+
+_STDARG = """
+#ifndef __CERBERUS_STDARG_H
+#define __CERBERUS_STDARG_H
+typedef struct __cerberus_va_list { int __dummy; } va_list;
+#endif
+"""
+
+_STDALIGN = """
+#ifndef __CERBERUS_STDALIGN_H
+#define __CERBERUS_STDALIGN_H
+#define alignof _Alignof
+#define __alignof_is_defined 1
+#endif
+"""
+
+_THREADS = """
+#ifndef __CERBERUS_THREADS_H
+#define __CERBERUS_THREADS_H
+typedef int thrd_t;
+typedef int (*thrd_start_t)(void *);
+int thrd_create(thrd_t *thr, thrd_start_t func, void *arg);
+int thrd_join(thrd_t thr, int *res);
+#define thrd_success 0
+#define thrd_error 2
+#endif
+"""
+
+_STDATOMIC = """
+#ifndef __CERBERUS_STDATOMIC_H
+#define __CERBERUS_STDATOMIC_H
+typedef enum {
+  memory_order_relaxed, memory_order_consume, memory_order_acquire,
+  memory_order_release, memory_order_acq_rel, memory_order_seq_cst
+} memory_order;
+#endif
+"""
+
+BUILTIN_HEADERS: Dict[str, str] = {
+    "stddef.h": _STDDEF,
+    "stdbool.h": _STDBOOL,
+    "limits.h": _LIMITS,
+    "stdint.h": _STDINT,
+    "stdio.h": _STDIO,
+    "stdlib.h": _STDLIB,
+    "string.h": _STRING,
+    "assert.h": _ASSERT,
+    "stdarg.h": _STDARG,
+    "stdalign.h": _STDALIGN,
+    "threads.h": _THREADS,
+    "stdatomic.h": _STDATOMIC,
+}

@@ -1,0 +1,598 @@
+"""The C preprocessor (ISO C11 §6.10, translation phase 4).
+
+Supports: ``#include`` of built-in and user-supplied virtual headers,
+object-like and function-like ``#define`` (with ``#`` stringising and
+``##`` pasting), ``#undef``, the conditional family (``#if``/``#ifdef``/
+``#ifndef``/``#elif``/``#else``/``#endif``) with full constant-expression
+evaluation including ``defined``, ``#error``, and ``#pragma`` (ignored).
+
+Macro replacement implements argument prescan, rescanning, and blue paint
+(a macro name is not re-expanded inside its own expansion, §6.10.3.4p2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PreprocessorError
+from ..source import Loc, SourceFile
+from ..lex.lexer import Lexer
+from ..lex.tokens import Token, TokenKind
+from .headers import BUILTIN_HEADERS
+
+_MAX_INCLUDE_DEPTH = 32
+
+
+@dataclass
+class Macro:
+    """One ``#define`` entry."""
+
+    name: str
+    body: List[Token]
+    is_function: bool = False
+    params: List[str] = field(default_factory=list)
+    variadic: bool = False
+    loc: Loc = field(default_factory=Loc.unknown)
+
+    def same_definition(self, other: "Macro") -> bool:
+        if (self.is_function != other.is_function
+                or self.params != other.params
+                or self.variadic != other.variadic):
+            return False
+        mine = [(t.kind, t.text) for t in self.body]
+        theirs = [(t.kind, t.text) for t in other.body]
+        return mine == theirs
+
+
+class Preprocessor:
+    """Runs phase 4 over a token stream, producing the C token stream
+    (without NEWLINE tokens) ready for the parser."""
+
+    def __init__(self, extra_headers: Optional[Dict[str, str]] = None,
+                 predefined: Optional[Dict[str, str]] = None):
+        self.headers: Dict[str, str] = dict(BUILTIN_HEADERS)
+        if extra_headers:
+            self.headers.update(extra_headers)
+        self.macros: Dict[str, Macro] = {}
+        self.output: List[Token] = []
+        self._include_depth = 0
+        for name, body in (predefined or {}).items():
+            self.define_text(name, body)
+        self.define_text("__CERBERUS__", "1")
+        self.define_text("__STDC__", "1")
+        self.define_text("__STDC_VERSION__", "201112L")
+
+    # -- public API ----------------------------------------------------------
+
+    def define_text(self, name: str, body: str) -> None:
+        """Define an object-like macro from body text."""
+        toks = [t for t in Lexer(SourceFile("<predef>", body)).tokens()
+                if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+        self.macros[name] = Macro(name, toks)
+
+    def preprocess(self, source: SourceFile) -> List[Token]:
+        """Preprocess a whole translation unit; returns C tokens + EOF."""
+        self._process_tokens(Lexer(source).tokens(), source.name)
+        eof_loc = self.output[-1].loc if self.output else Loc(source.name)
+        self.output.append(Token(TokenKind.EOF, "", eof_loc))
+        return self.output
+
+    # -- line-structured processing -------------------------------------------
+
+    def _process_tokens(self, toks: List[Token], filename: str) -> None:
+        lines = _split_lines(toks)
+        # Conditional stack entries: (live, taken_before, seen_else).
+        cond: List[List[bool]] = []
+        for line in lines:
+            if not line:
+                continue
+            first = line[0]
+            is_directive = first.is_punct("#") and first.at_line_start
+            live = all(c[0] for c in cond)
+            if is_directive:
+                self._directive(line, cond, live, filename)
+            elif live:
+                self._expand_into_output(line)
+
+    def _directive(self, line: List[Token], cond: List[List[bool]],
+                   live: bool, filename: str) -> None:
+        if len(line) == 1:
+            return  # null directive
+        name_tok = line[1]
+        name = name_tok.text
+        rest = line[2:]
+        loc = name_tok.loc
+        if name == "ifdef" or name == "ifndef":
+            if not rest or not rest[0].is_ident():
+                raise PreprocessorError(f"#{name} expects an identifier",
+                                        loc, iso="6.10.1")
+            defined = rest[0].text in self.macros
+            take = live and (defined if name == "ifdef" else not defined)
+            cond.append([take, take, False])
+        elif name == "if":
+            take = live and bool(self._eval_condition(rest, loc))
+            cond.append([take, take, False])
+        elif name == "elif":
+            if not cond:
+                raise PreprocessorError("#elif without #if", loc,
+                                        iso="6.10.1")
+            entry = cond[-1]
+            if entry[2]:
+                raise PreprocessorError("#elif after #else", loc,
+                                        iso="6.10.1")
+            outer_live = all(c[0] for c in cond[:-1])
+            if entry[1] or not outer_live:
+                entry[0] = False
+            else:
+                take = bool(self._eval_condition(rest, loc))
+                entry[0] = take
+                entry[1] = take
+        elif name == "else":
+            if not cond:
+                raise PreprocessorError("#else without #if", loc,
+                                        iso="6.10.1")
+            entry = cond[-1]
+            if entry[2]:
+                raise PreprocessorError("duplicate #else", loc, iso="6.10.1")
+            outer_live = all(c[0] for c in cond[:-1])
+            entry[0] = outer_live and not entry[1]
+            entry[2] = True
+        elif name == "endif":
+            if not cond:
+                raise PreprocessorError("#endif without #if", loc,
+                                        iso="6.10.1")
+            cond.pop()
+        elif not live:
+            return
+        elif name == "define":
+            self._define(rest, loc)
+        elif name == "undef":
+            if not rest or not rest[0].is_ident():
+                raise PreprocessorError("#undef expects an identifier", loc,
+                                        iso="6.10.3.5")
+            self.macros.pop(rest[0].text, None)
+        elif name == "include":
+            self._include(rest, loc)
+        elif name == "error":
+            msg = " ".join(t.text for t in rest)
+            raise PreprocessorError(f"#error {msg}", loc, iso="6.10.5")
+        elif name == "pragma":
+            return
+        elif name == "line":
+            return
+        else:
+            raise PreprocessorError(f"unknown directive #{name}", loc,
+                                    iso="6.10")
+
+    def _define(self, rest: List[Token], loc: Loc) -> None:
+        if not rest or not rest[0].is_ident():
+            raise PreprocessorError("#define expects an identifier", loc,
+                                    iso="6.10.3")
+        name = rest[0].text
+        after = rest[1:]
+        if after and after[0].is_punct("(") and not after[0].preceded_by_space:
+            params, variadic, body_start = self._parse_params(after, loc)
+            macro = Macro(name, after[body_start:], is_function=True,
+                          params=params, variadic=variadic, loc=loc)
+        else:
+            macro = Macro(name, after, loc=loc)
+        old = self.macros.get(name)
+        if old is not None and not old.same_definition(macro):
+            raise PreprocessorError(
+                f"macro '{name}' redefined incompatibly", loc,
+                iso="6.10.3p2")
+        self.macros[name] = macro
+
+    @staticmethod
+    def _parse_params(after: List[Token],
+                      loc: Loc) -> Tuple[List[str], bool, int]:
+        params: List[str] = []
+        variadic = False
+        i = 1  # after '('
+        if after[i].is_punct(")"):
+            return params, variadic, i + 1
+        while True:
+            tok = after[i]
+            if tok.is_punct("..."):
+                variadic = True
+                i += 1
+            elif tok.is_ident():
+                params.append(tok.text)
+                i += 1
+            else:
+                raise PreprocessorError("bad macro parameter list", loc,
+                                        iso="6.10.3")
+            if after[i].is_punct(")"):
+                return params, variadic, i + 1
+            if not after[i].is_punct(","):
+                raise PreprocessorError("bad macro parameter list", loc,
+                                        iso="6.10.3")
+            i += 1
+
+    def _include(self, rest: List[Token], loc: Loc) -> None:
+        if self._include_depth >= _MAX_INCLUDE_DEPTH:
+            raise PreprocessorError("#include nested too deeply", loc,
+                                    iso="6.10.2")
+        rest = self._expand_sequence(rest)
+        header: Optional[str] = None
+        if rest and rest[0].kind is TokenKind.STRING:
+            header = rest[0].text.strip('"')
+        elif rest and rest[0].is_punct("<"):
+            parts = []
+            for tok in rest[1:]:
+                if tok.is_punct(">"):
+                    break
+                parts.append(tok.text)
+            header = "".join(parts)
+        if header is None:
+            raise PreprocessorError("malformed #include", loc, iso="6.10.2")
+        if header not in self.headers:
+            raise PreprocessorError(f"header not found: <{header}>", loc,
+                                    iso="6.10.2")
+        self._include_depth += 1
+        try:
+            self._process_tokens(
+                Lexer(SourceFile(f"<{header}>", self.headers[header]))
+                .tokens(), header)
+        finally:
+            self._include_depth -= 1
+
+    # -- conditional expressions ----------------------------------------------
+
+    def _eval_condition(self, toks: List[Token], loc: Loc) -> int:
+        # 'defined X' / 'defined(X)' are handled before macro expansion.
+        pre: List[Token] = []
+        i = 0
+        while i < len(toks):
+            tok = toks[i]
+            if tok.is_ident("defined"):
+                j = i + 1
+                if j < len(toks) and toks[j].is_punct("("):
+                    if j + 2 >= len(toks) or not toks[j + 2].is_punct(")"):
+                        raise PreprocessorError("malformed defined()", loc,
+                                                iso="6.10.1")
+                    target = toks[j + 1]
+                    i = j + 3
+                else:
+                    if j >= len(toks):
+                        raise PreprocessorError("malformed defined", loc,
+                                                iso="6.10.1")
+                    target = toks[j]
+                    i = j + 2
+                val = "1" if target.text in self.macros else "0"
+                pre.append(Token(TokenKind.NUMBER, val, tok.loc))
+                continue
+            pre.append(tok)
+            i += 1
+        expanded = self._expand_sequence(pre)
+        # Remaining identifiers evaluate to 0 (§6.10.1p4).
+        final: List[Token] = []
+        for tok in expanded:
+            if tok.kind is TokenKind.IDENT:
+                final.append(Token(TokenKind.NUMBER, "0", tok.loc))
+            else:
+                final.append(tok)
+        return _CondParser(final, loc).parse()
+
+    # -- macro expansion --------------------------------------------------------
+
+    def _expand_into_output(self, toks: List[Token]) -> None:
+        self.output.extend(self._expand_sequence(toks))
+
+    def _expand_sequence(self, toks: List[Token]) -> List[Token]:
+        out: List[Token] = []
+        stream = list(toks)
+        i = 0
+        while i < len(stream):
+            tok = stream[i]
+            if tok.kind is not TokenKind.IDENT or tok.text in tok.no_expand:
+                out.append(tok)
+                i += 1
+                continue
+            macro = self.macros.get(tok.text)
+            if macro is None:
+                out.append(tok)
+                i += 1
+                continue
+            if macro.is_function:
+                j = i + 1
+                if j >= len(stream) or not stream[j].is_punct("("):
+                    out.append(tok)  # name not followed by '(' — not a call
+                    i += 1
+                    continue
+                args, next_i = self._collect_args(stream, j, macro, tok.loc)
+                replaced = self._substitute(macro, args, tok)
+                stream[i:next_i] = replaced
+            else:
+                replaced = self._paint(self._paste(macro.body), tok)
+                stream[i:i + 1] = replaced
+        return out
+
+    @staticmethod
+    def _collect_args(stream: List[Token], open_i: int, macro: Macro,
+                      loc: Loc) -> Tuple[List[List[Token]], int]:
+        args: List[List[Token]] = [[]]
+        depth = 0
+        i = open_i
+        while i < len(stream):
+            tok = stream[i]
+            if tok.is_punct("("):
+                depth += 1
+                if depth > 1:
+                    args[-1].append(tok)
+            elif tok.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    i += 1
+                    break
+                args[-1].append(tok)
+            elif tok.is_punct(",") and depth == 1 and \
+                    len(args) <= max(len(macro.params) - 1,
+                                     0 if not macro.variadic else 10**9):
+                if len(args) < len(macro.params) or macro.variadic:
+                    args.append([])
+                else:
+                    args[-1].append(tok)
+            else:
+                args[-1].append(tok)
+            i += 1
+        else:
+            raise PreprocessorError(
+                f"unterminated call to macro '{macro.name}'", loc,
+                iso="6.10.3")
+        if macro.params or macro.variadic:
+            want = len(macro.params)
+            if len(args) < want:
+                args.extend([[] for _ in range(want - len(args))])
+        elif args == [[]]:
+            args = []
+        return args, i
+
+    def _substitute(self, macro: Macro, args: List[List[Token]],
+                    call_tok: Token) -> List[Token]:
+        expanded_args = {p: self._expand_sequence(args[k])
+                         for k, p in enumerate(macro.params)}
+        raw_args = {p: args[k] for k, p in enumerate(macro.params)}
+        if macro.variadic:
+            rest = args[len(macro.params):]
+            va: List[Token] = []
+            for k, a in enumerate(rest):
+                if k:
+                    va.append(Token(TokenKind.PUNCT, ",", call_tok.loc))
+                va.extend(a)
+            raw_args["__VA_ARGS__"] = va
+            expanded_args["__VA_ARGS__"] = self._expand_sequence(list(va))
+        body: List[Token] = []
+        i = 0
+        toks = macro.body
+        while i < len(toks):
+            tok = toks[i]
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            if tok.is_punct("#") and nxt is not None and \
+                    nxt.text in raw_args:
+                body.append(_stringise(raw_args[nxt.text], tok.loc))
+                i += 2
+                continue
+            pasting = nxt is not None and nxt.is_punct("##")
+            if tok.kind is TokenKind.IDENT and tok.text in raw_args:
+                use = raw_args[tok.text] if pasting or _prev_is_paste(body) \
+                    else expanded_args[tok.text]
+                body.extend(Token(t.kind, t.text, t.loc, t.value,
+                                  no_expand=t.no_expand) for t in use)
+            else:
+                body.append(tok)
+            i += 1
+        return self._paint(self._paste(body), call_tok)
+
+    @staticmethod
+    def _paste(body: List[Token]) -> List[Token]:
+        """Resolve ``##`` operators (§6.10.3.3)."""
+        out: List[Token] = []
+        i = 0
+        while i < len(body):
+            tok = body[i]
+            if tok.is_punct("##") and out and i + 1 < len(body):
+                left = out.pop()
+                right = body[i + 1]
+                merged_text = left.text + right.text
+                relexed = [t for t in Lexer(
+                    SourceFile(str(left.loc), merged_text)).tokens()
+                    if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+                if len(relexed) != 1:
+                    raise PreprocessorError(
+                        f"pasting '{left.text}' and '{right.text}' does not "
+                        "give a valid token", left.loc, iso="6.10.3.3p3")
+                merged = relexed[0]
+                merged.loc = left.loc
+                out.append(merged)
+                i += 2
+                continue
+            out.append(tok)
+            i += 1
+        return out
+
+    @staticmethod
+    def _paint(body: List[Token], call_tok: Token) -> List[Token]:
+        painted = call_tok.no_expand | {call_tok.text}
+        return [Token(t.kind, t.text, call_tok.loc, t.value,
+                      no_expand=t.no_expand | painted) for t in body]
+
+
+def _prev_is_paste(body: List[Token]) -> bool:
+    return bool(body) and body[-1].is_punct("##")
+
+
+def _stringise(toks: List[Token], loc: Loc) -> Token:
+    parts: List[str] = []
+    for k, tok in enumerate(toks):
+        if k and tok.preceded_by_space:
+            parts.append(" ")
+        text = tok.text
+        if tok.kind in (TokenKind.STRING, TokenKind.CHAR_CONST):
+            text = text.replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(text)
+    content = "".join(parts)
+    return Token(TokenKind.STRING, f'"{content}"', loc,
+                 value=content.encode())
+
+
+def _split_lines(toks: List[Token]) -> List[List[Token]]:
+    lines: List[List[Token]] = [[]]
+    for tok in toks:
+        if tok.kind is TokenKind.NEWLINE:
+            lines.append([])
+        elif tok.kind is TokenKind.EOF:
+            break
+        else:
+            lines[-1].append(tok)
+    return lines
+
+
+class _CondParser:
+    """Recursive-descent evaluator for #if constant expressions
+    (§6.10.1p4: arithmetic in intmax_t/uintmax_t; we use Python ints with
+    64-bit wrap for the unsigned-influenced operators)."""
+
+    def __init__(self, toks: List[Token], loc: Loc):
+        self.toks = toks
+        self.i = 0
+        self.loc = loc
+
+    def parse(self) -> int:
+        val = self._ternary()
+        if self.i < len(self.toks):
+            raise PreprocessorError("trailing tokens in #if expression",
+                                    self.loc, iso="6.10.1")
+        return val
+
+    def _peek(self) -> Optional[Token]:
+        return self.toks[self.i] if self.i < len(self.toks) else None
+
+    def _eat(self, text: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.is_punct(text):
+            self.i += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> None:
+        if not self._eat(text):
+            raise PreprocessorError(f"expected '{text}' in #if expression",
+                                    self.loc, iso="6.10.1")
+
+    def _ternary(self) -> int:
+        cond = self._binary(0)
+        if self._eat("?"):
+            then = self._ternary()
+            self._expect(":")
+            els = self._ternary()
+            return then if cond else els
+        return cond
+
+    _LEVELS = [["||"], ["&&"], ["|"], ["^"], ["&"], ["==", "!="],
+               ["<", ">", "<=", ">="], ["<<", ">>"], ["+", "-"],
+               ["*", "/", "%"]]
+
+    def _binary(self, level: int) -> int:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        lhs = self._binary(level + 1)
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind is not TokenKind.PUNCT or \
+                    tok.text not in self._LEVELS[level]:
+                return lhs
+            op = tok.text
+            self.i += 1
+            if op == "||":
+                rhs = self._binary(level + 1)
+                lhs = 1 if (lhs or rhs) else 0
+                continue
+            if op == "&&":
+                rhs = self._binary(level + 1)
+                lhs = 1 if (lhs and rhs) else 0
+                continue
+            rhs = self._binary(level + 1)
+            lhs = self._apply(op, lhs, rhs)
+
+    def _apply(self, op: str, a: int, b: int) -> int:
+        if op in ("/", "%") and b == 0:
+            raise PreprocessorError("division by zero in #if", self.loc,
+                                    iso="6.10.1")
+        table = {
+            "|": a | b, "^": a ^ b, "&": a & b,
+            "==": int(a == b), "!=": int(a != b),
+            "<": int(a < b), ">": int(a > b),
+            "<=": int(a <= b), ">=": int(a >= b),
+            "<<": a << (b & 63), ">>": a >> (b & 63),
+            "+": a + b, "-": a - b, "*": a * b,
+            "/": int(a / b) if (a < 0) != (b < 0) and a % b else a // b,
+            "%": a - b * (int(a / b) if (a < 0) != (b < 0) and a % b
+                          else a // b),
+        }
+        return table[op]
+
+    def _unary(self) -> int:
+        tok = self._peek()
+        if tok is None:
+            raise PreprocessorError("truncated #if expression", self.loc,
+                                    iso="6.10.1")
+        if tok.is_punct("!"):
+            self.i += 1
+            return int(not self._unary())
+        if tok.is_punct("-"):
+            self.i += 1
+            return -self._unary()
+        if tok.is_punct("+"):
+            self.i += 1
+            return self._unary()
+        if tok.is_punct("~"):
+            self.i += 1
+            return ~self._unary()
+        if tok.is_punct("("):
+            self.i += 1
+            val = self._ternary()
+            self._expect(")")
+            return val
+        if tok.kind is TokenKind.NUMBER:
+            self.i += 1
+            return _parse_pp_int(tok)
+        if tok.kind is TokenKind.CHAR_CONST:
+            self.i += 1
+            return int(tok.value)  # type: ignore[arg-type]
+        raise PreprocessorError(
+            f"unexpected token '{tok.text}' in #if expression", tok.loc,
+            iso="6.10.1")
+
+
+def _parse_pp_int(tok: Token) -> int:
+    text = tok.text.rstrip("uUlL")
+    try:
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        if text.startswith("0") and len(text) > 1:
+            return int(text, 8)
+        return int(text, 10)
+    except ValueError:
+        raise PreprocessorError(f"bad integer constant '{tok.text}' in #if",
+                                tok.loc, iso="6.10.1") from None
+
+
+def preprocess(text: str, name: str = "<string>",
+               extra_headers: Optional[Dict[str, str]] = None,
+               predefined: Optional[Dict[str, str]] = None) -> List[Token]:
+    """Preprocess C source text; returns the C token stream (incl. EOF)."""
+    pp = Preprocessor(extra_headers=extra_headers, predefined=predefined)
+    # __LINE__ etc. are resolved lazily per-token; we approximate __LINE__
+    # by substituting at expansion sites via a dynamic macro below.
+    out: List[Token] = []
+    for tok in pp.preprocess(SourceFile(name, text)):
+        if tok.is_ident("__LINE__"):
+            out.append(Token(TokenKind.NUMBER, str(tok.loc.line), tok.loc))
+        elif tok.is_ident("__FILE__"):
+            out.append(Token(TokenKind.STRING, f'"{tok.loc.file}"', tok.loc,
+                             value=tok.loc.file.encode()))
+        else:
+            out.append(tok)
+    return out

@@ -1,0 +1,7 @@
+"""Csmith-like differential testing (paper §6 validation)."""
+
+from .generator import GeneratedProgram, generate_program
+from .reference import validate_programs, ValidationReport
+
+__all__ = ["GeneratedProgram", "generate_program", "validate_programs",
+           "ValidationReport"]

@@ -1,0 +1,104 @@
+"""Integer promotions, usual arithmetic conversions, and value conversion
+(ISO C11 §6.3.1).
+
+These are used twice, as in the paper: by the Ail type checker to compute
+result types statically, and by the elaboration's runtime auxiliaries
+(``integer_promotion``, ``is_representable`` — visible in Fig. 3) to
+convert the mathematical-integer values that Core computes with (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import InternalError
+from .implementation import Implementation
+from .types import Floating, FloatKind, Integer, IntKind
+
+# §6.3.1.1p1 conversion ranks. char/schar/uchar share a rank, etc.
+_RANK = {
+    IntKind.BOOL: 5,
+    IntKind.CHAR: 10, IntKind.SCHAR: 10, IntKind.UCHAR: 10,
+    IntKind.SHORT: 20, IntKind.USHORT: 20,
+    IntKind.INT: 30, IntKind.UINT: 30,
+    IntKind.LONG: 40, IntKind.ULONG: 40,
+    IntKind.LLONG: 50, IntKind.ULLONG: 50,
+}
+
+
+def integer_rank(ty: Integer) -> int:
+    return _RANK[ty.kind]
+
+
+def integer_promotion(ty: Integer, impl: Implementation) -> Integer:
+    """§6.3.1.1p2: types of rank < int promote to int (or unsigned int if
+    int cannot represent all their values)."""
+    if _RANK[ty.kind] >= _RANK[IntKind.INT]:
+        return ty
+    # Can int represent all values of ty?
+    if impl.int_max(ty.kind) <= impl.int_max(IntKind.INT) and \
+            impl.int_min(ty.kind) >= impl.int_min(IntKind.INT):
+        return Integer(IntKind.INT)
+    return Integer(IntKind.UINT)
+
+
+def usual_arithmetic_conversions(
+        a: Integer, b: Integer, impl: Implementation) -> Integer:
+    """§6.3.1.8p1, the integer half (floating handled separately)."""
+    a = integer_promotion(a, impl)
+    b = integer_promotion(b, impl)
+    if a == b:
+        return a
+    sa, sb = impl.is_signed(a.kind), impl.is_signed(b.kind)
+    ra, rb = _RANK[a.kind], _RANK[b.kind]
+    if sa == sb:
+        return a if ra >= rb else b
+    unsigned, signed = (a, b) if not sa else (b, a)
+    ru, rs = _RANK[unsigned.kind], _RANK[signed.kind]
+    if ru >= rs:
+        return unsigned
+    if impl.int_max(signed.kind) >= impl.int_max(unsigned.kind):
+        return signed
+    return signed.unsigned_variant()
+
+
+def arithmetic_result_type(a, b, impl: Implementation):
+    """Usual arithmetic conversions over arithmetic (incl. floating)
+    operand types; returns the common type."""
+    if isinstance(a, Floating) or isinstance(b, Floating):
+        order = [FloatKind.FLOAT, FloatKind.DOUBLE, FloatKind.LDOUBLE]
+        kinds = [t.kind for t in (a, b) if isinstance(t, Floating)]
+        return Floating(max(kinds, key=order.index))
+    if isinstance(a, Integer) and isinstance(b, Integer):
+        return usual_arithmetic_conversions(a, b, impl)
+    raise InternalError(f"arithmetic conversion of {a} and {b}")
+
+
+def is_representable(value: int, ty: Integer, impl: Implementation) -> bool:
+    """Whether a mathematical integer fits the type's range — the Core
+    auxiliary of the same name (Fig. 3)."""
+    return impl.int_min(ty.kind) <= value <= impl.int_max(ty.kind)
+
+
+def convert_integer_value(
+        value: int, to: Integer,
+        impl: Implementation) -> Tuple[int, Optional[str]]:
+    """§6.3.1.3: convert a mathematical integer to type ``to``.
+
+    Returns ``(converted, note)``. For unsigned targets the value is
+    reduced modulo 2^N (p2). For signed targets that cannot represent the
+    value the result is implementation-defined (p3); like GCC/Clang we
+    wrap modulo 2^N (two's complement), and return note="impl-defined"
+    so strict personae can flag it.
+    """
+    if to.kind is IntKind.BOOL:
+        return (0 if value == 0 else 1), None
+    if is_representable(value, to, impl):
+        return value, None
+    w = impl.width(to.kind)
+    wrapped = value & ((1 << w) - 1)
+    if impl.is_signed(to.kind):
+        if wrapped >= (1 << (w - 1)):
+            wrapped -= 1 << w
+        return wrapped, "impl-defined"
+    return wrapped, None

@@ -1,0 +1,219 @@
+"""Implementation-defined environments (ISO C11 §J.3).
+
+The paper's elaboration consults "definitions of implementation-defined
+constants" (Fig. 2 caption); we package those as an
+:class:`Implementation` object: integer sizes and alignments, char
+signedness, endianness, and struct/union layout. Three environments are
+provided: LP64 (the mainstream x86-64 ABI — the default), ILP32, and
+CHERI128 (capability pointers of 16 bytes, as on the CHERI processor of
+paper §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InternalError
+from .types import (
+    Array, CType, Floating, FloatKind, Function, Integer, IntKind, Pointer,
+    QualType, StructRef, TagEnv, UnionRef, Void,
+)
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One implementation-defined environment.
+
+    All mainstream assumptions the paper highlights (§1: 8-bit bytes,
+    two's complement, non-segmented memory) are baked in; what varies is
+    parameterised here.
+    """
+
+    name: str
+    int_sizes: Dict[IntKind, int] = field(default_factory=dict)
+    int_aligns: Dict[IntKind, int] = field(default_factory=dict)
+    float_sizes: Dict[FloatKind, int] = field(default_factory=dict)
+    pointer_size: int = 8
+    pointer_align: int = 8
+    char_is_signed: bool = True
+    little_endian: bool = True
+    # Whether plain `int` bitwise ops on uintptr_t act on the capability
+    # offset (the CHERI misbehaviour of paper §4); only CHERI sets this.
+    capability_pointers: bool = False
+
+    # -- integer ranges ------------------------------------------------------
+
+    def sizeof_int(self, kind: IntKind) -> int:
+        return self.int_sizes[kind]
+
+    def alignof_int(self, kind: IntKind) -> int:
+        return self.int_aligns[kind]
+
+    def is_signed(self, kind: IntKind) -> bool:
+        if kind is IntKind.CHAR:
+            return self.char_is_signed
+        return kind in (IntKind.SCHAR, IntKind.SHORT, IntKind.INT,
+                        IntKind.LONG, IntKind.LLONG)
+
+    def width(self, kind: IntKind) -> int:
+        if kind is IntKind.BOOL:
+            return 1
+        return self.sizeof_int(kind) * 8
+
+    def int_min(self, kind: IntKind) -> int:
+        if not self.is_signed(kind):
+            return 0
+        return -(1 << (self.width(kind) - 1))
+
+    def int_max(self, kind: IntKind) -> int:
+        if kind is IntKind.BOOL:
+            return 1
+        w = self.width(kind)
+        if self.is_signed(kind):
+            return (1 << (w - 1)) - 1
+        return (1 << w) - 1
+
+    # -- sizeof / alignof over full types ------------------------------------
+
+    def sizeof(self, ty: CType, tags: TagEnv) -> int:
+        if isinstance(ty, Integer):
+            return self.sizeof_int(ty.kind)
+        if isinstance(ty, Floating):
+            return self.float_sizes[ty.kind]
+        if isinstance(ty, Pointer):
+            return self.pointer_size
+        if isinstance(ty, Array):
+            if ty.size is None:
+                raise InternalError("sizeof incomplete array type")
+            return ty.size * self.sizeof(ty.of.ty, tags)
+        if isinstance(ty, (StructRef, UnionRef)):
+            return self.layout(ty, tags).size
+        if isinstance(ty, Void):
+            raise InternalError("sizeof void")
+        if isinstance(ty, Function):
+            raise InternalError("sizeof function type")
+        raise InternalError(f"sizeof: unhandled type {ty}")
+
+    def alignof(self, ty: CType, tags: TagEnv) -> int:
+        if isinstance(ty, Integer):
+            return self.alignof_int(ty.kind)
+        if isinstance(ty, Floating):
+            return self.float_sizes[ty.kind] if ty.kind is not \
+                FloatKind.LDOUBLE else 16
+        if isinstance(ty, Pointer):
+            return self.pointer_align
+        if isinstance(ty, Array):
+            return self.alignof(ty.of.ty, tags)
+        if isinstance(ty, (StructRef, UnionRef)):
+            return self.layout(ty, tags).align
+        raise InternalError(f"alignof: unhandled type {ty}")
+
+    def layout(self, ty: CType, tags: TagEnv) -> "RecordLayout":
+        """Compute (and cache per call) the layout of a struct/union."""
+        assert isinstance(ty, (StructRef, UnionRef))
+        defn = tags.require(ty.tag)
+        if not defn.complete:
+            raise InternalError(f"layout of incomplete type {ty}")
+        offsets: List[Tuple[str, int, QualType]] = []
+        if isinstance(ty, UnionRef):
+            size = 0
+            align = 1
+            for m in defn.members:
+                msize = self.sizeof(m.qty.ty, tags)
+                malign = self.alignof(m.qty.ty, tags)
+                offsets.append((m.name, 0, m.qty))
+                size = max(size, msize)
+                align = max(align, malign)
+            size = _round_up(size, align)
+            return RecordLayout(size, align, offsets)
+        off = 0
+        align = 1
+        for m in defn.members:
+            malign = self.alignof(m.qty.ty, tags)
+            msize = self.sizeof(m.qty.ty, tags)
+            off = _round_up(off, malign)
+            offsets.append((m.name, off, m.qty))
+            off += msize
+            align = max(align, malign)
+        size = _round_up(max(off, 1), align)
+        return RecordLayout(size, align, offsets)
+
+    def offsetof(self, ty: CType, member: str, tags: TagEnv) -> int:
+        lay = self.layout(ty, tags)
+        for name, off, _ in lay.fields:
+            if name == member:
+                return off
+        raise InternalError(f"offsetof: no member {member} in {ty}")
+
+    def padding_bytes(self, ty: CType, tags: TagEnv) -> List[int]:
+        """Offsets (within the record) of bytes that are padding — used by
+        the padding-semantics experiments (paper §2.5, Q37-Q49)."""
+        lay = self.layout(ty, tags)
+        covered = [False] * lay.size
+        for _, off, qty in lay.fields:
+            msize = self.sizeof(qty.ty, tags)
+            for i in range(off, off + msize):
+                covered[i] = True
+        return [i for i, c in enumerate(covered) if not c]
+
+
+@dataclass(frozen=True)
+class RecordLayout:
+    size: int
+    align: int
+    fields: List[Tuple[str, int, QualType]]
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+def _sizes(char=1, short=2, int_=4, long=8, llong=8) -> Dict[IntKind, int]:
+    return {
+        IntKind.BOOL: 1, IntKind.CHAR: char, IntKind.SCHAR: char,
+        IntKind.UCHAR: char, IntKind.SHORT: short, IntKind.USHORT: short,
+        IntKind.INT: int_, IntKind.UINT: int_, IntKind.LONG: long,
+        IntKind.ULONG: long, IntKind.LLONG: llong, IntKind.ULLONG: llong,
+    }
+
+
+LP64 = Implementation(
+    name="LP64",
+    int_sizes=_sizes(long=8),
+    int_aligns=_sizes(long=8),
+    float_sizes={FloatKind.FLOAT: 4, FloatKind.DOUBLE: 8,
+                 FloatKind.LDOUBLE: 16},
+    pointer_size=8,
+    pointer_align=8,
+    char_is_signed=True,
+    little_endian=True,
+)
+
+ILP32 = Implementation(
+    name="ILP32",
+    int_sizes=_sizes(long=4),
+    int_aligns=_sizes(long=4),
+    float_sizes={FloatKind.FLOAT: 4, FloatKind.DOUBLE: 8,
+                 FloatKind.LDOUBLE: 12},
+    pointer_size=4,
+    pointer_align=4,
+    char_is_signed=True,
+    little_endian=True,
+)
+
+# CHERI-128: integer sizes as LP64 but pointers are 16-byte capabilities
+# (the concentrate compression of the real hardware is not modelled; the
+# capability metadata lives beside the 8 address bytes).
+CHERI128 = Implementation(
+    name="CHERI128",
+    int_sizes=_sizes(long=8),
+    int_aligns=_sizes(long=8),
+    float_sizes={FloatKind.FLOAT: 4, FloatKind.DOUBLE: 8,
+                 FloatKind.LDOUBLE: 16},
+    pointer_size=16,
+    pointer_align=16,
+    char_is_signed=True,
+    little_endian=True,
+    capability_pointers=True,
+)

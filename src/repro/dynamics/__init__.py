@@ -1,0 +1,16 @@
+"""The Core operational semantics (paper §5.2, §5.6): a small-step,
+oracle-driven evaluator with exhaustive and pseudorandom drivers."""
+
+from .values import (
+    Value, VUnit, VBool, VCtype, VTuple, VList, VInteger, VFloating,
+    VPointer, VFunction, VSpecified, VUnspecified, VMemStruct,
+)
+from .driver import Driver, Outcome, run_program
+from .exhaustive import explore_all
+
+__all__ = [
+    "Value", "VUnit", "VBool", "VCtype", "VTuple", "VList", "VInteger",
+    "VFloating", "VPointer", "VFunction", "VSpecified", "VUnspecified",
+    "VMemStruct",
+    "Driver", "Outcome", "run_program", "explore_all",
+]

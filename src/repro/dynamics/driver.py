@@ -1,0 +1,577 @@
+"""The execution driver: owns the memory model, the oracle, threads and
+I/O; turns a Core program plus an oracle choice path into an
+:class:`Outcome`.
+
+"By selecting an appropriate sequencing monad implementation, we can
+select whether to perform an exhaustive search for all allowed executions
+or pseudorandomly explore single execution paths" (paper §5.1): here the
+monad is reified as the :class:`Oracle` — a replayable sequence of
+choices. The exhaustive driver (:mod:`repro.dynamics.exhaustive`)
+enumerates oracle paths; the random driver draws them from a seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import ast as K
+from ..ctypes.types import Integer, IntKind, Pointer, QualType, Void
+from ..errors import CerberusError, InternalError, StaticError
+from ..memory.base import Footprint, MemoryError_, MemoryModel
+from ..memory.values import (
+    AByte, IntegerValue, MemValue, PointerValue, PROV_EMPTY,
+)
+from .. import ub as UB
+from ..ub import UndefinedBehaviour
+from ..source import Loc
+from .actions import ActionRecord
+from .evaluator import (
+    Evaluator, ProcReturn, ProgramExit, RunSignal,
+)
+from .values import (
+    UNIT, Value, VBool, VCtype, VFunction, VInteger, VPointer, VSpecified,
+    VTuple, VUnspecified, core_to_mem, mem_to_core,
+)
+
+
+class Oracle:
+    """A replayable nondeterminism source.
+
+    ``path`` is the prefix of choices to replay; once exhausted, further
+    choices take ``default`` (0) or, in random mode, a seeded draw. The
+    full trace (with arity) is recorded so the exhaustive driver can
+    enumerate successor paths.
+    """
+
+    def __init__(self, path: Optional[List[int]] = None,
+                 rng: Optional[random.Random] = None):
+        self.path = list(path or [])
+        self.rng = rng
+        self.trace: List[Tuple[str, int, int]] = []
+
+    def choose(self, tag: str, n: int) -> int:
+        pos = len(self.trace)
+        if pos < len(self.path):
+            choice = min(self.path[pos], n - 1)
+        elif self.rng is not None:
+            choice = self.rng.randrange(n)
+        else:
+            choice = 0
+        self.trace.append((tag, n, choice))
+        return choice
+
+
+@dataclass
+class Outcome:
+    """The observable result of one execution path."""
+
+    status: str                       # "done"|"ub"|"exit"|"abort"|
+    #                                   "error"|"timeout"
+    exit_code: Optional[int] = None
+    stdout: str = ""
+    ub: Optional[UB.UBName] = None
+    ub_detail: str = ""
+    loc: Loc = field(default_factory=Loc.unknown)
+    error: str = ""
+    steps: int = 0
+    trace: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def is_ub(self) -> bool:
+        return self.status == "ub"
+
+    def summary(self) -> str:
+        if self.status == "ub":
+            return f"UB[{self.ub}]"
+        if self.status in ("done", "exit"):
+            return f"exit={self.exit_code} stdout={self.stdout!r}"
+        if self.status == "abort":
+            return "abort"
+        if self.status == "error":
+            return f"error: {self.error}"
+        return self.status
+
+
+@dataclass
+class _Thread:
+    tid: int
+    gen: object
+    started: bool = False
+    done: bool = False
+    result: Optional[Value] = None
+    response: object = None
+    lock: int = 0
+    vc: Dict[int, int] = field(default_factory=dict)
+    waiting_on: Optional[int] = None
+    failure: Optional[BaseException] = None
+
+
+class Driver:
+    def __init__(self, program: K.Program, model: MemoryModel,
+                 oracle: Optional[Oracle] = None,
+                 max_steps: int = 2_000_000):
+        self.program = program
+        self.model = model
+        self.oracle = oracle or Oracle()
+        self.model.choose = self.oracle.choose
+        self.evaluator = Evaluator(program, model)
+        self.max_steps = max_steps
+        self.stdout_chunks: List[str] = []
+        self.steps = 0
+        self._tid_counter = itertools.count(1)
+        self.threads: Dict[int, _Thread] = {}
+        # Data-race detection state (vector clocks per location byte).
+        self._last_write: Dict[int, Tuple[int, Dict[int, int]]] = {}
+        self._last_reads: Dict[int, List[Tuple[int, Dict[int, int]]]] = {}
+        self._atomic_vc: Dict[int, Dict[int, int]] = {}
+        self._action_counter = itertools.count(1)
+
+    # -- program setup -----------------------------------------------------------
+
+    def _allocate_globals(self) -> None:
+        """Two-phase global setup: allocate every object (so addresses
+        and adjacency are fixed), then run initialisers in order."""
+        evaluator = self.evaluator
+        globs = list(self.program.globs)
+        if self.model.options.globals_reversed:
+            globs = list(reversed(globs))
+        for g in globs:
+            align = self.program.impl.alignof(g.qty.ty, self.program.tags)
+            # Allocate writable; the readonly flag is applied after the
+            # initialising stores have run.
+            ptr = self.model.create(g.qty.ty, align, g.name, "static",
+                                    readonly=False)
+            evaluator.global_env[g.name] = VPointer(ptr)
+        fn_addr = 0x1_0000_0000
+        names = list(self.program.procs) + [
+            n for n in evaluator.native_procs
+            if n not in self.program.procs]
+        for name in names:
+            evaluator.global_env.setdefault(name, VPointer(
+                PointerValue(fn_addr, PROV_EMPTY, meta=("func", name))))
+            fn_addr += 16
+
+    def _run_global_inits(self) -> None:
+        """GlobDef.init is an effectful Core expression performing the
+        initialising stores (static objects start zeroed, §6.7.9p10)."""
+        for g in self.program.globs:
+            ptr = self.evaluator.global_env[g.name]
+            assert isinstance(ptr, VPointer)
+            from ..memory.values import zero_value
+            zv = zero_value(g.qty.ty, self.program.impl,
+                            self.program.tags)
+            alloc = self.model.allocations[ptr.ptr.prov]
+            alloc.data[:] = self.model.codec.repify(g.qty.ty, zv)
+        for g in self.program.globs:
+            if g.init is None:
+                continue
+            gen = self.evaluator.eval_expr(g.init, {})
+            self._drain(gen)
+        for g in self.program.globs:
+            if g.readonly:
+                ptr = self.evaluator.global_env[g.name]
+                assert isinstance(ptr, VPointer)
+                self.model.allocations[ptr.ptr.prov].readonly = True
+
+    def _drain(self, gen):
+        """Run a generator to completion on the main thread (used only
+        during startup, where no interleaving exists)."""
+        response = None
+        started = False
+        while True:
+            try:
+                request = gen.send(response) if started else next(gen)
+                started = True
+            except StopIteration as stop:
+                return stop.value
+            response = self._handle(request, self.threads.get(0))
+
+    # -- main run ----------------------------------------------------------------------
+
+    def run(self, entry: str = "main",
+            args: Optional[List[Value]] = None) -> Outcome:
+        try:
+            self._allocate_globals()
+            self._run_global_inits()
+        except UndefinedBehaviour as u:
+            return self._ub_outcome(u)
+        except StaticError as s:
+            return Outcome("error", error=str(s),
+                           trace=self.oracle.trace)
+        main_proc = self.program.procs.get(entry)
+        if main_proc is None:
+            return Outcome("error", error=f"no procedure '{entry}'",
+                           trace=self.oracle.trace)
+        gen = self.evaluator.call_proc(entry, args or [], Loc.unknown())
+        main_thread = _Thread(0, gen, vc={0: 1})
+        self.threads[0] = main_thread
+        try:
+            self._schedule()
+        except UndefinedBehaviour as u:
+            return self._ub_outcome(u)
+        except ProgramExit as ex:
+            return Outcome("abort" if ex.aborted else "exit",
+                           exit_code=ex.code,
+                           stdout=self._stdout(), steps=self.steps,
+                           trace=self.oracle.trace)
+        except StaticError as s:
+            return Outcome("error", error=str(s), stdout=self._stdout(),
+                           steps=self.steps, trace=self.oracle.trace)
+        except _StepLimit:
+            return Outcome("timeout", stdout=self._stdout(),
+                           steps=self.steps, trace=self.oracle.trace)
+        except (RunSignal, ProcReturn) as esc:
+            return Outcome("error", error=f"escaped control signal "
+                           f"{esc!r}", stdout=self._stdout(),
+                           trace=self.oracle.trace)
+        result = main_thread.result
+        code = 0
+        if isinstance(result, VSpecified):
+            result = result.value
+        if isinstance(result, VInteger):
+            code = result.ival.value
+        elif isinstance(result, (VUnspecified, VUnit)):
+            code = 0
+        return Outcome("done", exit_code=code, stdout=self._stdout(),
+                       steps=self.steps, trace=self.oracle.trace)
+
+    def _stdout(self) -> str:
+        return "".join(self.stdout_chunks)
+
+    def _ub_outcome(self, u: UndefinedBehaviour) -> Outcome:
+        return Outcome("ub", ub=u.ub, ub_detail=u.detail, loc=u.loc,
+                       stdout=self._stdout(), steps=self.steps,
+                       trace=self.oracle.trace)
+
+    # -- scheduler --------------------------------------------------------------------
+
+    def _schedule(self) -> None:
+        """Thread scheduler. Like unseq scheduling, thread-interleaving
+        choices are made only at action boundaries (non-action requests
+        commute)."""
+        threads = self.threads
+        current: Optional[_Thread] = None
+        while True:
+            runnable = [t for t in threads.values()
+                        if not t.done and self._can_run(t)]
+            if not runnable:
+                if all(t.done for t in threads.values()):
+                    return
+                raise InternalError("thread deadlock (all waiting)")
+            # Note: ccall/atomic "locks" constrain interleaving *within*
+            # one thread's expression evaluation (§5.6); they do not
+            # serialise threads — C11 threads interleave freely.
+            if current is None or current.done or \
+                    current not in runnable:
+                if len(runnable) > 1:
+                    idx = self.oracle.choose("thread", len(runnable))
+                    current = runnable[idx]
+                else:
+                    current = runnable[0]
+            descheduled = self._advance(current)
+            if descheduled:
+                current = None
+
+    def _can_run(self, t: _Thread) -> bool:
+        if t.waiting_on is None:
+            return True
+        target = self.threads.get(t.waiting_on)
+        return target is not None and target.done
+
+    def _advance(self, t: _Thread) -> bool:
+        """Advance a thread by one request; returns True when this was
+        a scheduling point (action performed, thread blocked/done)."""
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise _StepLimit()
+        if t.waiting_on is not None:
+            target = self.threads[t.waiting_on]
+            if target.failure is not None:
+                raise target.failure
+            t.vc = _vc_join(t.vc, target.vc)
+            t.response = target.result
+            t.waiting_on = None
+        gen = t.gen
+        try:
+            if not t.started:
+                t.started = True
+                request = next(gen)
+            else:
+                request = gen.send(t.response)
+        except StopIteration as stop:
+            t.done = True
+            value = stop.value
+            if isinstance(value, tuple):
+                value = value[0]
+            t.result = value
+            return True
+        except (UndefinedBehaviour, ProgramExit, StaticError):
+            if t.tid == 0:
+                raise
+            t.done = True
+            t.failure = None
+            raise
+        kind = request[0]
+        if kind == "lock":
+            t.lock += request[1]
+            t.response = None
+            return False
+        if kind == "spawn":
+            tid = next(self._tid_counter)
+            child = _Thread(tid, request[1])
+            child.vc = dict(t.vc)
+            child.vc[tid] = 1
+            t.vc[t.tid] = t.vc.get(t.tid, 0) + 1
+            self.threads[tid] = child
+            t.response = tid
+            return True
+        if kind == "wait":
+            t.waiting_on = request[1]
+            t.response = None
+            return True
+        t.response = self._handle(request, t)
+        # I/O is observable, so it is a scheduling point too.
+        return kind in ("action", "raw", "stdout")
+
+    # -- request handling ------------------------------------------------------------------
+
+    def _handle(self, request: tuple, thread: Optional[_Thread]):
+        kind = request[0]
+        if kind == "action":
+            return self._perform_action(request, thread)
+        if kind == "ptrop":
+            return self._perform_ptrop(request)
+        if kind == "choose":
+            return self.oracle.choose(request[1], request[2])
+        if kind == "stdout":
+            self.stdout_chunks.append(request[1])
+            return None
+        if kind == "raw":
+            return self._perform_raw(request, thread)
+        if kind == "lock":
+            return None
+        if kind == "tick":
+            return None
+        raise InternalError(f"unknown request {kind}")
+
+    # -- memory actions ----------------------------------------------------------------------
+
+    def _perform_action(self, request: tuple, thread: Optional[_Thread]):
+        _, action_kind, args, polarity, order, loc = request
+        model = self.model
+        try:
+            if action_kind == "create":
+                align, cty, prefix, readonly = args
+                ptr = model.create(cty.ty, align.ival.value, prefix,
+                                   "automatic", readonly=readonly)
+                record = self._record("create", None, False, polarity,
+                                      loc)
+                return VPointer(ptr), record
+            if action_kind == "alloc":
+                align, size = args
+                n = self.evaluator._as_integer(size, loc).value
+                ptr = model.alloc_region(n, align.ival.value)
+                record = self._record("alloc", None, False, polarity, loc)
+                return VPointer(ptr), record
+            if action_kind == "kill":
+                target, dyn = args
+                ptr = self.evaluator._as_pointer(target, loc)
+                model.kill(ptr, dyn.b)
+                record = self._record("kill", None, False, polarity, loc)
+                return UNIT, record
+            if action_kind == "load":
+                cty, target = args
+                qty = cty.ty if isinstance(cty, VCtype) else cty
+                ptr = self.evaluator._as_pointer(target, loc)
+                footprint, mv = model.load(QualType(qty), ptr)
+                record = self._record("load", footprint, False, polarity,
+                                      loc)
+                self._race_check(footprint, False, order, thread, loc)
+                return mem_to_core(mv), record
+            if action_kind == "store":
+                cty, target, value = args[:3]
+                qty = cty.ty if isinstance(cty, VCtype) else cty
+                ptr = self.evaluator._as_pointer(target, loc)
+                mv = core_to_mem(qty, value)
+                footprint = model.store(QualType(qty), ptr, mv)
+                record = self._record("store", footprint, True, polarity,
+                                      loc)
+                self._race_check(footprint, True, order, thread, loc)
+                return UNIT, record
+            if action_kind == "rmw":
+                cty, target, delta = args[:3]
+                qty = cty.ty if isinstance(cty, VCtype) else cty
+                ptr = self.evaluator._as_pointer(target, loc)
+                footprint, mv = model.load(QualType(qty), ptr)
+                old = mem_to_core(mv)
+                iv = self.evaluator._as_integer(old, loc)
+                dv = self.evaluator._as_integer(delta, loc)
+                new = IntegerValue(iv.value + dv.value, iv.prov)
+                from ..memory.values import MVInteger
+                model.store(QualType(qty), ptr, MVInteger(qty, new))
+                record = self._record("rmw", footprint, True, polarity,
+                                      loc)
+                self._race_check(footprint, True, "seq_cst", thread, loc)
+                return VSpecified(VInteger(iv)), record
+        except MemoryError_ as me:
+            raise UndefinedBehaviour(me.entry, loc, me.detail) from None
+        raise InternalError(f"unknown action {action_kind}")
+
+    def _record(self, kind: str, footprint, is_write: bool,
+                polarity: str, loc) -> ActionRecord:
+        return ActionRecord(next(self._action_counter), kind, footprint,
+                            is_write, polarity, frozenset(), loc)
+
+    # -- cross-thread data-race detection (vector clocks) -----------------------------------
+
+    def _race_check(self, footprint: Footprint, is_write: bool,
+                    order: str, thread: Optional[_Thread], loc) -> None:
+        if thread is None or len(self.threads) <= 1:
+            return
+        tid = thread.tid
+        vc = thread.vc
+        if order != "na":
+            # SC atomics synchronise: join location VC both ways.
+            for addr in range(footprint.addr,
+                              footprint.addr + footprint.size):
+                lvc = self._atomic_vc.setdefault(addr, {})
+                thread.vc = vc = _vc_join(vc, lvc)
+                self._atomic_vc[addr] = _vc_join(lvc, vc)
+            self._bump(thread)
+            return
+        for addr in range(footprint.addr, footprint.addr + footprint.size):
+            lw = self._last_write.get(addr)
+            if lw is not None and lw[0] != tid and \
+                    not _vc_leq_at(lw[1], vc, lw[0]):
+                raise UndefinedBehaviour(
+                    UB.DATA_RACE, loc,
+                    f"non-atomic access races with write by thread "
+                    f"{lw[0]} at 0x{addr:x}")
+            if is_write:
+                for rtid, rvc in self._last_reads.get(addr, []):
+                    if rtid != tid and not _vc_leq_at(rvc, vc, rtid):
+                        raise UndefinedBehaviour(
+                            UB.DATA_RACE, loc,
+                            f"write races with read by thread {rtid} at "
+                            f"0x{addr:x}")
+                self._last_write[addr] = (tid, dict(vc))
+                self._last_reads[addr] = []
+            else:
+                self._last_reads.setdefault(addr, []).append(
+                    (tid, dict(vc)))
+        self._bump(thread)
+
+    def _bump(self, thread: _Thread) -> None:
+        thread.vc[thread.tid] = thread.vc.get(thread.tid, 0) + 1
+
+    # -- ptrops -------------------------------------------------------------------------------
+
+    def _perform_ptrop(self, request: tuple) -> Value:
+        _, op, args, aux, loc = request
+        model = self.model
+        ev = self.evaluator
+        try:
+            if op in ("eq", "ne"):
+                a = ev._as_pointer(args[0], loc)
+                b = ev._as_pointer(args[1], loc)
+                r = model.eq(a, b)
+                if op == "ne":
+                    r = 1 - r
+                return VInteger(IntegerValue(r))
+            if op in ("lt", "gt", "le", "ge"):
+                a = ev._as_pointer(args[0], loc)
+                b = ev._as_pointer(args[1], loc)
+                sym = {"lt": "<", "gt": ">", "le": "<=", "ge": ">="}[op]
+                return VInteger(IntegerValue(
+                    model.relational(sym, a, b)))
+            if op == "ptrdiff":
+                a = ev._as_pointer(args[0], loc)
+                b = ev._as_pointer(args[1], loc)
+                return VInteger(model.ptrdiff(aux, a, b))
+            if op == "intFromPtr":
+                p = ev._as_pointer(args[0], loc)
+                return VInteger(model.int_from_ptr(p, aux))
+            if op == "ptrFromInt":
+                iv = ev._as_integer(args[0], loc)
+                return VPointer(model.ptr_from_int(iv))
+            if op == "ptrValidForDeref":
+                p = ev._as_pointer(args[0], loc)
+                return VBool(model.valid_for_deref(p, aux))
+            if op == "arrayShift":
+                p = ev._as_pointer(args[0], loc)
+                idx = ev._as_integer(args[1], loc)
+                return VPointer(model.array_shift(p, aux, idx))
+        except MemoryError_ as me:
+            raise UndefinedBehaviour(me.entry, loc, me.detail) from None
+        raise InternalError(f"unknown ptrop {op}")
+
+    # -- raw byte services for the mini-libc ---------------------------------------------------
+
+    def _perform_raw(self, request: tuple, thread: Optional[_Thread]):
+        _, method, args, loc = request
+        model = self.model
+        try:
+            if method == "load_bytes":
+                ptr, n = args
+                data = model.load_bytes(ptr, n)
+                self._race_check(Footprint(ptr.addr, max(n, 1)), False,
+                                 "na", thread, loc)
+                return data
+            if method == "store_bytes":
+                ptr, data = args
+                model.store_bytes(ptr, data)
+                self._race_check(Footprint(ptr.addr, max(len(data), 1)),
+                                 True, "na", thread, loc)
+                return None
+            if method == "cstring":
+                ptr, = args
+                out = bytearray()
+                addr = ptr.addr
+                for i in range(1 << 20):
+                    byte = model.load_bytes(ptr.with_addr(addr + i), 1)[0]
+                    if byte.is_unspecified:
+                        return None  # caller decides how to react
+                    if byte.value == 0:
+                        break
+                    out.append(byte.value)
+                return bytes(out)
+            if method == "realloc":
+                ptr, size = args
+                return model.realloc(ptr, size) \
+                    if hasattr(model, "realloc") else None
+            if method == "allocation_of":
+                ptr, = args
+                if isinstance(ptr.prov, int):
+                    return model.allocations.get(ptr.prov)
+                return model._find_live_by_address(ptr.addr, 1)
+        except MemoryError_ as me:
+            raise UndefinedBehaviour(me.entry, loc, me.detail) from None
+        raise InternalError(f"unknown raw method {method}")
+
+
+class _StepLimit(Exception):
+    pass
+
+
+def _vc_join(a: Dict[int, int], b: Dict[int, int]) -> Dict[int, int]:
+    out = dict(a)
+    for k, v in b.items():
+        out[k] = max(out.get(k, 0), v)
+    return out
+
+
+def _vc_leq_at(prev: Dict[int, int], cur: Dict[int, int],
+               tid: int) -> bool:
+    """prev happened-before cur as far as prev's own component goes."""
+    return prev.get(tid, 0) <= cur.get(tid, 0)
+
+
+def run_program(program: K.Program, model: MemoryModel,
+                oracle: Optional[Oracle] = None,
+                max_steps: int = 2_000_000,
+                entry: str = "main") -> Outcome:
+    """Run one execution path of an elaborated Core program."""
+    return Driver(program, model, oracle, max_steps).run(entry)

@@ -1,0 +1,5 @@
+"""Elaboration of Typed Ail into Core (paper §5.1, §5.3, Fig. 3)."""
+
+from .elaborate import Elaborator, elaborate
+
+__all__ = ["Elaborator", "elaborate"]

@@ -1,0 +1,8 @@
+"""Lexical analysis (ISO C11 §6.4): pp-tokens and C tokens."""
+
+from .tokens import Token, TokenKind, KEYWORDS, PUNCTUATORS
+from .lexer import Lexer, lex_text
+
+__all__ = [
+    "Token", "TokenKind", "KEYWORDS", "PUNCTUATORS", "Lexer", "lex_text",
+]

@@ -1,0 +1,279 @@
+"""The clean-slate C lexer (translation phases 1-3 of ISO C11 §5.1.1.2).
+
+Handles line splicing (backslash-newline), comment removal, and the
+production of preprocessing tokens: identifiers, pp-numbers, character
+constants, string literals and punctuators (including digraphs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LexError
+from ..source import Loc, SourceFile
+from .tokens import DIGRAPHS, PUNCTUATORS, Token, TokenKind
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+_SIMPLE_ESCAPES = {
+    "'": 0x27, '"': 0x22, "?": 0x3F, "\\": 0x5C,
+    "a": 0x07, "b": 0x08, "f": 0x0C, "n": 0x0A,
+    "r": 0x0D, "t": 0x09, "v": 0x0B,
+}
+
+
+class Lexer:
+    """Lexes one :class:`SourceFile` into a list of pp-tokens.
+
+    Line splices are resolved by tracking a parallel "offset map" so
+    locations still point into the original text.
+    """
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        # Phase 2: delete backslash-newline pairs, keeping an offset map.
+        chars: List[str] = []
+        offsets: List[int] = []
+        text = source.text
+        i = 0
+        n = len(text)
+        while i < n:
+            if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                i += 2
+                continue
+            if (text[i] == "\\" and i + 2 < n and text[i + 1] == "\r"
+                    and text[i + 2] == "\n"):
+                i += 3
+                continue
+            chars.append(text[i])
+            offsets.append(i)
+            i += 1
+        self.text = "".join(chars)
+        self._offsets = offsets
+        self.pos = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _loc(self, pos: int) -> Loc:
+        if pos >= len(self._offsets):
+            return self.source.loc_of_offset(len(self.source.text))
+        return self.source.loc_of_offset(self._offsets[pos])
+
+    def _error(self, message: str, pos: int, iso: str = "6.4") -> LexError:
+        return LexError(message, self._loc(pos), iso=iso)
+
+    def _peek(self, ahead: int = 0) -> str:
+        p = self.pos + ahead
+        return self.text[p] if p < len(self.text) else ""
+
+    # -- tokenisation --------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Produce the pp-token stream, with NEWLINE tokens retained (the
+        preprocessor is line-oriented) and a final EOF token."""
+        out: List[Token] = []
+        at_line_start = True
+        had_space = False
+        text = self.text
+        n = len(text)
+        while self.pos < n:
+            ch = text[self.pos]
+            start = self.pos
+            if ch == "\n":
+                out.append(Token(TokenKind.NEWLINE, "\n", self._loc(start)))
+                self.pos += 1
+                at_line_start = True
+                had_space = False
+                continue
+            if ch in " \t\r\f\v":
+                self.pos += 1
+                had_space = True
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < n and text[self.pos] != "\n":
+                    self.pos += 1
+                had_space = True
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self.pos += 2
+                while self.pos < n:
+                    if text[self.pos] == "*" and self._peek(1) == "/":
+                        self.pos += 2
+                        break
+                    self.pos += 1
+                else:
+                    raise self._error("unterminated /* comment */", start,
+                                      iso="6.4.9")
+                had_space = True
+                continue
+            tok = self._lex_one(start)
+            tok.at_line_start = at_line_start
+            tok.preceded_by_space = had_space
+            out.append(tok)
+            at_line_start = False
+            had_space = False
+        out.append(Token(TokenKind.EOF, "", self._loc(self.pos),
+                         at_line_start=at_line_start))
+        return out
+
+    def _lex_one(self, start: int) -> Token:
+        ch = self.text[self.pos]
+        loc = self._loc(start)
+        if ch in _IDENT_START:
+            return self._lex_ident_or_prefixed_literal(loc)
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_pp_number(loc)
+        if ch == "'":
+            return self._lex_char_const(loc, wide=False)
+        if ch == '"':
+            return self._lex_string(loc, prefix="")
+        return self._lex_punct(loc)
+
+    def _lex_ident_or_prefixed_literal(self, loc: Loc) -> Token:
+        text = self.text
+        start = self.pos
+        while self.pos < len(text) and text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        spelling = text[start:self.pos]
+        # Wide / unicode literal prefixes (§6.4.4.4, §6.4.5).
+        if spelling in ("L", "u", "U", "u8"):
+            if self._peek() == "'" and spelling != "u8":
+                return self._lex_char_const(loc, wide=True)
+            if self._peek() == '"':
+                return self._lex_string(loc, prefix=spelling)
+        return Token(TokenKind.IDENT, spelling, loc)
+
+    def _lex_pp_number(self, loc: Loc) -> Token:
+        """pp-number (§6.4.8): digits, '.', identifier chars, and
+        exponent sign pairs e+/e-/E+/E-/p+/p-/P+/P-."""
+        text = self.text
+        start = self.pos
+        self.pos += 1
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in _IDENT_CONT or ch == ".":
+                if (ch in "eEpP" and self.pos + 1 < len(text)
+                        and text[self.pos + 1] in "+-"):
+                    self.pos += 2
+                else:
+                    self.pos += 1
+                continue
+            break
+        return Token(TokenKind.NUMBER, text[start:self.pos], loc)
+
+    def _lex_escape(self, quote_pos: int) -> int:
+        """Consume one escape sequence (after the backslash); returns its
+        character value (§6.4.4.4p4-7)."""
+        ch = self._peek()
+        if ch == "":
+            raise self._error("unterminated escape sequence", quote_pos)
+        if ch in _SIMPLE_ESCAPES:
+            self.pos += 1
+            return _SIMPLE_ESCAPES[ch]
+        if ch == "x":
+            self.pos += 1
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF":
+                digits += self._peek()
+                self.pos += 1
+            if not digits:
+                raise self._error("\\x with no hex digits", quote_pos,
+                                  iso="6.4.4.4p7")
+            return int(digits, 16)
+        if ch in "01234567":
+            digits = ""
+            while len(digits) < 3 and self._peek() in "01234567":
+                digits += self._peek()
+                self.pos += 1
+            return int(digits, 8)
+        if ch in ("u", "U"):
+            self.pos += 1
+            want = 4 if ch == "u" else 8
+            digits = ""
+            while (len(digits) < want
+                   and self._peek() in "0123456789abcdefABCDEF"):
+                digits += self._peek()
+                self.pos += 1
+            if len(digits) != want:
+                raise self._error("incomplete universal character name",
+                                  quote_pos, iso="6.4.3")
+            return int(digits, 16)
+        raise self._error(f"unknown escape sequence '\\{ch}'", quote_pos,
+                          iso="6.4.4.4")
+
+    def _lex_char_const(self, loc: Loc, wide: bool) -> Token:
+        start = self.pos
+        assert self.text[self.pos] == "'"
+        self.pos += 1
+        values: List[int] = []
+        while True:
+            ch = self._peek()
+            if ch == "" or ch == "\n":
+                raise self._error("unterminated character constant", start,
+                                  iso="6.4.4.4")
+            if ch == "'":
+                self.pos += 1
+                break
+            if ch == "\\":
+                self.pos += 1
+                values.append(self._lex_escape(start))
+            else:
+                values.append(ord(ch))
+                self.pos += 1
+        if not values:
+            raise self._error("empty character constant", start,
+                              iso="6.4.4.4")
+        # Multi-character constants have an implementation-defined value;
+        # we follow GCC: big-endian packing of the bytes (§6.4.4.4p10).
+        value = 0
+        for v in values:
+            value = (value << 8) | (v & 0xFF)
+        if len(values) == 1:
+            value = values[0]
+        spelling = self.text[start:self.pos]
+        if wide:
+            spelling = "L" + spelling
+        return Token(TokenKind.CHAR_CONST, spelling, loc, value=value)
+
+    def _lex_string(self, loc: Loc, prefix: str) -> Token:
+        start = self.pos
+        assert self.text[self.pos] == '"'
+        self.pos += 1
+        values: List[int] = []
+        while True:
+            ch = self._peek()
+            if ch == "" or ch == "\n":
+                raise self._error("unterminated string literal", start,
+                                  iso="6.4.5")
+            if ch == '"':
+                self.pos += 1
+                break
+            if ch == "\\":
+                self.pos += 1
+                values.append(self._lex_escape(start))
+            else:
+                values.append(ord(ch))
+                self.pos += 1
+        spelling = prefix + self.text[start:self.pos]
+        encoded = bytes(v & 0xFF if v < 0x80 else v & 0xFF for v in values) \
+            if all(v < 0x100 for v in values) else \
+            "".join(chr(v) for v in values).encode("utf-8")
+        return Token(TokenKind.STRING, spelling, loc, value=encoded)
+
+    def _lex_punct(self, loc: Loc) -> Token:
+        text = self.text
+        for p in PUNCTUATORS:
+            if text.startswith(p, self.pos):
+                self.pos += len(p)
+                return Token(TokenKind.PUNCT, DIGRAPHS.get(p, p), loc)
+        ch = text[self.pos]
+        self.pos += 1
+        return Token(TokenKind.OTHER, ch, loc)
+
+
+def lex_text(text: str, name: str = "<string>") -> List[Token]:
+    """Convenience: lex a string into pp-tokens (incl. NEWLINE and EOF)."""
+    return Lexer(SourceFile(name, text)).tokens()

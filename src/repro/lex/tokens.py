@@ -1,0 +1,90 @@
+"""Token definitions for the C lexer (ISO C11 §6.4).
+
+The lexer produces *preprocessing tokens* (§6.4p1); the preprocessor then
+converts surviving pp-tokens into proper C tokens (keywords are separated
+from identifiers, constants get parsed) before parsing — translation
+phase 7 of §5.1.1.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..source import Loc
+
+
+class TokenKind(enum.Enum):
+    """Preprocessing-token / token kinds."""
+
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "pp-number"
+    CHAR_CONST = "character-constant"
+    STRING = "string-literal"
+    PUNCT = "punctuator"
+    NEWLINE = "new-line"          # significant only to the preprocessor
+    EOF = "end-of-file"
+    OTHER = "non-whitespace-other"  # a pp-token that matches nothing else
+
+
+# ISO C11 §6.4.1 keyword list (we lex all of them; unsupported ones are
+# rejected later with an `UnsupportedError` naming the construct).
+KEYWORDS = frozenset({
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while",
+    "_Alignas", "_Alignof", "_Atomic", "_Bool", "_Complex", "_Generic",
+    "_Imaginary", "_Noreturn", "_Static_assert", "_Thread_local",
+})
+
+# §6.4.6 punctuators, longest-match-first.
+PUNCTUATORS = sorted({
+    "[", "]", "(", ")", "{", "}", ".", "->",
+    "++", "--", "&", "*", "+", "-", "~", "!",
+    "/", "%", "<<", ">>", "<", ">", "<=", ">=", "==", "!=", "^", "|",
+    "&&", "||", "?", ":", ";", "...",
+    "=", "*=", "/=", "%=", "+=", "-=", "<<=", ">>=", "&=", "^=", "|=",
+    ",", "#", "##",
+    "<:", ":>", "<%", "%>", "%:", "%:%:",
+}, key=len, reverse=True)
+
+# Digraph canonicalisation (§6.4.6p3).
+DIGRAPHS = {"<:": "[", ":>": "]", "<%": "{", "%>": "}",
+            "%:": "#", "%:%:": "##"}
+
+
+@dataclass
+class Token:
+    """One pp-token or C token.
+
+    ``text`` is the exact spelling; ``value`` is filled in for parsed
+    constants (int / float / str / bytes depending on kind);
+    ``at_line_start`` and ``preceded_by_space`` drive the preprocessor.
+    """
+
+    kind: TokenKind
+    text: str
+    loc: Loc = field(default_factory=Loc.unknown)
+    value: Optional[object] = None
+    at_line_start: bool = False
+    preceded_by_space: bool = False
+    # Macro names already expanded on the path to this token (blue paint).
+    no_expand: frozenset = frozenset()
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_ident(self, name: Optional[str] = None) -> bool:
+        if self.kind is not TokenKind.IDENT:
+            return False
+        return name is None or self.text == name
+
+    def __repr__(self) -> str:  # compact, for test failure messages
+        return f"Token({self.kind.name}, {self.text!r})"

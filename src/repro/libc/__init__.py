@@ -1,0 +1,7 @@
+"""The mini C standard library, implemented against the memory object
+model (paper: "It supports only small parts of the standard libraries").
+"""
+
+from .builtins import NATIVE_PROCS
+
+__all__ = ["NATIVE_PROCS"]

@@ -1,0 +1,118 @@
+"""printf-family formatting (ISO C11 §7.21.6.1 fragment).
+
+Conversions supported: d i u o x X c s p f e g % with length modifiers
+h hh l ll z t (parsed; values are mathematical integers already, so the
+modifiers only matter for %n-style writes, which are unsupported).
+Unspecified argument values print as ``<unspec>`` in liberal models —
+the strict models flag the read long before it reaches printf (paper §3,
+Q49).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..dynamics.values import (
+    Value, VFloating, VInteger, VPointer, VSpecified, VUnspecified,
+)
+from ..errors import InternalError
+
+_INT_CONVS = "diuoxX"
+_FLOAT_CONVS = "fFeEgG"
+
+
+def _unwrap(v: Value) -> Value:
+    return v.value if isinstance(v, VSpecified) else v
+
+
+def format_string(fmt: bytes, args: List[Value],
+                  fetch_string) -> Tuple[str, int]:
+    """Render ``fmt`` with ``args``; ``fetch_string(ptr) -> bytes|None``
+    resolves %s pointers. Returns (text, #args consumed)."""
+    out: List[str] = []
+    i = 0
+    argi = 0
+    text = fmt.decode("latin-1")
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        if i < n and text[i] == "%":
+            out.append("%")
+            i += 1
+            continue
+        spec_start = i
+        # flags
+        while i < n and text[i] in "-+ #0":
+            i += 1
+        # width
+        while i < n and text[i].isdigit():
+            i += 1
+        # precision
+        if i < n and text[i] == ".":
+            i += 1
+            while i < n and text[i].isdigit():
+                i += 1
+        # length modifiers
+        while i < n and text[i] in "hlqjzt":
+            i += 1
+        if i >= n:
+            out.append("%" + text[spec_start:])
+            break
+        conv = text[i]
+        spec = "%" + _strip_length(text[spec_start:i]) + _py_conv(conv)
+        i += 1
+        arg: Optional[Value] = None
+        if conv != "%":
+            if argi >= len(args):
+                out.append("<missing>")
+                continue
+            arg = _unwrap(args[argi])
+            argi += 1
+        if isinstance(arg, VUnspecified):
+            out.append("<unspec>")
+            continue
+        if conv in _INT_CONVS:
+            assert isinstance(arg, VInteger), f"%{conv} of {arg!r}"
+            value = arg.ival.value
+            if conv in "uoxX" and value < 0:
+                value &= (1 << 64) - 1
+            out.append(spec % value)
+        elif conv in _FLOAT_CONVS:
+            if isinstance(arg, VInteger):
+                out.append(spec % float(arg.ival.value))
+            else:
+                assert isinstance(arg, VFloating)
+                out.append(spec % arg.fval.value)
+        elif conv == "c":
+            assert isinstance(arg, VInteger)
+            out.append(chr(arg.ival.value & 0xFF))
+        elif conv == "s":
+            assert isinstance(arg, VPointer), f"%s of {arg!r}"
+            data = fetch_string(arg.ptr)
+            out.append("<unspec>" if data is None
+                       else data.decode("latin-1"))
+        elif conv == "p":
+            assert isinstance(arg, (VPointer, VInteger))
+            addr = arg.ptr.addr if isinstance(arg, VPointer) \
+                else arg.ival.value
+            out.append(f"0x{addr:x}")
+        else:
+            raise InternalError(f"unsupported conversion %{conv}")
+    return "".join(out), argi
+
+
+def _strip_length(spec: str) -> str:
+    return "".join(c for c in spec if c not in "hlqjzt")
+
+
+def _py_conv(conv: str) -> str:
+    if conv == "i":
+        return "d"
+    if conv in "uFG":
+        return {"u": "d", "F": "f", "G": "g"}[conv]
+    return conv

@@ -1,0 +1,37 @@
+"""Memory object models (paper §2, §5.9).
+
+The Core operational semantics is parameterised on a memory object model;
+this package provides the byte/value representations shared by all models
+(:mod:`values`), the model interface and allocation machinery
+(:mod:`base`), and four models:
+
+* :mod:`concrete` — no provenance checking: "what the hardware does";
+* :mod:`provenance` — the paper's candidate de facto model (§5.9);
+* :mod:`strict` — a strict ISO-leaning model (effective types etc.);
+* :mod:`cheri` — a CHERI-capability model reproducing §4's findings.
+"""
+
+from .values import (
+    Provenance, PROV_EMPTY, PROV_WILDCARD, IntegerValue, PointerValue,
+    FloatingValue, MemValue, MVUnspecified, MVInteger, MVFloating,
+    MVPointer, MVArray, MVStruct, MVUnion, AByte,
+)
+from .base import (
+    Allocation, AllocationKind, MemoryModel, MemoryOptions, MemoryError_,
+    Footprint,
+)
+from .concrete import ConcreteModel
+from .provenance import ProvenanceModel
+from .strict import StrictIsoModel
+from .cheri import CheriModel, Capability
+
+__all__ = [
+    "Provenance", "PROV_EMPTY", "PROV_WILDCARD", "IntegerValue",
+    "PointerValue", "FloatingValue", "MemValue", "MVUnspecified",
+    "MVInteger", "MVFloating", "MVPointer", "MVArray", "MVStruct",
+    "MVUnion", "AByte",
+    "Allocation", "AllocationKind", "MemoryModel", "MemoryOptions",
+    "MemoryError_", "Footprint",
+    "ConcreteModel", "ProvenanceModel", "StrictIsoModel", "CheriModel",
+    "Capability",
+]

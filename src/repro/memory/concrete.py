@@ -1,0 +1,34 @@
+"""The concrete memory model: raw address semantics.
+
+This model performs no provenance checking at all — an access succeeds
+whenever its footprint lies inside *some* live allocation. It plays the
+role of "what a naive compilation to hardware does" in the experiments:
+for the DR260 example of paper §2.1 it yields the concrete outcome
+``x=1 y=11 *p=11 *q=11`` where the provenance model flags undefined
+behaviour and GCC's optimised code prints ``y=2``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ctypes.implementation import Implementation
+from ..ctypes.types import TagEnv
+from .base import MemoryModel, MemoryOptions
+
+
+class ConcreteModel(MemoryModel):
+    name = "concrete"
+
+    def __init__(self, impl: Implementation, tags: TagEnv,
+                 options: Optional[MemoryOptions] = None):
+        opts = options or MemoryOptions(
+            uninit_read="stable",
+            check_provenance=False,
+            allow_inter_object_relational=True,
+            allow_inter_object_ptrdiff=True,
+            allow_oob_construction=True,
+            track_int_provenance=False,
+            check_effective_types=False,
+        )
+        super().__init__(impl, tags, opts)

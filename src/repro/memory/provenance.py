@@ -1,0 +1,64 @@
+"""The candidate de facto memory object model (paper §5.9).
+
+Pointer and integer values carry a provenance (empty / allocation id /
+wildcard). Accesses check that the address is consistent with the
+pointer's provenance (the DR260 licence); arbitrary transient
+out-of-bounds pointer *construction* is permitted (Q31), with undefined
+behaviour only on a failing access-time check; provenance flows through
+casts to integer types and integer arithmetic (Q5) and through
+representation-byte copies (Q13-Q16, §2.3), but not through control flow;
+relational comparison of pointers to different objects is permitted,
+ignoring provenance (Q25); inter-object subtraction yields a pure integer
+whose use across objects is forbidden (Q9 — "for the moment our candidate
+formal model forbids this idiom").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ctypes.implementation import Implementation
+from ..ctypes.types import TagEnv
+from .base import MemoryModel, MemoryOptions
+
+
+class ProvenanceModel(MemoryModel):
+    name = "provenance"
+
+    def __init__(self, impl: Implementation, tags: TagEnv,
+                 options: Optional[MemoryOptions] = None):
+        opts = options or MemoryOptions(
+            uninit_read="unspecified",
+            check_provenance=True,
+            reject_empty_provenance=False,
+            allow_inter_object_relational=True,
+            allow_inter_object_ptrdiff=False,
+            allow_oob_construction=True,
+            provenance_sensitive_equality=False,
+            track_int_provenance=True,
+            check_effective_types=False,
+        )
+        super().__init__(impl, tags, opts)
+
+
+class GccPersonaModel(MemoryModel):
+    """A 'GCC-like' persona: the provenance model plus the observable
+    optimisation licences the paper attributes to GCC — provenance-
+    sensitive equality within a translation unit (Q2) and points-to
+    reasoning that breaks inter-object arithmetic (Q9)."""
+
+    name = "gcc-persona"
+
+    def __init__(self, impl: Implementation, tags: TagEnv,
+                 options: Optional[MemoryOptions] = None):
+        opts = options or MemoryOptions(
+            uninit_read="unspecified",
+            check_provenance=True,
+            allow_inter_object_relational=True,
+            allow_inter_object_ptrdiff=False,
+            allow_oob_construction=True,
+            provenance_sensitive_equality=True,
+            track_int_provenance=True,
+            check_effective_types=True,
+        )
+        super().__init__(impl, tags, opts)

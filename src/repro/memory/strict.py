@@ -1,0 +1,39 @@
+"""A strict ISO-leaning memory model.
+
+Follows the letter of the standard wherever the de facto world is more
+liberal: reading uninitialised objects is undefined behaviour (§2.4
+option 1 — the reading tis-interpreter takes); relational comparison of
+pointers to separately allocated objects is UB (§6.5.8p5, Q25);
+inter-object subtraction is UB (§6.5.6p9, Q9); out-of-bounds pointer
+*construction* is UB (§6.5.6p8, Q31); effective-type (TBAA) checking is
+on (§6.5p7, Q73-Q81); integers do not carry provenance, so a pointer
+cast from an integer has wildcard provenance only if it round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ctypes.implementation import Implementation
+from ..ctypes.types import TagEnv
+from .base import MemoryModel, MemoryOptions
+
+
+class StrictIsoModel(MemoryModel):
+    name = "strict-iso"
+
+    def __init__(self, impl: Implementation, tags: TagEnv,
+                 options: Optional[MemoryOptions] = None):
+        opts = options or MemoryOptions(
+            uninit_read="ub",
+            check_provenance=True,
+            reject_empty_provenance=True,
+            allow_inter_object_relational=False,
+            allow_inter_object_ptrdiff=False,
+            allow_oob_construction=False,
+            provenance_sensitive_equality=False,
+            track_int_provenance=True,
+            check_effective_types=True,
+        )
+        super().__init__(impl, tags, opts)

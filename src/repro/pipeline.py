@@ -1,0 +1,144 @@
+"""The Cerberus-py pipeline facade (paper Fig. 1).
+
+``run_c`` / ``explore_c`` push C source through the full pipeline —
+preprocess, parse (Cabs), desugar (Ail), typecheck (Typed Ail),
+elaborate (Core) — and execute it against a chosen memory object model
+in single-path or exhaustive mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .ail.desugar import desugar
+from .ail import ast as A
+from .cabs import ast as C
+from .core import ast as K
+from .core.typecheck import typecheck_program
+from .cparser import parse_text
+from .ctypes.implementation import Implementation, LP64, CHERI128
+from .ctypes.types import TagEnv
+from .dynamics.driver import Driver, Oracle, Outcome, run_program
+from .dynamics.exhaustive import ExplorationResult, explore_all
+from .elab import elaborate
+from .errors import CoreTypeError
+from .memory.base import MemoryModel, MemoryOptions
+from .memory.cheri import CheriModel
+from .memory.concrete import ConcreteModel
+from .memory.provenance import GccPersonaModel, ProvenanceModel
+from .memory.strict import StrictIsoModel
+from .typing import typecheck
+
+MODELS: Dict[str, type] = {
+    "concrete": ConcreteModel,
+    "provenance": ProvenanceModel,
+    "strict": StrictIsoModel,
+    "cheri": CheriModel,
+    "gcc": GccPersonaModel,
+}
+
+
+@dataclass
+class Pipeline:
+    """A compiled C program: Typed Ail + Core, ready to run under any
+    memory object model."""
+
+    source: str
+    impl: Implementation
+    cabs: C.TranslationUnit
+    ail: A.Program
+    core: K.Program
+
+    def make_model(self, model: str = "provenance",
+                   options: Optional[MemoryOptions] = None,
+                   **model_kwargs) -> MemoryModel:
+        cls = MODELS[model]
+        if model == "cheri":
+            return cls(self.impl, self.core.tags, options,
+                       **model_kwargs)
+        return cls(self.impl, self.core.tags, options)
+
+    def run(self, model: str = "provenance",
+            options: Optional[MemoryOptions] = None,
+            oracle: Optional[Oracle] = None,
+            max_steps: int = 2_000_000,
+            seed: Optional[int] = None,
+            **model_kwargs) -> Outcome:
+        """Execute one path (default oracle choices, or a seeded random
+        exploration when ``seed`` is given)."""
+        if oracle is None and seed is not None:
+            oracle = Oracle(rng=random.Random(seed))
+        mem = self.make_model(model, options, **model_kwargs)
+        return run_program(self.core, mem, oracle, max_steps)
+
+    def explore(self, model: str = "provenance",
+                options: Optional[MemoryOptions] = None,
+                max_paths: int = 500,
+                max_steps: int = 500_000,
+                **model_kwargs) -> ExplorationResult:
+        """Exhaustively explore all allowed executions (the paper's
+        test-oracle mode, §5.1)."""
+
+        def make_driver(oracle: Oracle) -> Driver:
+            mem = self.make_model(model, options, **model_kwargs)
+            return Driver(self.core, mem, oracle, max_steps)
+
+        return explore_all(make_driver, max_paths=max_paths)
+
+
+def compile_c(source: str, impl: Implementation = LP64,
+              name: str = "<string>",
+              check_core: bool = True) -> Pipeline:
+    """Run the front half of the pipeline: source -> Core."""
+    from .ctypes.types import IntKind
+    predefined = {
+        # Implementation-defined limit constants used by <limits.h>
+        # and <stdint.h> (Fig. 2: "definitions of implementation-
+        # defined constants").
+        "__cerberus_long_max":
+            f"{impl.int_max(IntKind.LONG)}L",
+        "__cerberus_ulong_max":
+            f"{impl.int_max(IntKind.ULONG)}UL",
+    }
+    cabs = parse_text(source, name, predefined=predefined)
+    ail = desugar(cabs, impl)
+    typecheck(ail, impl)
+    core = elaborate(ail, impl)
+    if check_core:
+        errors = typecheck_program(core)
+        if errors:
+            raise CoreTypeError("ill-formed Core produced by "
+                                "elaboration:\n" + "\n".join(errors))
+    return Pipeline(source, impl, cabs, ail, core)
+
+
+def run_c(source: str, model: str = "provenance",
+          impl: Implementation = LP64,
+          options: Optional[MemoryOptions] = None,
+          max_steps: int = 2_000_000,
+          seed: Optional[int] = None,
+          **model_kwargs) -> Outcome:
+    """One-shot: compile and run a C program on the chosen memory
+    object model, returning the observable Outcome."""
+    if model == "cheri" and impl is LP64:
+        impl = CHERI128
+    return compile_c(source, impl).run(model, options,
+                                       max_steps=max_steps, seed=seed,
+                                       **model_kwargs)
+
+
+def explore_c(source: str, model: str = "provenance",
+              impl: Implementation = LP64,
+              options: Optional[MemoryOptions] = None,
+              max_paths: int = 500,
+              max_steps: int = 500_000,
+              **model_kwargs) -> ExplorationResult:
+    """One-shot: compile and exhaustively explore a C program."""
+    if model == "cheri" and impl is LP64:
+        impl = CHERI128
+    return compile_c(source, impl).explore(model, options,
+                                           max_paths=max_paths,
+                                           max_steps=max_steps,
+                                           **model_kwargs)

@@ -1,0 +1,19 @@
+"""The paper's survey data (both surveys' published numbers) and the
+report generators that regenerate its tables."""
+
+from .data import (
+    SurveyOption, SurveyQuestion, SURVEY_15, EXPERTISE, RESPONSES_TOTAL,
+    SURVEY_2013_QUESTION_COUNT, SURVEY_2015_QUESTION_COUNT,
+)
+from .report import (
+    expertise_table, survey_question_table, design_space_table,
+    clarity_table,
+)
+
+__all__ = [
+    "SurveyOption", "SurveyQuestion", "SURVEY_15", "EXPERTISE",
+    "RESPONSES_TOTAL", "SURVEY_2013_QUESTION_COUNT",
+    "SURVEY_2015_QUESTION_COUNT",
+    "expertise_table", "survey_question_table", "design_space_table",
+    "clarity_table",
+]

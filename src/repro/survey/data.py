@@ -1,0 +1,140 @@
+"""Published data of the paper's two surveys (§2).
+
+The 2013 survey had 42 questions and was administered in person to a
+small number of experts; the 2015 survey had 15 questions and received
+323 responses ("including around 100 printed pages of textual
+comments"). We embed every number the paper prints: the respondent
+expertise table and the per-question response counts for [1/15],
+[2/15], [5/15], [7/15], [9/15] and [11/15].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+RESPONSES_TOTAL = 323
+SURVEY_2013_QUESTION_COUNT = 42
+SURVEY_2015_QUESTION_COUNT = 15
+TEXTUAL_COMMENT_PAGES = 100
+
+# §2: "Most respondents reported expertise in C systems programming..."
+EXPERTISE: List[Tuple[str, int]] = [
+    ("C applications programming", 255),
+    ("C systems programming", 230),
+    ("Linux developer", 160),
+    ("Other OS developer", 111),
+    ("C embedded systems programming", 135),
+    ("C standard", 70),
+    ("C or C++ standards committee member", 8),
+    ("Compiler internals", 64),
+    ("GCC developer", 15),
+    ("Clang developer", 26),
+    ("Other C compiler developer", 22),
+    ("Program analysis tools", 44),
+    ("Formal semantics", 18),
+    ("no response", 6),
+    ("other", 18),
+]
+
+
+@dataclass(frozen=True)
+class SurveyOption:
+    label: str
+    count: int
+    percent: int
+
+
+@dataclass(frozen=True)
+class SurveyQuestion:
+    ref: str                     # "[7/15]"
+    question_id: str             # design-space question, e.g. "Q25"
+    topic: str
+    prompt: str
+    options: Tuple[SurveyOption, ...]
+    # Second part where the survey asked about extant code.
+    extant_prompt: Optional[str] = None
+    extant_options: Tuple[SurveyOption, ...] = ()
+
+    def total(self) -> int:
+        return sum(o.count for o in self.options)
+
+
+def _opts(*pairs) -> Tuple[SurveyOption, ...]:
+    return tuple(SurveyOption(label, count, pct)
+                 for label, count, pct in pairs)
+
+
+SURVEY_15: Dict[str, SurveyQuestion] = {}
+
+
+def _q(ref, qid, topic, prompt, options, extant_prompt=None,
+       extant_options=()):
+    SURVEY_15[ref] = SurveyQuestion(ref, qid, topic, prompt, options,
+                                    extant_prompt, extant_options)
+
+
+_q("[1/15]", "Q61", "structure and union padding",
+   "After an explicit write of a padding byte, does that byte hold the "
+   "written value after a write to adjacent members?",
+   _opts(("mixed (see §2.5 options 1-4)", 0, 0)),
+   )
+
+_q("[2/15]", "Q48", "uninitialised values",
+   "Reading an uninitialised variable or struct member is:",
+   _opts(
+       ("undefined behaviour (compiler may arbitrarily miscompile)",
+        139, 43),
+       ("going to make the result of any expression involving it "
+        "unpredictable", 42, 13),
+       ("going to give an arbitrary and unstable value", 21, 6),
+       ("going to give an arbitrary but stable value", 112, 35),
+   ))
+
+_q("[5/15]", "Q14", "pointer representation copying",
+   "Can user code copy pointers bytewise (with possibly elaborate "
+   "computation on the way) and use the result?",
+   _opts(
+       ("yes", 216, 68),
+       ("only sometimes", 50, 15),
+       ("no", 18, 5),
+       ("don't know", 24, 7),
+   ))
+
+_q("[7/15]", "Q25", "pointer relational comparison",
+   "Can one do relational comparison (<, >, <=, >=) of pointers to "
+   "separately allocated objects? Will that work in normal C "
+   "compilers?",
+   _opts(
+       ("yes", 191, 60),
+       ("only sometimes", 52, 16),
+       ("no", 31, 9),
+       ("don't know", 38, 12),
+       ("I don't know what the question is asking", 3, 1),
+   ),
+   extant_prompt="Do you know of real code that relies on it?",
+   extant_options=_opts(
+       ("yes", 101, 33),
+       ("yes, but it shouldn't", 37, 12),
+       ("no, but there might well be", 89, 29),
+       ("no, that would be crazy", 50, 16),
+       ("don't know", 27, 8),
+   ))
+
+_q("[9/15]", "Q31", "out-of-bounds pointers",
+   "Can one transiently construct out-of-bounds pointer values (bringing "
+   "them back in bounds before use)?",
+   _opts(
+       ("yes", 230, 73),
+       ("only sometimes", 43, 13),
+       ("no", 13, 4),
+       ("don't know", 27, 8),
+   ))
+
+_q("[11/15]", "Q75", "effective types and character arrays",
+   "Can an unsigned character array with static or automatic storage "
+   "duration be used (like a malloc'd region) to hold values of other "
+   "types?",
+   _opts(("this will work", 243, 76)),
+   extant_prompt="Do you know of real code that relies on it?",
+   extant_options=_opts(("yes", 201, 65)))

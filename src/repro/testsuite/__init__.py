@@ -1,0 +1,15 @@
+"""The de facto design-space question registry and executable test suite
+(paper §2: 85 questions in 22 categories, supported by semantic test
+cases)."""
+
+from .questions import (
+    Question, QUESTIONS, CATEGORIES, category_counts, clarity_split,
+)
+from .programs import TESTS, TestCase
+from .runner import run_test, run_suite, SuiteReport
+
+__all__ = [
+    "Question", "QUESTIONS", "CATEGORIES", "category_counts",
+    "clarity_split", "TESTS", "TestCase", "run_test", "run_suite",
+    "SuiteReport",
+]

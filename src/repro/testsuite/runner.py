@@ -1,0 +1,106 @@
+"""Run the de facto test suite against memory models and tool personae
+and check verdicts against expectations (the paper's "experimental data
+for our test suite" methodology, §2-§3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dynamics.driver import Outcome
+from ..errors import CerberusError
+from ..pipeline import explore_c, run_c
+from .programs import TESTS, TestCase
+
+
+@dataclass
+class TestResult:
+    name: str
+    model: str
+    verdict: str           # "ok:<stdout>" | "ub:<Name>" | "error:..."
+    expected: Optional[str]
+    matches: Optional[bool]
+    stdout: str = ""
+
+
+@dataclass
+class SuiteReport:
+    results: List[TestResult] = field(default_factory=list)
+
+    def passed(self) -> List[TestResult]:
+        return [r for r in self.results if r.matches]
+
+    def failed(self) -> List[TestResult]:
+        return [r for r in self.results if r.matches is False]
+
+    def flagged(self) -> List[TestResult]:
+        return [r for r in self.results if r.verdict.startswith("ub")]
+
+    def table(self) -> str:
+        lines = [f"{'test':32s} {'model':12s} {'verdict':36s} ok"]
+        for r in self.results:
+            status = {True: "yes", False: "NO", None: "-"}[r.matches]
+            lines.append(f"{r.name:32s} {r.model:12s} "
+                         f"{r.verdict:36s} {status}")
+        return "\n".join(lines)
+
+
+def _verdict_of(outcome: Outcome) -> str:
+    if outcome.status == "ub":
+        return f"ub:{outcome.ub.name}" if outcome.ub else "ub"
+    if outcome.status in ("done", "exit"):
+        return f"ok:{outcome.stdout}"
+    if outcome.status == "abort":
+        return "abort"
+    if outcome.status == "timeout":
+        return "timeout"
+    return f"error:{outcome.error}"
+
+
+def _matches(verdict: str, expected: str) -> bool:
+    if expected == "either":
+        return True
+    if expected == "ok":
+        return verdict.startswith("ok:")
+    if expected == "ub":
+        return verdict.startswith("ub")
+    return verdict == expected
+
+
+def run_test(test: TestCase, model: str,
+             max_steps: int = 400_000) -> TestResult:
+    expected = test.expect.get(model)
+    try:
+        if test.exhaustive:
+            res = explore_c(test.source, model=model, max_paths=64,
+                            max_steps=max_steps)
+            outcomes = res.distinct()
+            verdicts = sorted({_verdict_of(o) for o in outcomes})
+            verdict = " | ".join(verdicts)
+            if expected == "either":
+                matches = True
+            elif expected is None:
+                matches = None
+            else:
+                matches = all(_matches(v, expected) for v in verdicts)
+            return TestResult(test.name, model, verdict, expected,
+                              matches,
+                              outcomes[0].stdout if outcomes else "")
+        outcome = run_c(test.source, model=model, max_steps=max_steps)
+        verdict = _verdict_of(outcome)
+        matches = None if expected is None else _matches(verdict,
+                                                         expected)
+        return TestResult(test.name, model, verdict, expected, matches,
+                          outcome.stdout)
+    except CerberusError as exc:
+        verdict = f"error:{type(exc).__name__}"
+        matches = None if expected is None else False
+        return TestResult(test.name, model, verdict, expected, matches)
+
+
+def run_suite(model: str, names: Optional[List[str]] = None,
+              max_steps: int = 400_000) -> SuiteReport:
+    report = SuiteReport()
+    for name in (names or sorted(TESTS)):
+        report.results.append(run_test(TESTS[name], model, max_steps))
+    return report

@@ -1,0 +1,5 @@
+"""Analysis-tool personae reproducing the §3 comparison."""
+
+from .personae import PERSONAE, Persona, run_persona_suite
+
+__all__ = ["PERSONAE", "Persona", "run_persona_suite"]

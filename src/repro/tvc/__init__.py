@@ -1,0 +1,17 @@
+"""tvc: a prototype translation validator (paper §6).
+
+The paper's tvc produces Coq proofs that the LLVM IR emitted by Clang's
+front end (under the Vellvm semantics) refines Cerberus, for extremely
+simple single-function programs. Here the "compiler front end" is a
+proxy translator from Typed Ail to a small Vellvm-flavoured SSA-ish IR,
+the IR has its own independent operational semantics, and the validator
+checks behaviour inclusion (IR behaviours are a subset of the Cerberus
+behaviours) instead of emitting a proof term.
+"""
+
+from .minir import IRFunction, IRInstr, run_ir
+from .translate import translate_main, TvcUnsupported
+from .validate import validate, TvcReport
+
+__all__ = ["IRFunction", "IRInstr", "run_ir", "translate_main",
+           "TvcUnsupported", "validate", "TvcReport"]

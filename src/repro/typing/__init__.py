@@ -1,0 +1,5 @@
+"""The Ail type checker, producing Typed Ail (paper §5.1)."""
+
+from .typecheck import TypeChecker, typecheck
+
+__all__ = ["TypeChecker", "typecheck"]

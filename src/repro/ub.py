@@ -1,0 +1,171 @@
+"""Catalogue of C undefined behaviours known to the semantics.
+
+Core's ``undef(ub-name)`` construct (paper Fig. 2) refers to entries of
+this catalogue; when the Core operational semantics reaches an ``undef`` it
+terminates execution and reports *which* undefined behaviour was violated,
+together with the C source location (paper §5.4).
+
+The names follow the Cerberus convention of short CamelCase identifiers
+(e.g. ``Negative_shift``, ``Shift_too_large`` — both visible in Fig. 3),
+and each carries the ISO C11 clause from which it derives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .source import Loc
+
+
+@dataclass(frozen=True)
+class UBName:
+    """One undefined behaviour in the catalogue."""
+
+    name: str
+    iso: str
+    description: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_CATALOGUE: Dict[str, UBName] = {}
+
+
+def _ub(name: str, iso: str, description: str) -> UBName:
+    entry = UBName(name, iso, description)
+    _CATALOGUE[name] = entry
+    return entry
+
+
+def lookup(name: str) -> UBName:
+    """Fetch a catalogue entry; raises KeyError for unknown names."""
+    return _CATALOGUE[name]
+
+
+def catalogue() -> Dict[str, UBName]:
+    """The full catalogue, name -> entry (a copy)."""
+    return dict(_CATALOGUE)
+
+
+# --- arithmetic -----------------------------------------------------------
+
+EXCEPTIONAL_CONDITION = _ub(
+    "Exceptional_condition", "6.5p5",
+    "the result of an arithmetic operation is not representable "
+    "(e.g. signed overflow) or an operand is an unspecified value")
+NEGATIVE_SHIFT = _ub(
+    "Negative_shift", "6.5.7p3",
+    "the right operand of a shift is negative")
+SHIFT_TOO_LARGE = _ub(
+    "Shift_too_large", "6.5.7p3",
+    "the right operand of a shift is >= the width of the promoted left "
+    "operand")
+DIVISION_BY_ZERO = _ub(
+    "Division_by_zero", "6.5.5p5",
+    "the second operand of / or % is zero")
+INTEGER_CONVERSION_TRAP = _ub(
+    "Integer_conversion_trap", "6.3.1.3p3",
+    "conversion to a signed type cannot represent the value and the "
+    "implementation raises a signal")
+
+# --- pointers and memory --------------------------------------------------
+
+ACCESS_OUT_OF_BOUNDS = _ub(
+    "Access_out_of_bounds", "6.5.6p8",
+    "a memory access whose footprint lies outside the allocation "
+    "identified by the pointer's provenance")
+ACCESS_DEAD_OBJECT = _ub(
+    "Access_dead_object", "6.2.4p2",
+    "an access to an object outside of its lifetime")
+ACCESS_EMPTY_PROVENANCE = _ub(
+    "Access_empty_provenance", "DR260",
+    "a memory access through a pointer with empty provenance")
+ACCESS_WRONG_PROVENANCE = _ub(
+    "Access_wrong_provenance", "DR260",
+    "a memory access whose address is not consistent with the pointer's "
+    "original allocation (the DR260 committee-response licence)")
+FREE_INVALID_POINTER = _ub(
+    "Free_invalid_pointer", "7.22.3.3p2",
+    "free() on a pointer not obtained from an allocation function, "
+    "or a double free")
+OUT_OF_BOUNDS_POINTER_ARITHMETIC = _ub(
+    "Out_of_bounds_pointer_arithmetic", "6.5.6p8",
+    "pointer arithmetic producing a pointer outside the array (plus "
+    "one-past) of the original object — flagged only by strict models; "
+    "the candidate de facto model permits transient OOB pointers (Q31)")
+PTRDIFF_DISTINCT_OBJECTS = _ub(
+    "Ptrdiff_distinct_objects", "6.5.6p9",
+    "subtraction of pointers into two separately allocated objects")
+RELATIONAL_DISTINCT_OBJECTS = _ub(
+    "Relational_distinct_objects", "6.5.8p5",
+    "relational comparison (<, >, <=, >=) of pointers to separately "
+    "allocated objects — ISO UB; widely relied upon (Q25, survey [7/15])")
+NULL_POINTER_DEREF = _ub(
+    "Null_pointer_dereference", "6.5.3.2p4",
+    "dereferencing a null pointer")
+MISALIGNED_ACCESS = _ub(
+    "Misaligned_access", "6.3.2.3p7",
+    "an access through a pointer that is not correctly aligned for the "
+    "referenced type")
+EFFECTIVE_TYPE_MISMATCH = _ub(
+    "Effective_type_mismatch", "6.5p7",
+    "an access to an object with an lvalue type not compatible with its "
+    "effective type (TBAA licence; disabled by -fno-strict-aliasing)")
+MODIFYING_CONST = _ub(
+    "Modifying_const_object", "6.7.3p6",
+    "an attempt to modify an object defined with a const-qualified type")
+
+# --- unspecified and indeterminate values ---------------------------------
+
+READ_UNINITIALISED = _ub(
+    "Read_uninitialised", "6.3.2.1p2",
+    "reading an uninitialised object (option (1) of §2.4: treat as UB)")
+UNSPECIFIED_VALUE_CONTROL_FLOW = _ub(
+    "Unspecified_value_control_flow", "6.2.6.1",
+    "a control-flow choice made on an unspecified value (the candidate "
+    "model forbids provenance flow via control flow, §5.9)")
+TRAP_REPRESENTATION = _ub(
+    "Trap_representation", "6.2.6.1p5",
+    "reading a trap representation")
+
+# --- sequencing and concurrency -------------------------------------------
+
+UNSEQUENCED_RACE = _ub(
+    "Unsequenced_race", "6.5p2",
+    "two conflicting accesses to the same scalar object unrelated by "
+    "sequenced-before within one expression evaluation")
+DATA_RACE = _ub(
+    "Data_race", "5.1.2.4p25",
+    "two conflicting non-atomic accesses in different threads unrelated "
+    "by happens-before")
+
+# --- other -----------------------------------------------------------------
+
+FUNCTION_NO_RETURN_VALUE_USED = _ub(
+    "Function_no_return_value_used", "6.9.1p12",
+    "the value of a function call is used but the callee's } was reached "
+    "without a return value")
+INDIRECTION_INVALID_FUNCTION_POINTER = _ub(
+    "Indirection_invalid_function_pointer", "6.5.3.2p4",
+    "calling through a pointer that does not point at a function of "
+    "compatible type")
+
+
+class UndefinedBehaviour(Exception):
+    """Raised by the dynamics when an execution reaches ``undef``.
+
+    Carries the catalogue entry and the C source location, which the
+    drivers surface in :class:`repro.dynamics.driver.Outcome`.
+    """
+
+    def __init__(self, ub: UBName, loc: Optional[Loc] = None,
+                 detail: str = ""):
+        self.ub = ub
+        self.loc = loc if loc is not None else Loc.unknown()
+        self.detail = detail
+        msg = f"{self.loc}: undefined behaviour: {ub.name} [ISO {ub.iso}]"
+        if detail:
+            msg += f" — {detail}"
+        super().__init__(msg)

@@ -1,0 +1,63 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import compile_c, explore_c, run_c
+
+
+@pytest.fixture
+def run():
+    """Run a C program on a model; returns the Outcome."""
+
+    def _run(source, model="provenance", **kw):
+        return run_c(source, model=model, **kw)
+
+    return _run
+
+
+@pytest.fixture
+def run_ok():
+    """Run a C program expecting normal termination; returns stdout."""
+
+    def _run(source, model="provenance", **kw):
+        out = run_c(source, model=model, **kw)
+        assert out.status in ("done", "exit"), \
+            f"expected success, got {out.status}: {out.ub} " \
+            f"{out.ub_detail} {out.error}"
+        return out
+
+    return _run
+
+
+@pytest.fixture
+def expect_ub():
+    """Run a C program expecting a specific UB name."""
+
+    def _run(source, ub_name=None, model="provenance", **kw):
+        out = run_c(source, model=model, **kw)
+        assert out.status == "ub", \
+            f"expected UB, got {out.status} (stdout={out.stdout!r})"
+        if ub_name is not None:
+            assert out.ub is not None and out.ub.name == ub_name, \
+                f"expected {ub_name}, got {out.ub}"
+        return out
+
+    return _run
+
+
+@pytest.fixture
+def explore():
+    def _explore(source, model="provenance", **kw):
+        return explore_c(source, model=model, **kw)
+
+    return _explore
+
+
+@pytest.fixture
+def compile_only():
+    def _compile(source, **kw):
+        return compile_c(source, **kw)
+
+    return _compile

@@ -1,0 +1,119 @@
+"""Unit tests for action summaries / race detection primitives and the
+UB catalogue."""
+
+from repro import ub
+from repro.dynamics.actions import (
+    ActionRecord, ActionSummary, conflicting, find_unsequenced_race,
+)
+from repro.memory.base import Footprint
+
+
+def rec(aid, addr, size, write, polarity="pos", regions=frozenset()):
+    return ActionRecord(aid, "store" if write else "load",
+                        Footprint(addr, size), write, polarity,
+                        regions)
+
+
+class TestConflicts:
+    def test_overlap_write_read(self):
+        assert conflicting(rec(1, 100, 4, True), rec(2, 102, 4, False))
+
+    def test_no_overlap(self):
+        assert not conflicting(rec(1, 100, 4, True),
+                               rec(2, 104, 4, True))
+
+    def test_read_read_never_conflicts(self):
+        assert not conflicting(rec(1, 100, 4, False),
+                               rec(2, 100, 4, False))
+
+    def test_creates_never_conflict(self):
+        create = ActionRecord(1, "create", None, False, "pos")
+        assert not conflicting(create, rec(2, 100, 4, True))
+
+    def test_footprint_overlap_boundaries(self):
+        a = Footprint(100, 4)
+        assert not a.overlaps(Footprint(104, 4))  # adjacent
+        assert a.overlaps(Footprint(103, 1))
+        assert a.overlaps(Footprint(96, 5))
+
+
+class TestRaceSearch:
+    def test_cross_group_race_found(self):
+        race = find_unsequenced_race(
+            [[rec(1, 100, 4, True)], [rec(2, 100, 4, True)]])
+        assert race is not None
+
+    def test_same_group_not_compared(self):
+        race = find_unsequenced_race(
+            [[rec(1, 100, 4, True), rec(2, 100, 4, True)], []])
+        assert race is None
+
+    def test_indet_region_exemption(self):
+        # One action inside a call body: indeterminately sequenced.
+        race = find_unsequenced_race(
+            [[rec(1, 100, 4, True, regions=frozenset({9}))],
+             [rec(2, 100, 4, True)]])
+        assert race is None
+
+    def test_same_region_chain_not_exempt(self):
+        race = find_unsequenced_race(
+            [[rec(1, 100, 4, True, regions=frozenset({9}))],
+             [rec(2, 100, 4, True, regions=frozenset({9}))]])
+        assert race is not None
+
+    def test_different_regions_exempt(self):
+        race = find_unsequenced_race(
+            [[rec(1, 100, 4, True, regions=frozenset({1}))],
+             [rec(2, 100, 4, True, regions=frozenset({2}))]])
+        assert race is None
+
+
+class TestSummaries:
+    def test_union(self):
+        a = ActionSummary.single(rec(1, 0, 4, True))
+        b = ActionSummary.single(rec(2, 4, 4, False))
+        assert len(a.union(b).records) == 2
+
+    def test_negatives(self):
+        s = ActionSummary([rec(1, 0, 4, True, "neg"),
+                           rec(2, 4, 4, True, "pos")])
+        assert [r.aid for r in s.negatives()] == [1]
+
+    def test_tag_region(self):
+        s = ActionSummary.single(rec(1, 0, 4, True))
+        tagged = s.tag_region(5)
+        assert tagged.records[0].regions == frozenset({5})
+        # Original unchanged (records are immutable).
+        assert s.records[0].regions == frozenset()
+
+
+class TestUbCatalogue:
+    def test_lookup(self):
+        entry = ub.lookup("Negative_shift")
+        assert entry.iso == "6.5.7p3"
+
+    def test_catalogue_complete_for_fig3(self):
+        for name in ("Exceptional_condition", "Negative_shift",
+                     "Shift_too_large", "Division_by_zero"):
+            assert name in ub.catalogue()
+
+    def test_memory_ub_entries(self):
+        for name in ("Access_out_of_bounds", "Access_dead_object",
+                     "Access_wrong_provenance", "Free_invalid_pointer",
+                     "Relational_distinct_objects",
+                     "Ptrdiff_distinct_objects",
+                     "Effective_type_mismatch", "Read_uninitialised",
+                     "Unsequenced_race", "Data_race"):
+            assert name in ub.catalogue(), name
+
+    def test_every_entry_has_iso_clause(self):
+        for entry in ub.catalogue().values():
+            assert entry.iso
+            assert entry.description
+
+    def test_exception_carries_location(self):
+        from repro.source import Loc
+        exc = ub.UndefinedBehaviour(ub.DIVISION_BY_ZERO,
+                                    Loc("f.c", 3, 1), "x/0")
+        assert "f.c:3:1" in str(exc)
+        assert "6.5.5p5" in str(exc)

@@ -1,0 +1,135 @@
+"""CHERI C capability model tests (paper §4)."""
+
+import pytest
+
+from repro.ctypes.types import Integer, IntKind
+from repro.memory.cheri import Capability, CheriModel
+from repro.memory.values import IntegerValue
+from repro.memory.base import MemoryError_
+
+_INT = Integer(IntKind.INT)
+
+
+class TestCapabilities:
+    def test_create_attaches_capability(self):
+        m = CheriModel()
+        p = m.create(_INT, 4, "x", "static")
+        assert isinstance(p.meta, Capability)
+        assert p.meta.base == p.addr
+        assert p.meta.length == 4
+        assert p.meta.tag
+
+    def test_shift_moves_offset(self):
+        m = CheriModel()
+        p = m.alloc_region(40, 16)
+        q = m.array_shift(p, _INT, IntegerValue(3))
+        assert q.meta.offset == 12
+        assert q.addr == p.addr + 12
+
+    def test_bounds_violation_traps(self):
+        m = CheriModel()
+        p = m.create(_INT, 4, "x", "static")
+        oob = m.array_shift(p, _INT, IntegerValue(2))
+        from repro.ctypes.types import QualType
+        with pytest.raises(MemoryError_):
+            m.load(QualType(_INT), oob)
+
+    def test_fabricated_pointer_untagged(self):
+        m = CheriModel()
+        p = m.ptr_from_int(IntegerValue(0x5000))
+        assert isinstance(p.meta, Capability)
+        assert not p.meta.tag
+
+    def test_uintptr_roundtrip_keeps_capability(self):
+        m = CheriModel()
+        p = m.create(_INT, 4, "x", "static")
+        i = m.int_from_ptr(p, Integer(IntKind.ULONG))
+        assert isinstance(i.meta, Capability)
+        back = m.ptr_from_int(i)
+        assert back.meta == p.meta
+
+    def test_narrow_int_drops_capability(self):
+        # §4: "non-intptr_t integer values do not carry pointer
+        # provenance".
+        m = CheriModel()
+        p = m.create(_INT, 4, "x", "static")
+        i = m.int_from_ptr(p, Integer(IntKind.UINT))
+        assert i.meta is None
+
+
+class TestPaperFindings:
+    def test_masking_bug(self):
+        # (i & 3u): the result is the fat pointer with offset&3 — its
+        # integer value is base + (offset&3), nonzero for base != 0.
+        m = CheriModel()
+        p = m.create(_INT, 4, "x", "static")
+        i = m.int_from_ptr(p, Integer(IntKind.ULONG))
+        r = m.int_binop("&", i, IntegerValue(3), i.value & 3)
+        assert r is not None
+        assert r.value == p.addr  # base + (0 & 3) == base != 0
+        assert r.value != 0
+
+    def test_masking_bug_end_to_end(self, run_ok):
+        src = r'''
+#include <stdio.h>
+#include <stdint.h>
+int main(void) {
+  int x = 1;
+  uintptr_t i = (uintptr_t)&x;
+  if ((i & 3u) == 0u) printf("zero\n");
+  else printf("nonzero\n");
+  return 0;
+}'''
+        lp64 = run_ok(src, model="provenance")
+        cheri = run_ok(src, model="cheri")
+        assert lp64.stdout == "zero\n"
+        assert cheri.stdout == "nonzero\n"   # the paper's finding
+
+    def test_equality_bug_prefix_vs_fixed(self, run):
+        src = r'''
+#include <stdio.h>
+int y = 2, x = 1;
+int main(void) {
+  int *p = &x + 1;
+  int *q = &y;
+  if (p == q) printf("equal\n"); else printf("unequal\n");
+  return 0;
+}'''
+        pre = run(src, model="cheri")
+        fixed = run(src, model="cheri", exact_equality=True)
+        assert pre.stdout == "equal\n"      # address-only comparison
+        assert fixed.stdout == "unequal\n"  # CExEq compares metadata
+
+    def test_left_biased_provenance(self):
+        m = CheriModel()
+        p = m.create(_INT, 4, "x", "static")
+        i = m.int_from_ptr(p, Integer(IntKind.ULONG))
+        plain = IntegerValue(8)
+        left = m.int_binop("+", i, plain, i.value + 8)
+        assert isinstance(left.meta, Capability)
+        right = m.int_binop("+", plain, i, i.value + 8)
+        assert right.meta is None   # rhs capability not inherited
+
+    def test_oob_construction_ok_deref_traps(self, run, expect_ub):
+        # CHERI C: out-of-bounds construction is fine; the bounds check
+        # fires at dereference.
+        ok = run(r'''
+int main(void) {
+    int a[4] = {1,2,3,4};
+    int *p = a + 7;
+    p = p - 5;
+    return *p - 3;
+}''', model="cheri")
+        assert ok.status == "done" and ok.exit_code == 0
+        expect_ub(r'''
+int main(void) {
+    int a[4] = {1,2,3,4};
+    int *p = a + 7;
+    return *p;
+}''', "Access_out_of_bounds", model="cheri")
+
+    def test_suite_runs_under_cheri(self):
+        from repro.testsuite import TESTS, run_test
+        for name in ("int_cast_roundtrip", "oob_transient"):
+            result = run_test(TESTS[name], "cheri")
+            assert result.matches, (name, result.verdict)

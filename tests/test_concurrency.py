@@ -1,0 +1,125 @@
+"""The restricted concurrency fragment (paper §1, §5.1): threads,
+interleaving exploration, data-race detection."""
+
+import pytest
+
+from repro.concurrency.model import run_litmus
+
+
+class TestThreads:
+    def test_create_join(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <threads.h>
+int worker(void *arg) { return 40; }
+int main(void) {
+    thrd_t t;
+    int res = 0;
+    thrd_create(&t, worker, 0);
+    thrd_join(t, &res);
+    printf("%d\n", res + 2);
+    return 0;
+}''', model="concrete")
+        assert out.stdout == "42\n"
+
+    def test_join_synchronises(self, run_ok):
+        # Write in child, read after join: happens-before via join, no
+        # race.
+        out = run_ok(r'''
+#include <stdio.h>
+#include <threads.h>
+int data;
+int worker(void *arg) { data = 99; return 0; }
+int main(void) {
+    thrd_t t;
+    thrd_create(&t, worker, 0);
+    thrd_join(t, 0);
+    printf("%d\n", data);
+    return 0;
+}''', model="concrete")
+        assert out.stdout == "99\n"
+
+    def test_two_workers(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <threads.h>
+int a, b;
+int wa(void *arg) { a = 1; return 0; }
+int wb(void *arg) { b = 2; return 0; }
+int main(void) {
+    thrd_t t1, t2;
+    thrd_create(&t1, wa, 0);
+    thrd_create(&t2, wb, 0);
+    thrd_join(t1, 0);
+    thrd_join(t2, 0);
+    printf("%d\n", a + b);
+    return 0;
+}''', model="concrete")
+        assert out.stdout == "3\n"
+
+
+class TestRaces:
+    def test_unsynchronised_write_write_races(self):
+        res = run_litmus(r'''
+#include <threads.h>
+int x;
+int w(void *arg) { x = 1; return 0; }
+int main(void) {
+    thrd_t t;
+    thrd_create(&t, w, 0);
+    x = 2;                     /* races with the child's store */
+    thrd_join(t, 0);
+    return 0;
+}''', max_paths=200)
+        assert res.has_race
+
+    def test_read_write_race(self):
+        res = run_litmus(r'''
+#include <threads.h>
+int x;
+int r(void *arg) { return x; }
+int main(void) {
+    thrd_t t;
+    thrd_create(&t, r, 0);
+    x = 1;
+    thrd_join(t, 0);
+    return 0;
+}''', max_paths=200)
+        assert res.has_race
+
+    def test_disjoint_locations_no_race(self):
+        res = run_litmus(r'''
+#include <threads.h>
+int x, y;
+int w(void *arg) { x = 1; return 0; }
+int main(void) {
+    thrd_t t;
+    thrd_create(&t, w, 0);
+    y = 2;
+    thrd_join(t, 0);
+    return x + y - 3;
+}''', max_paths=200)
+        assert not res.has_race
+
+    def test_message_passing_naive_races(self):
+        from repro.concurrency.model import MESSAGE_PASSING
+        res = run_litmus(MESSAGE_PASSING, max_paths=300)
+        # Non-atomic flag/data: the unsynchronised reads race.
+        assert res.has_race
+
+    def test_interleavings_observable(self):
+        res = run_litmus(r'''
+#include <stdio.h>
+#include <threads.h>
+int w(void *arg) { putchar('a'); return 0; }
+int main(void) {
+    thrd_t t;
+    thrd_create(&t, w, 0);
+    putchar('b');
+    thrd_join(t, 0);
+    putchar(10);
+    return 0;
+}''', max_paths=300)
+        texts = {b for b in res.behaviours if "stdout" in b}
+        assert any("ab" in b for b in texts)
+        assert any("ba" in b for b in texts)

@@ -1,0 +1,124 @@
+"""Core language: pretty printer, well-formedness checker, elaboration
+output shape (paper §5.2, Fig. 2/3)."""
+
+import pytest
+
+from repro.core import ast as K, pretty_expr, pretty_program, pretty_pure
+from repro.core.typecheck import typecheck_program
+from repro.ctypes import LP64
+from repro.pipeline import compile_c
+from repro import ub as UB
+
+
+class TestWellFormedness:
+    def test_every_compiled_program_checks(self, compile_only):
+        pipe = compile_only(r'''
+#include <stdio.h>
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int main(void) {
+    for (int i = 0; i < 5; i++) printf("%d ", fib(i));
+    printf("\n");
+    return 0;
+}''')
+        assert typecheck_program(pipe.core) == []
+
+    def test_unbound_symbol_detected(self):
+        prog = K.Program(tags=None, impl=LP64)
+        prog.tags = compile_c("int main(void){return 0;}").core.tags
+        prog.procs["bad"] = K.ProcDef(
+            "bad", [], K.EPure(K.PSym("nope")))
+        errors = typecheck_program(prog)
+        assert any("unbound" in e for e in errors)
+
+    def test_run_without_save_detected(self):
+        prog = compile_c("int main(void){return 0;}").core
+        prog.procs["bad"] = K.ProcDef(
+            "bad", [], K.ERun("ghost", []))
+        errors = typecheck_program(prog)
+        assert any("no enclosing save" in e for e in errors)
+
+    def test_run_arity_mismatch_detected(self):
+        prog = compile_c("int main(void){return 0;}").core
+        from repro.dynamics.values import TRUE
+        prog.procs["bad"] = K.ProcDef(
+            "bad", [],
+            K.ESave("l", [("x", K.PVal(TRUE))],
+                    K.ERun("l", [])))
+        errors = typecheck_program(prog)
+        assert any("arity" in e for e in errors)
+
+
+class TestElaborationShape:
+    def test_shift_elaboration_matches_fig3(self, compile_only):
+        """The elaborated `e1 << e2` contains the Fig. 3 ingredients:
+        unseq of the operands, weak sequencing, the Unspecified cases,
+        and the Negative_shift / Shift_too_large undef arms."""
+        pipe = compile_only(
+            "int main(void) { int a = 1, b = 2; return a << b; }")
+        text = pretty_program(pipe.core)
+        assert "unseq(" in text
+        assert "let weak" in text
+        assert "undef(Negative_shift)" in text
+        assert "undef(Shift_too_large)" in text
+        assert "undef(Exceptional_condition)" in text
+        assert "Unspecified" in text
+        assert "ctype_width" in text
+
+    def test_unsigned_shift_has_modulo_no_overflow_undef(
+            self, compile_only):
+        pipe = compile_only(
+            "unsigned f(unsigned a, unsigned b) { return a << b; }"
+            "int main(void) { return 0; }")
+        text = pretty_program(pipe.core)
+        # unsigned: reduce modulo Ivmax+1 (rem_t), no representability
+        # check for the shifted value.
+        assert "rem_t" in text
+        assert "ivmax" in text
+
+    def test_postfix_incr_uses_let_atomic_neg_store(self, compile_only):
+        pipe = compile_only(
+            "int main(void) { int x = 0; x++; return x - 1; }")
+        text = pretty_program(pipe.core)
+        assert "let atomic" in text
+        assert "neg(store" in text
+
+    def test_loops_use_save_run(self, compile_only):
+        pipe = compile_only(
+            "int main(void) { int i = 0; while (i < 3) i++; "
+            "return 0; }")
+        text = pretty_program(pipe.core)
+        assert "save" in text and "run" in text
+
+    def test_blocks_become_scopes(self, compile_only):
+        pipe = compile_only(
+            "int main(void) { int x = 1; { int y = 2; x += y; } "
+            "return 0; }")
+        text = pretty_program(pipe.core)
+        assert "scope [" in text
+
+    def test_calls_become_ccall(self, compile_only):
+        pipe = compile_only(
+            "int f(int a) { return a; } "
+            "int main(void) { return f(0); }")
+        text = pretty_program(pipe.core)
+        assert "ccall(" in text
+
+
+class TestPretty:
+    def test_pure_constructs(self):
+        pe = K.PCase(K.PSym("v"), [
+            (K.PatCtor("Specified", (K.PatSym("x"),)),
+             K.PBinop("+", K.PSym("x"), K.PSym("x"))),
+            (K.PatCtor("Unspecified", (K.PatWild(),)),
+             K.PUndef(UB.EXCEPTIONAL_CONDITION)),
+        ])
+        text = pretty_pure(pe)
+        assert "case v with" in text
+        assert "| Specified(x)" in text
+        assert "undef(Exceptional_condition)" in text
+
+    def test_effect_constructs(self):
+        e = K.EUnseq([K.ESkip(), K.ESkip()])
+        assert "unseq(" in pretty_expr(e)
+        e2 = K.EWseq(K.PatWild(), K.ESkip(), K.ESkip())
+        assert "let weak" in pretty_expr(e2)

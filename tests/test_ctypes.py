@@ -1,0 +1,184 @@
+"""Unit and property tests for C types, implementation environments,
+layout, and integer conversions (ISO §6.2.5-6.3.1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.ctypes import (
+    ILP32, LP64, CHERI128, Implementation, Member, QualType, TagEnv,
+    convert_integer_value, integer_promotion, integer_rank,
+    is_representable, usual_arithmetic_conversions,
+)
+from repro.ctypes.types import (
+    Array, Integer, IntKind, Pointer, StructRef, UnionRef, NO_QUALS,
+)
+
+_ALL_KINDS = list(IntKind)
+_kind = st.sampled_from(_ALL_KINDS)
+
+
+class TestRanges:
+    def test_lp64_sizes(self):
+        assert LP64.sizeof_int(IntKind.INT) == 4
+        assert LP64.sizeof_int(IntKind.LONG) == 8
+        assert LP64.pointer_size == 8
+
+    def test_ilp32_long_is_4(self):
+        assert ILP32.sizeof_int(IntKind.LONG) == 4
+        assert ILP32.pointer_size == 4
+
+    def test_cheri_pointers_are_16(self):
+        assert CHERI128.pointer_size == 16
+        assert CHERI128.capability_pointers
+
+    def test_int_limits(self):
+        assert LP64.int_max(IntKind.INT) == 2**31 - 1
+        assert LP64.int_min(IntKind.INT) == -(2**31)
+        assert LP64.int_max(IntKind.UINT) == 2**32 - 1
+        assert LP64.int_min(IntKind.UINT) == 0
+        assert LP64.int_max(IntKind.BOOL) == 1
+
+    def test_char_signedness(self):
+        assert LP64.is_signed(IntKind.CHAR)
+        assert not LP64.is_signed(IntKind.UCHAR)
+
+
+class TestPromotions:
+    def test_char_promotes_to_int(self):
+        for kind in (IntKind.CHAR, IntKind.SCHAR, IntKind.UCHAR,
+                     IntKind.SHORT, IntKind.USHORT, IntKind.BOOL):
+            assert integer_promotion(Integer(kind), LP64) == \
+                Integer(IntKind.INT)
+
+    def test_int_and_above_unchanged(self):
+        for kind in (IntKind.INT, IntKind.UINT, IntKind.LONG,
+                     IntKind.ULLONG):
+            assert integer_promotion(Integer(kind), LP64) == \
+                Integer(kind)
+
+    def test_usual_int_uint(self):
+        assert usual_arithmetic_conversions(
+            Integer(IntKind.INT), Integer(IntKind.UINT), LP64) == \
+            Integer(IntKind.UINT)
+
+    def test_usual_uint_long_lp64(self):
+        # long (64-bit) can represent all uint values -> long.
+        assert usual_arithmetic_conversions(
+            Integer(IntKind.UINT), Integer(IntKind.LONG), LP64) == \
+            Integer(IntKind.LONG)
+
+    def test_usual_uint_long_ilp32(self):
+        # long (32-bit) cannot represent all uint -> unsigned long.
+        assert usual_arithmetic_conversions(
+            Integer(IntKind.UINT), Integer(IntKind.LONG), ILP32) == \
+            Integer(IntKind.ULONG)
+
+    @given(_kind, _kind)
+    def test_usual_conversions_commute(self, a, b):
+        x = usual_arithmetic_conversions(Integer(a), Integer(b), LP64)
+        y = usual_arithmetic_conversions(Integer(b), Integer(a), LP64)
+        assert x == y
+
+    @given(_kind, _kind)
+    def test_usual_conversion_rank_at_least_int(self, a, b):
+        c = usual_arithmetic_conversions(Integer(a), Integer(b), LP64)
+        assert integer_rank(c) >= integer_rank(Integer(IntKind.INT))
+
+
+class TestConversion:
+    @given(st.integers(-2**70, 2**70), _kind)
+    def test_conversion_lands_in_range(self, value, kind):
+        ty = Integer(kind)
+        out, _ = convert_integer_value(value, ty, LP64)
+        assert LP64.int_min(kind) <= out <= LP64.int_max(kind)
+
+    @given(st.integers(-2**70, 2**70), _kind)
+    def test_conversion_idempotent(self, value, kind):
+        ty = Integer(kind)
+        once, _ = convert_integer_value(value, ty, LP64)
+        twice, _ = convert_integer_value(once, ty, LP64)
+        assert once == twice
+
+    @given(st.integers(-2**70, 2**70))
+    def test_unsigned_conversion_is_modular(self, value):
+        out, _ = convert_integer_value(value, Integer(IntKind.UINT),
+                                       LP64)
+        assert out == value % (2**32)
+
+    def test_bool_conversion(self):
+        assert convert_integer_value(0, Integer(IntKind.BOOL),
+                                     LP64)[0] == 0
+        assert convert_integer_value(42, Integer(IntKind.BOOL),
+                                     LP64)[0] == 1
+
+    def test_in_range_unchanged(self):
+        out, note = convert_integer_value(100, Integer(IntKind.CHAR),
+                                          LP64)
+        assert out == 100 and note is None
+
+    def test_signed_wrap_flagged_impl_defined(self):
+        out, note = convert_integer_value(200, Integer(IntKind.SCHAR),
+                                          LP64)
+        assert out == 200 - 256
+        assert note == "impl-defined"
+
+
+class TestLayout:
+    def _tags(self, members):
+        tags = TagEnv()
+        tag = tags.fresh_tag("s", is_union=False)
+        tags.define(tag, [Member(n, QualType(t)) for n, t in members])
+        return tags, StructRef(tag)
+
+    def test_char_int_padding(self):
+        tags, ref = self._tags([("c", Integer(IntKind.CHAR)),
+                                ("i", Integer(IntKind.INT))])
+        lay = LP64.layout(ref, tags)
+        assert lay.size == 8
+        assert lay.align == 4
+        assert dict((n, o) for n, o, _ in lay.fields) == \
+            {"c": 0, "i": 4}
+
+    def test_padding_bytes(self):
+        tags, ref = self._tags([("c", Integer(IntKind.CHAR)),
+                                ("i", Integer(IntKind.INT))])
+        assert LP64.padding_bytes(ref, tags) == [1, 2, 3]
+
+    def test_tail_padding(self):
+        tags, ref = self._tags([("i", Integer(IntKind.INT)),
+                                ("c", Integer(IntKind.CHAR))])
+        lay = LP64.layout(ref, tags)
+        assert lay.size == 8  # padded to align 4
+        assert LP64.padding_bytes(ref, tags) == [5, 6, 7]
+
+    def test_union_layout(self):
+        tags = TagEnv()
+        tag = tags.fresh_tag("u", is_union=True)
+        tags.define(tag, [
+            Member("c", QualType(Integer(IntKind.CHAR))),
+            Member("l", QualType(Integer(IntKind.LONG)))])
+        ref = UnionRef(tag)
+        lay = LP64.layout(ref, tags)
+        assert lay.size == 8 and lay.align == 8
+        assert all(off == 0 for _, off, _ in lay.fields)
+
+    def test_array_sizeof(self):
+        tags = TagEnv()
+        arr = Array(QualType(Integer(IntKind.INT)), 5)
+        assert LP64.sizeof(arr, tags) == 20
+
+    def test_offsetof(self):
+        tags, ref = self._tags([("a", Integer(IntKind.CHAR)),
+                                ("b", Integer(IntKind.SHORT)),
+                                ("c", Integer(IntKind.LONG))])
+        assert LP64.offsetof(ref, "b", tags) == 2
+        assert LP64.offsetof(ref, "c", tags) == 8
+
+    def test_pointer_members_cheri(self):
+        tags = TagEnv()
+        tag = tags.fresh_tag("s", is_union=False)
+        tags.define(tag, [
+            Member("p", QualType(Pointer(QualType(
+                Integer(IntKind.INT))))),
+            Member("i", QualType(Integer(IntKind.INT)))])
+        lay = CHERI128.layout(StructRef(tag), tags)
+        assert lay.size == 32  # 16-byte capability + int + padding

@@ -1,0 +1,217 @@
+"""Unit tests for Cabs -> Ail desugaring (paper §5.1)."""
+
+import pytest
+
+from repro.ail import ast as A, desugar
+from repro.cparser import parse_text
+from repro.ctypes import LP64
+from repro.ctypes.types import (
+    Array, Function, Integer, IntKind, Pointer, StructRef,
+)
+from repro.errors import DesugarError, UnsupportedError
+
+
+def ds(src):
+    return desugar(parse_text(src), LP64)
+
+
+def main_of(prog):
+    return prog.functions[prog.main]
+
+
+class TestScoping:
+    def test_unique_symbols_for_shadowing(self):
+        prog = ds("int x; int main(void) { int x = 1; return x; }")
+        globals_ = [o.sym for o in prog.objects]
+        body = main_of(prog).body
+        decl = body.items[0]
+        assert isinstance(decl, A.SDecl)
+        assert decl.sym not in globals_
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(DesugarError):
+            ds("int main(void) { return y; }")
+
+    def test_function_prototype_merge(self):
+        prog = ds("int f(void); int f(void) { return 1; } "
+                  "int main(void) { return f(); }")
+        fs = [s for s in prog.functions if s.name == "f"]
+        assert len(fs) == 1
+
+    def test_enum_constants_become_ints(self):
+        prog = ds("enum e { A = 3 }; int main(void) { return A; }")
+        ret = main_of(prog).body.items[0]
+        assert isinstance(ret, A.SReturn)
+        assert isinstance(ret.expr, A.EConstInt)
+        assert ret.expr.value == 3
+
+    def test_tentative_definitions_merge(self):
+        prog = ds("int x; int x; int main(void) { return x; }")
+        assert len([o for o in prog.objects if o.sym.name == "x"]) == 1
+
+
+class TestTypes:
+    def test_long_long(self):
+        prog = ds("unsigned long long x;")
+        assert prog.objects[0].qty.ty == Integer(IntKind.ULLONG)
+
+    def test_keyword_order_irrelevant(self):
+        prog = ds("long unsigned int x; unsigned long y;")
+        assert prog.objects[0].qty.ty == prog.objects[1].qty.ty
+
+    def test_bad_combination(self):
+        with pytest.raises(DesugarError):
+            ds("signed unsigned x;")
+
+    def test_array_size_constant_folded(self):
+        prog = ds("int a[2 * 3 + 1];")
+        assert prog.objects[0].qty.ty.size == 7
+
+    def test_array_size_from_enum(self):
+        prog = ds("enum { N = 4 }; int a[N];")
+        assert prog.objects[0].qty.ty.size == 4
+
+    def test_incomplete_array_completed_by_init(self):
+        prog = ds("int a[] = { 1, 2, 3 };")
+        assert prog.objects[0].qty.ty.size == 3
+
+    def test_string_completes_char_array(self):
+        prog = ds('char s[] = "hi";')
+        obj = [o for o in prog.objects if o.sym.name == "s"][0]
+        assert obj.qty.ty.size == 3
+
+    def test_struct_recursive_pointer(self):
+        prog = ds("struct node { int v; struct node *next; };")
+        tags = prog.tags.all_tags()
+        assert len(tags) == 1
+        defn = next(iter(tags.values()))
+        assert isinstance(defn.members[1].qty.ty, Pointer)
+
+    def test_struct_vs_union_tag_clash(self):
+        with pytest.raises(DesugarError):
+            ds("struct t { int x; }; union t u;")
+
+    def test_param_array_decays(self):
+        prog = ds("void f(int a[10]) {} ")
+        f = [fd for s, fd in prog.functions.items()
+             if s.name == "f"][0]
+        assert isinstance(f.qty.ty.params[0].ty, Pointer)
+
+    def test_bitfields_unsupported(self):
+        with pytest.raises(UnsupportedError):
+            ds("struct s { int x : 3; };")
+
+    def test_vla_unsupported(self):
+        with pytest.raises(UnsupportedError):
+            ds("void f(int n) { int a[*]; }")
+
+    def test_typedef_chains(self):
+        prog = ds("typedef int T; typedef T U; U x;")
+        assert prog.objects[0].qty.ty == Integer(IntKind.INT)
+
+
+class TestStatements:
+    def test_for_desugars_to_while(self):
+        prog = ds("int main(void) { for (int i = 0; i < 3; i++) ; "
+                  "return 0; }")
+        block = main_of(prog).body.items[0]
+        assert isinstance(block, A.SBlock)
+        loop = block.items[1]
+        assert isinstance(loop, A.SWhile)
+        assert loop.step is not None
+
+    def test_do_while_flag(self):
+        prog = ds("int main(void) { do ; while (0); return 0; }")
+        loop = main_of(prog).body.items[0]
+        assert isinstance(loop, A.SWhile)
+        assert loop.loc_hint == "do"
+
+    def test_switch_collects_cases(self):
+        prog = ds("int main(void) { switch (1) { case 1: return 1; "
+                  "case 2: return 2; default: ; } return 0; }")
+        sw = main_of(prog).body.items[0]
+        assert isinstance(sw, A.SSwitch)
+        assert sorted(v for v, _ in sw.cases) == [1, 2]
+        assert sw.default is not None
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("int main(void) { switch (1) { case 1: ; case 1: ; } }")
+
+    def test_goto_undefined_label(self):
+        with pytest.raises(DesugarError):
+            ds("int main(void) { goto nowhere; return 0; }")
+
+    def test_forward_goto_shares_symbol(self):
+        prog = ds("int main(void) { goto l; l: return 0; }")
+        body = main_of(prog).body
+        goto = body.items[0]
+        label = body.items[1]
+        assert goto.sym == label.sym
+
+    def test_case_outside_switch(self):
+        with pytest.raises(DesugarError):
+            ds("int main(void) { case 1: return 0; }")
+
+
+class TestInitializers:
+    def test_designated_struct(self):
+        prog = ds("struct p { int x, y; }; "
+                  "struct p v = { .y = 2, .x = 1 };")
+        obj = [o for o in prog.objects if o.sym.name == "v"][0]
+        init = obj.init
+        assert isinstance(init, A.InitStruct)
+        assert dict((n, i.expr.value) for n, i in init.members) == \
+            {"x": 1, "y": 2}
+
+    def test_brace_elision(self):
+        prog = ds("int m[2][3] = { 1, 2, 3, 4, 5, 6 };")
+        init = prog.objects[0].init
+        assert isinstance(init, A.InitArray)
+        assert len(init.elems) == 2
+        row0 = init.elems[0][1]
+        assert [e.expr.value for _, e in row0.elems] == [1, 2, 3]
+
+    def test_array_designator(self):
+        prog = ds("int a[5] = { [3] = 9 };")
+        init = prog.objects[0].init
+        assert init.elems[0][0] == 3
+
+    def test_union_member_designator(self):
+        prog = ds("union u { int i; char c; }; "
+                  "union u v = { .c = 'x' };")
+        obj = [o for o in prog.objects if o.sym.name == "v"][0]
+        assert isinstance(obj.init, A.InitUnion)
+        assert obj.init.member == "c"
+
+    def test_excess_initialisers_rejected(self):
+        with pytest.raises(DesugarError):
+            ds("int a[2] = { 1, 2, 3 };")
+
+    def test_string_literal_object_created(self):
+        prog = ds('const char *s = "abc";')
+        lits = [o for o in prog.objects
+                if o.sym.name == "string_literal"]
+        assert len(lits) == 1
+        assert isinstance(lits[0].init, A.InitString)
+
+    def test_string_literals_deduplicated(self):
+        prog = ds('const char *a = "x"; const char *b = "x";')
+        lits = [o for o in prog.objects
+                if o.sym.name == "string_literal"]
+        assert len(lits) == 1
+
+
+class TestStaticAssert:
+    def test_pass(self):
+        ds("_Static_assert(sizeof(int) == 4, \"ok\");")
+
+    def test_fail(self):
+        with pytest.raises(DesugarError):
+            ds('_Static_assert(0, "boom");')
+
+    def test_sizeof_expr_in_const(self):
+        prog = ds("int main(void) { int *p; "
+                  "unsigned char b[sizeof(p)]; return sizeof(b); }")
+        decl = main_of(prog).body.items[1]
+        assert decl.qty.ty.size == 8

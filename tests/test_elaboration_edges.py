@@ -1,0 +1,249 @@
+"""Elaboration edge cases: goto restrictions, switch shapes, nested
+scopes, initialiser corner cases, conversions."""
+
+import pytest
+
+from repro.errors import UnsupportedError
+from repro.pipeline import compile_c, run_c
+
+
+class TestGotoRestrictions:
+    def test_top_level_labels_fine(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int n = 0;
+top:
+    n++;
+    if (n < 3) goto top;
+    goto done;
+    n = 100;
+done:
+    printf("%d\n", n);
+    return 0;
+}''')
+        assert out.stdout == "3\n"
+
+    def test_nested_label_rejected(self):
+        with pytest.raises(UnsupportedError):
+            compile_c(r'''
+int main(void) {
+    goto inner;
+    { inner: return 1; }
+    return 0;
+}''')
+
+    def test_goto_skips_initialiser_object_exists(self, run_ok):
+        # §6.2.4: lifetime starts at block entry; the initialiser is
+        # skipped but the object exists (uninitialised).
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    goto after;
+    int x = 99;     /* skipped */
+after:
+    x = 5;          /* object exists: lifetime began at block entry */
+    printf("%d\n", x);
+    return 0;
+}''')
+        assert out.stdout == "5\n"
+
+    def test_goto_into_loop_body_rejected(self):
+        with pytest.raises(UnsupportedError):
+            compile_c(r'''
+int main(void) {
+    goto inside;
+    for (int i = 0; i < 3; i++) { inside: i++; }
+    return 0;
+}''')
+
+
+class TestSwitchShapes:
+    def test_empty_switch(self, run_ok):
+        run_ok("int main(void) { switch (1) { } return 0; }")
+
+    def test_switch_no_match_no_default(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    switch (9) { case 1: printf("one\n"); }
+    printf("after\n");
+    return 0;
+}''')
+        assert out.stdout == "after\n"
+
+    def test_adjacent_case_labels(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int f(int x) {
+    switch (x) { case 1: case 2: case 3: return 10; default: return 20; }
+}
+int main(void) { printf("%d %d\n", f(2), f(4)); return 0; }''')
+        assert out.stdout == "10 20\n"
+
+    def test_declaration_in_switch_body(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    switch (1) {
+        case 1: { int local = 7; printf("%d\n", local); break; }
+        default: break;
+    }
+    return 0;
+}''')
+        assert out.stdout == "7\n"
+
+    def test_case_promotion(self, run_ok):
+        # Controlling expression char promotes; case constants
+        # converted to the promoted type (§6.8.4.2p5).
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char c = 'x';
+    switch (c) { case 'x': printf("match\n"); break; default: ; }
+    return 0;
+}''')
+        assert out.stdout == "match\n"
+
+
+class TestScopes:
+    def test_shadowing(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int x = 1;
+int main(void) {
+    int x = 2;
+    { int x = 3; printf("%d", x); }
+    printf("%d", x);
+    { printf("%d", x); }
+    printf("\n");
+    return 0;
+}''')
+        assert out.stdout == "322\n"
+
+    def test_sibling_blocks_reuse_names(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int total = 0;
+    { int v = 1; total += v; }
+    { int v = 10; total += v; }
+    printf("%d\n", total);
+    return 0;
+}''')
+        assert out.stdout == "11\n"
+
+    def test_for_init_scope(self, run_ok):
+        # The for-init declaration scopes over the loop only.
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int i = 100;
+    for (int i = 0; i < 3; i++) ;
+    printf("%d\n", i);
+    return 0;
+}''')
+        assert out.stdout == "100\n"
+
+
+class TestInitialiserEdges:
+    def test_partial_array_zeroes_rest(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int a[5] = { 1, 2 };
+    printf("%d %d %d\n", a[1], a[2], a[4]);
+    return 0;
+}''')
+        assert out.stdout == "2 0 0\n"
+
+    def test_designated_gap_zeroed(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int a[4] = { [2] = 9 };
+    printf("%d %d %d %d\n", a[0], a[1], a[2], a[3]);
+    return 0;
+}''')
+        assert out.stdout == "0 0 9 0\n"
+
+    def test_string_shorter_than_array(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char s[8] = "ab";
+    printf("%d %d %d\n", s[1], s[2], s[7]);
+    return 0;
+}''')
+        assert out.stdout == "98 0 0\n"
+
+    def test_nested_designators(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct in { int a, b; };
+struct out { struct in x; int y; };
+int main(void) {
+    struct out v = { .x.b = 5, .y = 6 };
+    printf("%d %d %d\n", v.x.a, v.x.b, v.y);
+    return 0;
+}''')
+        assert out.stdout == "0 5 6\n"
+
+    def test_init_expr_order_sequenced(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int n = 0;
+int next(void) { return ++n; }
+int main(void) {
+    int a[3] = { next(), next(), next() };
+    printf("%d %d %d\n", a[0], a[1], a[2]);
+    return 0;
+}''')
+        assert out.stdout == "1 2 3\n"
+
+
+class TestConversionEdges:
+    def test_bool_conversion_clamps(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdbool.h>
+int main(void) {
+    bool a = 42, b = 0, c = -1;
+    printf("%d %d %d\n", a, b, c);
+    return 0;
+}''')
+        assert out.stdout == "1 0 1\n"
+
+    def test_pointer_to_bool(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdbool.h>
+int main(void) {
+    int x;
+    bool p = &x, q = (int *)0;
+    printf("%d %d\n", p, q);
+    return 0;
+}''')
+        assert out.stdout == "1 0\n"
+
+    def test_double_to_int_truncates(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d %d\n", (int)3.9, (int)-3.9);
+    return 0;
+}''')
+        assert out.stdout == "3 -3\n"
+
+    def test_narrowing_assignment(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    unsigned char c = 0x1234;   /* wraps modulo 256 */
+    printf("%d\n", c);
+    return 0;
+}''')
+        assert out.stdout == "52\n"
+
+    def test_void_cast_discards(self, run_ok):
+        run_ok("int main(void) { (void)42; (void)(1 + 2); return 0; }")

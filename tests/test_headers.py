@@ -1,0 +1,107 @@
+"""The built-in standard-library headers: every one preprocesses,
+parses, and provides what it declares."""
+
+import pytest
+
+from repro.cpp.headers import BUILTIN_HEADERS
+from repro.pipeline import compile_c, run_c
+
+
+@pytest.mark.parametrize("header", sorted(BUILTIN_HEADERS))
+def test_header_compiles_alone(header):
+    compile_c(f"#include <{header}>\nint main(void) {{ return 0; }}")
+
+
+def test_all_headers_together():
+    includes = "\n".join(f"#include <{h}>"
+                         for h in sorted(BUILTIN_HEADERS))
+    compile_c(includes + "\nint main(void) { return 0; }")
+
+
+class TestLimits:
+    def test_int_limits(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <limits.h>
+int main(void) {
+    printf("%d %d %u\n", INT_MIN, INT_MAX, UINT_MAX);
+    printf("%d %d %d\n", CHAR_BIT, SCHAR_MIN, SCHAR_MAX);
+    return 0;
+}''')
+        assert out.stdout == ("-2147483648 2147483647 4294967295\n"
+                              "8 -128 127\n")
+
+    def test_long_limits_lp64(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <limits.h>
+int main(void) {
+    printf("%d %d\n", LONG_MAX == 9223372036854775807L,
+           LLONG_MIN < -9223372036854775807LL);
+    return 0;
+}''')
+        assert out.stdout == "1 1\n"
+
+
+class TestStdint:
+    def test_fixed_width_sizes(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdint.h>
+int main(void) {
+    printf("%d %d %d %d %d\n",
+           (int)sizeof(int8_t), (int)sizeof(int16_t),
+           (int)sizeof(int32_t), (int)sizeof(int64_t),
+           (int)sizeof(uintptr_t));
+    return 0;
+}''')
+        assert out.stdout == "1 2 4 8 8\n"
+
+    def test_fixed_width_limits(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdint.h>
+int main(void) {
+    printf("%d %d %u\n", INT8_MIN, INT16_MAX, UINT32_MAX);
+    return 0;
+}''')
+        assert out.stdout == "-128 32767 4294967295\n"
+
+
+class TestStddef:
+    def test_null_and_sizet(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stddef.h>
+int main(void) {
+    int *p = NULL;
+    size_t n = sizeof(p);
+    printf("%d %zu\n", p == 0, n);
+    return 0;
+}''')
+        assert out.stdout == "1 8\n"
+
+    def test_offsetof(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stddef.h>
+struct s { char c; int i; long l; };
+int main(void) {
+    printf("%zu %zu %zu\n", offsetof(struct s, c),
+           offsetof(struct s, i), offsetof(struct s, l));
+    return 0;
+}''')
+        assert out.stdout == "0 4 8\n"
+
+
+class TestStdbool:
+    def test_bool_macros(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdbool.h>
+int main(void) {
+    bool t = true, f = false;
+    printf("%d %d %d\n", t, f, sizeof(bool) == 1);
+    return 0;
+}''')
+        assert out.stdout == "1 0 1\n"

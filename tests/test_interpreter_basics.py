@@ -1,0 +1,367 @@
+"""End-to-end interpreter tests: arithmetic, conversions, control flow
+(ISO §6.5, §6.8; paper §5.5)."""
+
+import pytest
+
+
+class TestArithmetic:
+    def test_integer_ops(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d %d %d %d %d\n", 7+3, 7-3, 7*3, 7/3, 7%3);
+    printf("%d %d %d\n", -7/3, -7%3, 7/-3);
+    return 0;
+}''')
+        assert out.stdout == "10 4 21 2 1\n-2 -1 -2\n"
+
+    def test_truncating_division(self, run_ok):
+        # §6.5.5p6: truncation toward zero.
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) { printf("%d %d\n", -9/2, -9%2); return 0; }''')
+        assert out.stdout == "-4 -1\n"
+
+    def test_bitwise(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d %d %d %d\n", 12 & 10, 12 | 10, 12 ^ 10, ~0);
+    return 0;
+}''')
+        assert out.stdout == "8 14 6 -1\n"
+
+    def test_shifts(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d %d %u\n", 1 << 10, 1024 >> 3, 3u << 31);
+    return 0;
+}''')
+        assert out.stdout == "1024 128 2147483648\n"
+
+    def test_unsigned_wraparound(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    unsigned int x = 0u;
+    printf("%u\n", x - 1u);
+    return 0;
+}''')
+        assert out.stdout == "4294967295\n"
+
+    def test_minus_one_lt_unsigned_zero(self, run_ok):
+        # Paper §5.5: -1 < (unsigned int)0 evaluates to 0.
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) { printf("%d\n", -1 < (unsigned int)0); return 0; }''')
+        assert out.stdout == "0\n"
+
+    def test_integer_promotion_char_arith(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char a = 100, b = 100;
+    int c = a + b;          /* promoted: no char overflow */
+    printf("%d\n", c);
+    return 0;
+}''')
+        assert out.stdout == "200\n"
+
+    def test_signed_char_wrap_on_assignment(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    signed char c = 200;    /* impl-defined: wraps like GCC */
+    printf("%d\n", c);
+    return 0;
+}''')
+        assert out.stdout == "-56\n"
+
+    def test_logical_short_circuit(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int side(int r) { printf("side "); return r; }
+int main(void) {
+    int a = 0 && side(1);
+    int b = 1 || side(1);
+    int c = 1 && side(0);
+    printf("%d %d %d\n", a, b, c);
+    return 0;
+}''')
+        assert out.stdout == "side 0 1 0\n"
+
+    def test_conditional_operator(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 5;
+    printf("%d %d\n", x > 3 ? 10 : 20, x < 3 ? 10 : 20);
+    return 0;
+}''')
+        assert out.stdout == "10 20\n"
+
+    def test_comma_operator(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = (1, 2, 3);
+    printf("%d\n", x);
+    return 0;
+}''')
+        assert out.stdout == "3\n"
+
+    def test_float_arithmetic(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    double d = 3.5 * 2.0 + 1.0;
+    printf("%.1f %d\n", d, (int)d);
+    return 0;
+}''')
+        assert out.stdout == "8.0 8\n"
+
+    def test_float_int_conversions(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int i = 7;
+    double d = i / 2;        /* integer division first */
+    double e = i / 2.0;      /* float division */
+    printf("%.1f %.1f\n", d, e);
+    return 0;
+}''')
+        assert out.stdout == "3.0 3.5\n"
+
+
+class TestArithmeticUB:
+    def test_signed_overflow(self, expect_ub):
+        expect_ub("int main(void){ int x = 2147483647; return x + 1; }",
+                  "Exceptional_condition")
+
+    def test_int_min_negation(self, expect_ub):
+        expect_ub("int main(void){ int x = -2147483647 - 1; "
+                  "return -x; }", "Exceptional_condition")
+
+    def test_division_by_zero(self, expect_ub):
+        expect_ub("int main(void){ int z = 0; return 5 / z; }",
+                  "Division_by_zero")
+
+    def test_mod_by_zero(self, expect_ub):
+        expect_ub("int main(void){ int z = 0; return 5 % z; }",
+                  "Division_by_zero")
+
+    def test_int_min_div_minus_one(self, expect_ub):
+        expect_ub("int main(void){ int a = -2147483647 - 1; "
+                  "int b = -1; return a / b; }",
+                  "Exceptional_condition")
+
+    def test_shift_too_large(self, expect_ub):
+        expect_ub("int main(void){ int n = 32; return 1 << n; }",
+                  "Shift_too_large")
+
+    def test_negative_shift(self, expect_ub):
+        expect_ub("int main(void){ int n = -2; return 4 >> n; }",
+                  "Negative_shift")
+
+    def test_signed_left_shift_overflow(self, expect_ub):
+        expect_ub("int main(void){ int x = 1; return x << 31; }",
+                  "Exceptional_condition")
+
+    def test_unsigned_left_shift_wraps(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) { printf("%u\n", 1u << 31 << 1); return 0; }''')
+        # (1u<<31)<<1 reduces modulo 2^32 -> 0 (defined!)
+        assert out.stdout == "0\n"
+
+
+class TestControlFlow:
+    def test_nested_loops_break_continue(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 5; i++) {
+        if (i == 1) continue;
+        if (i == 4) break;
+        for (int j = 0; j < 3; j++) {
+            if (j == 2) break;
+            total += 10 * i + j;
+        }
+    }
+    printf("%d\n", total);
+    return 0;
+}''')
+        # i=0: 0+1; i=2: 20+21; i=3: 30+31 => 103
+        assert out.stdout == "103\n"
+
+    def test_while_condition_side_effect(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int n = 0, count = 0;
+    while (n++ < 5) count++;
+    printf("%d %d\n", n, count);
+    return 0;
+}''')
+        assert out.stdout == "6 5\n"
+
+    def test_do_while_runs_once(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int n = 0;
+    do { n++; } while (0);
+    printf("%d\n", n);
+    return 0;
+}''')
+        assert out.stdout == "1\n"
+
+    def test_switch_fallthrough_and_default(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+const char *pick(int x) {
+    switch (x) {
+        case 1:
+        case 2: return "small";
+        case 3: break;
+        default: return "other";
+    }
+    return "three";
+}
+int main(void) {
+    printf("%s %s %s %s\n", pick(1), pick(2), pick(3), pick(9));
+    return 0;
+}''')
+        assert out.stdout == "small small three other\n"
+
+    def test_switch_negative_case(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = -2;
+    switch (x) { case -2: printf("neg\n"); break; default: ; }
+    return 0;
+}''')
+        assert out.stdout == "neg\n"
+
+    def test_goto_forward_cleanup_idiom(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int err = 0;
+    for (int i = 0; i < 10; i++)
+        if (i == 3) { err = 1; goto fail; }
+    printf("no error\n");
+    return 0;
+fail:
+    printf("cleanup %d\n", err);
+    return 1;
+}''')
+        assert out.stdout == "cleanup 1\n"
+        assert out.exit_code == 1
+
+    def test_goto_backward_loop(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int i = 0;
+again:
+    i++;
+    if (i < 4) goto again;
+    printf("%d\n", i);
+    return 0;
+}''')
+        assert out.stdout == "4\n"
+
+    def test_recursion(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main(void) { printf("%d\n", ack(2, 3)); return 0; }''')
+        assert out.stdout == "9\n"
+
+    def test_mutual_recursion(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int is_odd(int n);
+int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+int main(void) { printf("%d %d\n", is_even(10), is_odd(7)); return 0; }
+''')
+        assert out.stdout == "1 1\n"
+
+    def test_main_implicit_return_zero(self, run_ok):
+        out = run_ok("int main(void) { }")
+        assert out.exit_code == 0
+
+    def test_exit_code(self, run):
+        out = run("int main(void) { return 42; }")
+        assert out.exit_code == 42
+
+
+class TestIncrementDecrement:
+    def test_postfix_value_is_old(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 5;
+    int y = x++;
+    printf("%d %d\n", x, y);
+    return 0;
+}''')
+        assert out.stdout == "6 5\n"
+
+    def test_prefix_value_is_new(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 5;
+    int y = ++x;
+    printf("%d %d\n", x, y);
+    return 0;
+}''')
+        assert out.stdout == "6 6\n"
+
+    def test_decrement(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 5;
+    int a = x--;
+    int b = --x;
+    printf("%d %d %d\n", a, b, x);
+    return 0;
+}''')
+        assert out.stdout == "5 3 3\n"
+
+    def test_unsequenced_double_decrement_is_ub(self, expect_ub):
+        # printf("%d %d", x--, --x) modifies x twice unsequenced.
+        expect_ub(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 5;
+    printf("%d %d\n", x--, --x);
+    return 0;
+}''', "Unsequenced_race")
+
+    def test_compound_assignments(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 10;
+    x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 3; x |= 1;
+    x &= 0x1F; x ^= 0x10;
+    printf("%d\n", x);
+    return 0;
+}''')
+        assert out.stdout == "1\n"
+
+    def test_postfix_overflow_is_ub(self, expect_ub):
+        expect_ub("int main(void){ int x = 2147483647; x++; return 0; }",
+                  "Exceptional_condition")

@@ -1,0 +1,364 @@
+"""End-to-end interpreter tests: pointers, arrays, structs, unions,
+lifetimes (ISO §6.5.3.2, §6.5.6, §6.7.2.1; paper §2, §5.7)."""
+
+import pytest
+
+
+class TestPointers:
+    def test_address_and_deref(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    *p = 2;
+    printf("%d\n", x);
+    return 0;
+}''')
+        assert out.stdout == "2\n"
+
+    def test_pointer_to_pointer(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    int **pp = &p;
+    **pp = 7;
+    printf("%d\n", x);
+    return 0;
+}''')
+        assert out.stdout == "7\n"
+
+    def test_swap_through_pointers(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+int main(void) {
+    int x = 1, y = 2;
+    swap(&x, &y);
+    printf("%d %d\n", x, y);
+    return 0;
+}''')
+        assert out.stdout == "2 1\n"
+
+    def test_array_indexing_equivalences(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int a[4] = {10, 20, 30, 40};
+    printf("%d %d %d %d\n", a[1], *(a + 2), 3[a], *(3 + a));
+    return 0;
+}''')
+        assert out.stdout == "20 30 40 40\n"
+
+    def test_pointer_arithmetic_walk(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int a[5] = {1, 2, 3, 4, 5};
+    int sum = 0;
+    for (int *p = a; p < a + 5; p++) sum += *p;
+    printf("%d\n", sum);
+    return 0;
+}''')
+        assert out.stdout == "15\n"
+
+    def test_ptrdiff(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int a[10];
+    printf("%d\n", (int)(&a[7] - &a[2]));
+    return 0;
+}''')
+        assert out.stdout == "5\n"
+
+    def test_function_pointers(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*f)(int, int), int x, int y) { return f(x, y); }
+int main(void) {
+    int (*ops[2])(int, int) = { add, mul };
+    printf("%d %d %d\n", apply(add, 2, 3), apply(mul, 2, 3),
+           ops[1](4, 5));
+    return 0;
+}''')
+        assert out.stdout == "5 6 20\n"
+
+    def test_null_function_pointer_call(self, expect_ub):
+        expect_ub(r'''
+int main(void) {
+    int (*f)(void) = 0;
+    return f();
+}''', "Indirection_invalid_function_pointer")
+
+    def test_string_literal_access(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    const char *s = "hello";
+    printf("%c%c %s\n", s[0], s[1], s + 2);
+    return 0;
+}''')
+        assert out.stdout == "he llo\n"
+
+    def test_string_literal_write_is_ub(self, expect_ub):
+        expect_ub(r'''
+int main(void) {
+    char *s = (char *)"abc";
+    s[0] = 'X';
+    return 0;
+}''', "Modifying_const_object")
+
+
+class TestStructs:
+    def test_nested_struct_access(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct inner { int a, b; };
+struct outer { struct inner in; int c; };
+int main(void) {
+    struct outer o = { {1, 2}, 3 };
+    o.in.b = 20;
+    printf("%d %d %d\n", o.in.a, o.in.b, o.c);
+    return 0;
+}''')
+        assert out.stdout == "1 20 3\n"
+
+    def test_struct_assignment_copies(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct p { int x, y; };
+int main(void) {
+    struct p a = {1, 2};
+    struct p b = a;
+    b.x = 9;
+    printf("%d %d %d %d\n", a.x, a.y, b.x, b.y);
+    return 0;
+}''')
+        assert out.stdout == "1 2 9 2\n"
+
+    def test_struct_by_value_param_and_return(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct p { int x, y; };
+struct p flip(struct p v) { struct p r = { v.y, v.x }; return r; }
+int main(void) {
+    struct p a = {1, 2};
+    struct p b = flip(a);
+    printf("%d %d %d %d\n", a.x, a.y, b.x, b.y);
+    return 0;
+}''')
+        assert out.stdout == "1 2 2 1\n"
+
+    def test_array_of_structs(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct kv { int k; int v; };
+int main(void) {
+    struct kv table[3] = { {1, 10}, {2, 20}, {3, 30} };
+    int sum = 0;
+    for (int i = 0; i < 3; i++) sum += table[i].v;
+    printf("%d\n", sum);
+    return 0;
+}''')
+        assert out.stdout == "60\n"
+
+    def test_arrow_chain(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct node { int v; struct node *next; };
+int main(void) {
+    struct node c = {3, 0}, b = {2, &c}, a = {1, &b};
+    printf("%d\n", a.next->next->v);
+    return 0;
+}''')
+        assert out.stdout == "3\n"
+
+    def test_union_aliasing(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+union u { unsigned int i; unsigned short s[2]; };
+int main(void) {
+    union u v;
+    v.i = 0x00020001u;
+    printf("%u %u\n", v.s[0], v.s[1]);
+    return 0;
+}''')
+        assert out.stdout == "1 2\n"
+
+    def test_struct_with_array_member(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct buf { int len; char data[8]; };
+int main(void) {
+    struct buf b = { 2, "hi" };
+    printf("%d %s\n", b.len, b.data);
+    return 0;
+}''')
+        assert out.stdout == "2 hi\n"
+
+
+class TestLifetimes:
+    def test_block_scope_lifetime_end(self, expect_ub):
+        expect_ub(r'''
+int main(void) {
+    int *p;
+    { int x = 5; p = &x; }
+    return *p;            /* x is dead (§6.2.4) */
+}''', "Access_dead_object")
+
+    def test_dangling_stack_pointer_from_call(self, expect_ub):
+        expect_ub(r'''
+int *leak(void) { int x = 5; return &x; }
+int main(void) { return *leak(); }
+''', "Access_dead_object")
+
+    def test_loop_iteration_objects_fresh(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 3; i++) { int x = i * 2; total += x; }
+    printf("%d\n", total);
+    return 0;
+}''')
+        assert out.stdout == "6\n"
+
+    def test_use_after_free(self, expect_ub):
+        expect_ub(r'''
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(4);
+    *p = 1;
+    free(p);
+    return *p;
+}''', "Access_dead_object")
+
+    def test_compound_literal_lifetime(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct p { int x, y; };
+int main(void) {
+    struct p *q = &(struct p){ 4, 5 };
+    printf("%d %d\n", q->x, q->y);
+    return 0;
+}''')
+        assert out.stdout == "4 5\n"
+
+
+class TestHeap:
+    def test_malloc_array(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    int *a = malloc(5 * sizeof(int));
+    for (int i = 0; i < 5; i++) a[i] = i * i;
+    int sum = 0;
+    for (int i = 0; i < 5; i++) sum += a[i];
+    free(a);
+    printf("%d\n", sum);
+    return 0;
+}''')
+        assert out.stdout == "30\n"
+
+    def test_calloc_zeroed(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    int *a = calloc(4, sizeof(int));
+    printf("%d %d\n", a[0], a[3]);
+    free(a);
+    return 0;
+}''')
+        assert out.stdout == "0 0\n"
+
+    def test_realloc_preserves_prefix(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    int *a = malloc(2 * sizeof(int));
+    a[0] = 11; a[1] = 22;
+    a = realloc(a, 4 * sizeof(int));
+    a[2] = 33;
+    printf("%d %d %d\n", a[0], a[1], a[2]);
+    free(a);
+    return 0;
+}''')
+        assert out.stdout == "11 22 33\n"
+
+    def test_free_null_ok(self, run_ok):
+        run_ok(r'''
+#include <stdlib.h>
+int main(void) { free(0); return 0; }''')
+
+    def test_heap_oob_write(self, expect_ub):
+        expect_ub(r'''
+#include <stdlib.h>
+int main(void) {
+    char *p = malloc(4);
+    p[4] = 1;     /* one past the end: store is UB */
+    return 0;
+}''')
+
+    def test_linked_list(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdlib.h>
+struct node { int v; struct node *next; };
+int main(void) {
+    struct node *head = 0;
+    for (int i = 1; i <= 5; i++) {
+        struct node *n = malloc(sizeof(struct node));
+        n->v = i; n->next = head; head = n;
+    }
+    int sum = 0;
+    while (head) {
+        struct node *d = head;
+        sum += head->v;
+        head = head->next;
+        free(d);
+    }
+    printf("%d\n", sum);
+    return 0;
+}''')
+        assert out.stdout == "15\n"
+
+
+class TestGlobals:
+    def test_zero_initialisation(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int g;
+int arr[3];
+int *p;
+int main(void) {
+    printf("%d %d %d\n", g, arr[2], p == 0);
+    return 0;
+}''')
+        assert out.stdout == "0 0 1\n"
+
+    def test_global_init_with_addresses(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int x = 5;
+int *px = &x;
+int main(void) { printf("%d\n", *px); return 0; }''')
+        assert out.stdout == "5\n"
+
+    def test_static_local_persists(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int counter(void) { static int n = 0; return ++n; }
+int main(void) {
+    counter(); counter();
+    printf("%d\n", counter());
+    return 0;
+}''')
+        assert out.stdout == "3\n"

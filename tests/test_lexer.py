@@ -1,0 +1,131 @@
+"""Unit tests for the lexer (ISO C11 §6.4)."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lex import Token, TokenKind, lex_text
+
+
+def toks(text):
+    return [t for t in lex_text(text)
+            if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def texts(text):
+    return [t.text for t in toks(text)]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert texts("foo _bar baz42 _0") == ["foo", "_bar", "baz42",
+                                              "_0"]
+
+    def test_keywords_are_identifiers_to_lexer(self):
+        # Keyword classification happens in the parser (phase 7).
+        ts = toks("int return while")
+        assert all(t.kind is TokenKind.IDENT for t in ts)
+
+    def test_punctuators_longest_match(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+        assert texts("a--b") == ["a", "--", "b"]
+        assert texts("x...y") == ["x", "...", "y"]
+
+    def test_digraphs_canonicalised(self):
+        assert texts("<% %> <: :>") == ["{", "}", "[", "]"]
+
+    def test_ellipsis_vs_dots(self):
+        assert texts("f(...)") == ["f", "(", "...", ")"]
+
+
+class TestNumbers:
+    def test_pp_numbers(self):
+        assert texts("0 42 0x1F 017 1.5 1e10 0x1p3") == \
+            ["0", "42", "0x1F", "017", "1.5", "1e10", "0x1p3"]
+
+    def test_suffixes_stay_attached(self):
+        assert texts("1u 2UL 3ll 4ULL") == ["1u", "2UL", "3ll", "4ULL"]
+
+    def test_exponent_sign_included(self):
+        assert texts("1e+5 1e-5") == ["1e+5", "1e-5"]
+
+    def test_adjacent_number_then_op(self):
+        assert texts("1+2") == ["1", "+", "2"]
+
+
+class TestCharConstants:
+    def test_simple(self):
+        t = toks("'a'")[0]
+        assert t.kind is TokenKind.CHAR_CONST
+        assert t.value == ord("a")
+
+    def test_escapes(self):
+        cases = {r"'\n'": 10, r"'\t'": 9, r"'\0'": 0, r"'\x41'": 0x41,
+                 r"'\''": 39, r"'\\'": 92, r"'\177'": 0o177}
+        for text, value in cases.items():
+            assert toks(text)[0].value == value, text
+
+    def test_multichar_constant(self):
+        # Implementation-defined; we follow GCC packing.
+        assert toks("'ab'")[0].value == (ord("a") << 8) | ord("b")
+
+    def test_empty_char_is_error(self):
+        with pytest.raises(LexError):
+            lex_text("''")
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            lex_text("'a")
+
+
+class TestStrings:
+    def test_simple(self):
+        t = toks('"hello"')[0]
+        assert t.kind is TokenKind.STRING
+        assert t.value == b"hello"
+
+    def test_escapes(self):
+        assert toks(r'"a\nb\0"')[0].value == b"a\nb\x00"
+
+    def test_hex_escape(self):
+        assert toks(r'"\x41\x42"')[0].value == b"AB"
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            lex_text('"abc')
+
+
+class TestCommentsAndSplices:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_block_comment_is_whitespace(self):
+        ts = toks("a/*x*/b")
+        assert ts[1].preceded_by_space
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            lex_text("/* never closed")
+
+    def test_line_splice(self):
+        assert texts("ab\\\ncd") == ["abcd"]
+
+    def test_line_splice_in_string(self):
+        assert toks('"ab\\\ncd"')[0].value == b"abcd"
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        ts = toks("a\n  b")
+        assert (ts[0].loc.line, ts[0].loc.col) == (1, 1)
+        assert (ts[1].loc.line, ts[1].loc.col) == (2, 3)
+
+    def test_at_line_start_flag(self):
+        ts = toks("a b\nc")
+        assert ts[0].at_line_start
+        assert not ts[1].at_line_start
+        assert ts[2].at_line_start

@@ -1,0 +1,199 @@
+"""The mini-libc implemented against the memory object model."""
+
+import pytest
+
+
+class TestPrintf:
+    def test_conversions(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d|%u|%x|%X|%o|%c|%s|%%\n",
+           -5, 7u, 255, 255, 8, 'Z', "str");
+    return 0;
+}''')
+        assert out.stdout == "-5|7|ff|FF|10|Z|str|%\n"
+
+    def test_width_and_precision(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("[%5d][%-5d][%05d][%.2f]\n", 42, 42, 42, 3.14159);
+    return 0;
+}''')
+        assert out.stdout == "[   42][42   ][00042][3.14]\n"
+
+    def test_length_modifiers(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    long l = 123456789012345L;
+    unsigned long ul = 18446744073709551615UL;
+    printf("%ld %lu %zu\n", l, ul, sizeof(int));
+    return 0;
+}''')
+        assert out.stdout == "123456789012345 18446744073709551615 4\n"
+
+    def test_pointer_format(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int g;
+int main(void) { printf("%p\n", (void*)&g); return 0; }''')
+        assert out.stdout.startswith("0x")
+
+    def test_return_value_is_length(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) { int n = printf("abc\n"); return n; }''')
+        assert out.exit_code == 4
+
+    def test_puts_putchar(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) { puts("line"); putchar('x'); putchar(10); return 0; }
+''')
+        assert out.stdout == "line\nx\n"
+
+    def test_sprintf_and_snprintf(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char buf[32];
+    sprintf(buf, "%d-%s", 7, "ok");
+    puts(buf);
+    char small[4];
+    int n = snprintf(small, 4, "%d", 123456);
+    printf("%s %d\n", small, n);
+    return 0;
+}''')
+        assert out.stdout == "7-ok\n123 6\n"
+
+
+class TestStringH:
+    def test_strlen_strcmp(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+    printf("%zu %d %d %d\n", strlen("hello"),
+           strcmp("a", "b"), strcmp("b", "a"), strcmp("x", "x"));
+    return 0;
+}''')
+        assert out.stdout == "5 -1 1 0\n"
+
+    def test_strncmp(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+    printf("%d %d\n", strncmp("abcX", "abcY", 3),
+           strncmp("abcX", "abcY", 4) != 0);
+    return 0;
+}''')
+        assert out.stdout == "0 1\n"
+
+    def test_strcpy_strcat_strchr(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+    char buf[32];
+    strcpy(buf, "foo");
+    strcat(buf, "bar");
+    char *r = strchr(buf, 'b');
+    printf("%s %s\n", buf, r);
+    return 0;
+}''')
+        assert out.stdout == "foobar bar\n"
+
+    def test_memset_memcmp(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+    char a[8], b[8];
+    memset(a, 7, 8);
+    memset(b, 7, 8);
+    printf("%d %d\n", memcmp(a, b, 8), a[3]);
+    return 0;
+}''')
+        assert out.stdout == "0 7\n"
+
+    def test_memcpy_overlapping_via_memmove(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <string.h>
+int main(void) {
+    char buf[8] = "abcdef";
+    memmove(buf + 2, buf, 4);
+    printf("%s\n", buf);
+    return 0;
+}''')
+        assert out.stdout == "ababcd\n"
+
+    def test_memcpy_out_of_bounds(self, expect_ub):
+        expect_ub(r'''
+#include <string.h>
+int main(void) {
+    char small[2];
+    memcpy(small, "too long for it", 10);
+    return 0;
+}''')
+
+
+class TestStdlib:
+    def test_abs_atoi(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    printf("%d %d %d %d\n", abs(-7), atoi("42"), atoi("-13"),
+           atoi("99bottles"));
+    return 0;
+}''')
+        assert out.stdout == "7 42 -13 99\n"
+
+    def test_exit_stops_execution(self, run):
+        out = run(r'''
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    printf("before\n");
+    exit(3);
+    printf("after\n");
+    return 0;
+}''')
+        assert out.status == "exit"
+        assert out.exit_code == 3
+        assert out.stdout == "before\n"
+
+    def test_abort(self, run):
+        out = run(r'''
+#include <stdlib.h>
+int main(void) { abort(); return 0; }''')
+        assert out.status == "abort"
+
+    def test_rand_deterministic(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+#include <stdlib.h>
+int main(void) {
+    srand(1);
+    int a = rand();
+    srand(1);
+    int b = rand();
+    printf("%d\n", a == b);
+    return 0;
+}''')
+        assert out.stdout == "1\n"
+
+    def test_assert_pass_and_fail(self, run):
+        ok = run(r'''
+#include <assert.h>
+int main(void) { assert(1 == 1); return 0; }''')
+        assert ok.status == "done"
+        bad = run(r'''
+#include <assert.h>
+int main(void) { assert(1 == 2); return 0; }''')
+        assert bad.status == "abort"
+        assert "Assertion failed" in bad.stdout

@@ -1,0 +1,164 @@
+"""Unit and property tests for memory values, abstract bytes, and the
+repify/abstify codec (paper §5.9)."""
+
+from hypothesis import given, strategies as st
+
+from repro.ctypes import LP64, Member, QualType, TagEnv
+from repro.ctypes.types import (
+    Array, Integer, IntKind, Pointer, StructRef,
+)
+from repro.memory.values import (
+    AByte, combine_provenance, IntegerValue, MVArray, MVInteger,
+    MVPointer, MVStruct, MVUnspecified, PointerValue, PROV_EMPTY,
+    PROV_WILDCARD, ValueCodec, zero_value,
+)
+
+_INT = Integer(IntKind.INT)
+_UCHAR = Integer(IntKind.UCHAR)
+
+
+def codec():
+    return ValueCodec(LP64, TagEnv())
+
+
+class TestProvenanceAlgebra:
+    def test_empty_is_identity(self):
+        assert combine_provenance(PROV_EMPTY, 3) == 3
+        assert combine_provenance(3, PROV_EMPTY) == 3
+
+    def test_same_provenance_kept(self):
+        assert combine_provenance(5, 5) == 5
+
+    def test_distinct_provenances_cancel(self):
+        # §5.9: arithmetic involving two distinct provenances gives a
+        # pure integer.
+        assert combine_provenance(1, 2) is PROV_EMPTY
+
+    @given(st.sampled_from([None, 1, 2]),
+           st.sampled_from([None, 1, 2]))
+    def test_commutative(self, a, b):
+        assert combine_provenance(a, b) == combine_provenance(b, a)
+
+
+class TestIntegerCodec:
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_int_roundtrip(self, value):
+        c = codec()
+        mv = MVInteger(_INT, IntegerValue(value))
+        data = c.repify(_INT, mv)
+        assert len(data) == 4
+        back = c.abstify(_INT, data)
+        assert isinstance(back, MVInteger)
+        assert back.ival.value == value
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_ulong_roundtrip(self, value):
+        ty = Integer(IntKind.ULONG)
+        c = codec()
+        data = c.repify(ty, MVInteger(ty, IntegerValue(value)))
+        back = c.abstify(ty, data)
+        assert back.ival.value == value
+
+    def test_little_endian(self):
+        c = codec()
+        data = c.repify(_INT, MVInteger(_INT, IntegerValue(0x01020304)))
+        assert [b.value for b in data] == [4, 3, 2, 1]
+
+    def test_provenance_on_every_byte(self):
+        c = codec()
+        data = c.repify(_INT, MVInteger(_INT, IntegerValue(7, prov=9)))
+        assert all(b.prov == 9 for b in data)
+
+    def test_unspecified_byte_poisons(self):
+        c = codec()
+        data = c.repify(_INT, MVInteger(_INT, IntegerValue(7)))
+        data[2] = AByte()
+        back = c.abstify(_INT, data)
+        assert isinstance(back, MVUnspecified)
+
+    def test_mixed_provenance_reads_empty(self):
+        c = codec()
+        data = c.repify(_INT, MVInteger(_INT, IntegerValue(7, prov=1)))
+        data[0] = AByte(data[0].value, 2)
+        back = c.abstify(_INT, data)
+        assert back.ival.prov is PROV_EMPTY
+
+
+class TestPointerCodec:
+    def test_pointer_roundtrip_keeps_provenance(self):
+        c = codec()
+        pty = Pointer(QualType(_INT))
+        ptr = PointerValue(0x1000, 4)
+        data = c.repify(pty, MVPointer(QualType(_INT), ptr))
+        back = c.abstify(pty, data)
+        assert isinstance(back, MVPointer)
+        assert back.ptr.addr == 0x1000
+        assert back.ptr.prov == 4
+
+    def test_pointer_read_as_integers_carries_provenance(self):
+        # Q13/Q14: copying the bytes through uchar reads keeps the
+        # provenance on every byte.
+        c = codec()
+        pty = Pointer(QualType(_INT))
+        ptr = PointerValue(0x2000, 7)
+        data = c.repify(pty, MVPointer(QualType(_INT), ptr))
+        for b in data:
+            one = c.abstify(_UCHAR, [b])
+            assert one.ival.prov == 7
+
+    def test_shuffled_pointer_bytes_lose_fragment(self):
+        c = codec()
+        pty = Pointer(QualType(_INT))
+        ptr = PointerValue(0x2000, 7)
+        data = c.repify(pty, MVPointer(QualType(_INT), ptr))
+        shuffled = list(reversed(data))
+        back = c.abstify(pty, shuffled)
+        # Same single provenance, but the address is garbled.
+        assert back.ptr.prov == 7
+        assert back.ptr.addr != ptr.addr
+
+
+class TestAggregates:
+    def _struct(self):
+        tags = TagEnv()
+        tag = tags.fresh_tag("s", False)
+        tags.define(tag, [Member("c", QualType(Integer(IntKind.CHAR))),
+                          Member("i", QualType(_INT))])
+        return ValueCodec(LP64, tags), StructRef(tag), tags
+
+    def test_struct_roundtrip(self):
+        c, ref, tags = self._struct()
+        mv = MVStruct(ref.tag, (
+            ("c", MVInteger(Integer(IntKind.CHAR), IntegerValue(1))),
+            ("i", MVInteger(_INT, IntegerValue(2)))))
+        data = c.repify(ref, mv)
+        assert len(data) == 8
+        back = c.abstify(ref, data)
+        values = dict(back.members)
+        assert values["c"].ival.value == 1
+        assert values["i"].ival.value == 2
+
+    def test_struct_padding_unspecified(self):
+        c, ref, tags = self._struct()
+        mv = MVStruct(ref.tag, (
+            ("c", MVInteger(Integer(IntKind.CHAR), IntegerValue(1))),
+            ("i", MVInteger(_INT, IntegerValue(2)))))
+        data = c.repify(ref, mv)
+        assert data[1].is_unspecified  # §2.5: repify writes
+        assert data[2].is_unspecified  # unspecified over padding
+        assert data[3].is_unspecified
+
+    def test_array_roundtrip(self):
+        c = codec()
+        arr = Array(QualType(_INT), 3)
+        mv = MVArray(_INT, tuple(
+            MVInteger(_INT, IntegerValue(i * 10)) for i in range(3)))
+        back = c.abstify(arr, c.repify(arr, mv))
+        assert [e.ival.value for e in back.elems] == [0, 10, 20]
+
+    def test_zero_value_struct(self):
+        c, ref, tags = self._struct()
+        zv = zero_value(ref, LP64, tags)
+        values = dict(zv.members)
+        assert values["c"].ival.value == 0
+        assert values["i"].ival.value == 0

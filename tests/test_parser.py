@@ -1,0 +1,239 @@
+"""Unit tests for the parser (ISO C11 §6.5-6.9)."""
+
+import pytest
+
+from repro.cabs import ast as C
+from repro.cparser import parse_text
+from repro.errors import ParseError
+
+
+def first_decl(src):
+    return parse_text(src).decls[0]
+
+
+def main_body(src):
+    tu = parse_text(src)
+    for d in tu.decls:
+        if isinstance(d, C.FunctionDef):
+            return d.body
+    raise AssertionError("no function definition")
+
+
+def parse_expr(text):
+    body = main_body(f"int main(void) {{ {text}; }}")
+    stmt = body.items[0]
+    assert isinstance(stmt, C.SExpr)
+    return stmt.expr
+
+
+class TestDeclarations:
+    def test_simple(self):
+        d = first_decl("int x;")
+        assert isinstance(d, C.Declaration)
+        assert d.declarators[0].declarator.name == "x"
+
+    def test_pointer_declarator(self):
+        d = first_decl("int *p;")
+        decl = d.declarators[0].declarator
+        assert isinstance(decl, C.DPointer)
+        assert isinstance(decl.inner, C.DIdent)
+
+    def test_array_of_pointers_vs_pointer_to_array(self):
+        d1 = first_decl("int *a[3];").declarators[0].declarator
+        assert isinstance(d1, C.DPointer)      # wraps outward
+        assert isinstance(d1.inner, C.DArray)
+        d2 = first_decl("int (*a)[3];").declarators[0].declarator
+        assert isinstance(d2, C.DArray)
+        assert isinstance(d2.inner, C.DPointer)
+
+    def test_function_pointer(self):
+        d = first_decl("int (*fp)(int, char);")
+        decl = d.declarators[0].declarator
+        assert isinstance(decl, C.DFunction)
+        assert isinstance(decl.inner, C.DPointer)
+        assert len(decl.params) == 2
+
+    def test_typedef_then_use(self):
+        tu = parse_text("typedef int T; T x;")
+        assert isinstance(tu.decls[1], C.Declaration)
+
+    def test_typedef_shadowed_by_variable(self):
+        # After `int T;` inside the block, T is an object, so `T * y`
+        # is a multiplication, not a declaration.
+        body = main_body(
+            "typedef int T;\n"
+            "int main(void) { int T = 2; int y = 0; T * y; }")
+        assert isinstance(body.items[2], C.SExpr)
+        assert isinstance(body.items[2].expr, C.EBinary)
+
+    def test_struct_definition(self):
+        d = first_decl("struct s { int a; char b; } v;")
+        spec = d.specs.type_specs[0]
+        assert isinstance(spec, C.TSStructOrUnion)
+        assert len(spec.members) == 2
+
+    def test_enum(self):
+        d = first_decl("enum e { A, B = 5, C };")
+        spec = d.specs.type_specs[0]
+        assert isinstance(spec, C.TSEnum)
+        assert [name for name, _ in spec.enumerators] == ["A", "B",
+                                                          "C"]
+
+    def test_anonymous_struct_tag(self):
+        d = first_decl("struct { int x; } v;")
+        spec = d.specs.type_specs[0]
+        assert spec.tag is None
+
+    def test_multiple_declarators(self):
+        d = first_decl("int a, *b, c[4];")
+        assert len(d.declarators) == 3
+
+    def test_static_assert(self):
+        d = first_decl('_Static_assert(1, "msg");')
+        assert isinstance(d, C.StaticAssert)
+
+    def test_qualifiers(self):
+        d = first_decl("const volatile int x;")
+        assert set(d.specs.qualifiers) == {"const", "volatile"}
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, C.EBinary) and e.op == "+"
+        assert isinstance(e.rhs, C.EBinary) and e.rhs.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-" and isinstance(e.lhs, C.EBinary)
+
+    def test_assignment_right_assoc(self):
+        e = parse_expr("a = b = 1")
+        assert isinstance(e, C.EAssign)
+        assert isinstance(e.rhs, C.EAssign)
+
+    def test_conditional(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, C.EConditional)
+        assert isinstance(e.els, C.EConditional)
+
+    def test_cast_vs_paren(self):
+        tu = "typedef int T;\nint main(void) { (T)1; (x)+1; }"
+        body = main_body(tu)
+        cast = body.items[0].expr
+        assert isinstance(cast, C.ECast)
+        add = body.items[1].expr
+        assert isinstance(add, C.EBinary)
+
+    def test_sizeof_type_vs_expr(self):
+        assert isinstance(parse_expr("sizeof(int)"), C.ESizeofType)
+        assert isinstance(parse_expr("sizeof x"), C.ESizeofExpr)
+        assert isinstance(parse_expr("sizeof(x)"), C.ESizeofExpr)
+
+    def test_postfix_chain(self):
+        e = parse_expr("a.b->c[1](2)")
+        assert isinstance(e, C.ECall)
+        assert isinstance(e.func, C.EIndex)
+
+    def test_unary_chain(self):
+        e = parse_expr("*&x")
+        assert isinstance(e, C.EUnary) and e.op == "*"
+        assert isinstance(e.operand, C.EUnary)
+
+    def test_pre_and_post_incr(self):
+        assert isinstance(parse_expr("++x"), C.EPreIncr)
+        assert isinstance(parse_expr("x++"), C.EPostIncr)
+
+    def test_comma(self):
+        e = parse_expr("a, b, c")
+        assert isinstance(e, C.EComma)
+
+    def test_string_concatenation(self):
+        e = parse_expr('"ab" "cd"')
+        assert isinstance(e, C.EStringLit)
+        assert e.value == b"abcd"
+
+    def test_compound_literal(self):
+        e = parse_expr("(struct s){1, 2}",)
+
+    def test_integer_constant_classification(self):
+        e = parse_expr("0x1Fu")
+        assert isinstance(e, C.EIntConst)
+        assert (e.value, e.base, e.suffix) == (31, 16, "u")
+
+    def test_float_constant(self):
+        e = parse_expr("1.5e2f")
+        assert isinstance(e, C.EFloatConst)
+        assert e.value == 150.0 and e.suffix == "f"
+
+
+class TestStatements:
+    def test_if_else_binds_to_nearest(self):
+        body = main_body(
+            "int main(void) { if (a) if (b) x; else y; }")
+        outer = body.items[0]
+        assert isinstance(outer, C.SIf)
+        assert outer.els is None
+        assert outer.then.els is not None
+
+    def test_for_with_decl(self):
+        body = main_body(
+            "int main(void) { for (int i = 0; i < 3; i++) ; }")
+        stmt = body.items[0]
+        assert isinstance(stmt, C.SFor)
+        assert isinstance(stmt.init, C.Declaration)
+
+    def test_do_while(self):
+        body = main_body("int main(void) { do x; while (y); }")
+        assert isinstance(body.items[0], C.SDoWhile)
+
+    def test_switch_cases(self):
+        body = main_body(
+            "int main(void) { switch (x) { case 1: ; default: ; } }")
+        sw = body.items[0]
+        assert isinstance(sw, C.SSwitch)
+
+    def test_labels_and_goto(self):
+        body = main_body("int main(void) { goto l; l: ; }")
+        assert isinstance(body.items[0], C.SGoto)
+        assert isinstance(body.items[1], C.SLabeled)
+
+    def test_label_vs_expression_ambiguity(self):
+        # `x:` is a label even though x could be an expression start.
+        body = main_body("int main(void) { int x = 0; x: x = 1; }")
+        assert isinstance(body.items[1], C.SLabeled)
+
+
+class TestInitializers:
+    def test_designated(self):
+        d = first_decl("struct p { int x, y; };")
+        tu = parse_text(
+            "struct p { int x, y; }; struct p v = { .y = 2, .x = 1 };")
+        init = tu.decls[1].declarators[0].init
+        assert isinstance(init, C.InitList)
+        designators = init.items[0][0]
+        assert isinstance(designators[0], C.DesignMember)
+
+    def test_array_index_designator(self):
+        tu = parse_text("int a[5] = { [2] = 7 };")
+        init = tu.decls[0].declarators[0].init
+        assert isinstance(init.items[0][0][0], C.DesignIndex)
+
+    def test_nested_braces(self):
+        tu = parse_text("int m[2][2] = { {1, 2}, {3, 4} };")
+        init = tu.decls[0].declarators[0].init
+        assert isinstance(init.items[0][1], C.InitList)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_text("int x")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse_text("int main(void) { 1 + ; }")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse_text("int main(void) { ")

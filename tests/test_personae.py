@@ -1,0 +1,79 @@
+"""Tool personae reproducing the §3 comparison shape."""
+
+import pytest
+
+from repro.tools import PERSONAE, run_persona_suite
+
+
+def verdict_counts(results):
+    counts = {"ok": 0, "flagged": 0, "failed": 0}
+    for r in results:
+        if r.verdict.startswith("ok"):
+            counts["ok"] += 1
+        elif r.verdict.startswith("ub"):
+            counts["flagged"] += 1
+        else:
+            counts["failed"] += 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return {name: run_persona_suite(name) for name in PERSONAE}
+
+
+class TestPersonae:
+    def test_three_personae(self):
+        assert set(PERSONAE) == {"sanitizers", "tis", "kcc"}
+
+    def test_sanitizers_flag_few(self, all_results):
+        # Paper §3: "we were surprised at how few of our tests
+        # triggered warnings".
+        c = verdict_counts(all_results["sanitizers"])
+        assert c["failed"] == 0
+        assert c["ok"] > c["flagged"]
+
+    def test_tis_flags_many_more(self, all_results):
+        san = verdict_counts(all_results["sanitizers"])
+        tis = verdict_counts(all_results["tis"])
+        assert tis["flagged"] > san["flagged"]
+
+    def test_kcc_fails_on_many(self, all_results):
+        # Paper §3: "'Execution failed' for the tests of 20 of our
+        # questions" — a sizable failed set, unlike the others.
+        kcc = verdict_counts(all_results["kcc"])
+        assert kcc["failed"] >= 8
+        assert verdict_counts(all_results["tis"])["failed"] == 0
+
+    def test_radically_different_profiles(self, all_results):
+        profiles = {name: tuple(verdict_counts(rs).values())
+                    for name, rs in all_results.items()}
+        assert len(set(profiles.values())) == 3
+
+    def test_sanitizers_pass_padding_tests(self, all_results):
+        # §3: "All 13 of our structure-padding tests ... ran without
+        # any sanitiser warnings".
+        for r in all_results["sanitizers"]:
+            if r.test.startswith("padding_"):
+                assert r.verdict.startswith("ok"), r
+
+    def test_sanitizers_pass_unspec_value_tests(self, all_results):
+        # §3/Q49: an unspecified value reaches printf unnoticed...
+        results = {r.test: r for r in all_results["sanitizers"]}
+        assert results["unspec_to_library"].verdict.startswith("ok")
+
+    def test_sanitizers_catch_wild_pointers(self, all_results):
+        # ...but ASan does catch treating an arbitrary integer as a
+        # pointer.
+        results = {r.test: r for r in all_results["sanitizers"]}
+        assert results["fabricated_pointer"].verdict.startswith("ub")
+
+    def test_tis_flags_uninit(self, all_results):
+        results = {r.test: r for r in all_results["tis"]}
+        assert results["uninit_read"].verdict.startswith("ub")
+
+    def test_kcc_fails_pointer_byte_tests(self, all_results):
+        results = {r.test: r for r in all_results["kcc"]}
+        assert results["ptr_copy_memcpy"].verdict.startswith("failed")
+        assert results["provenance_basic_global_yx"].verdict.\
+            startswith("failed")

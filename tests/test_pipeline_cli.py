@@ -1,0 +1,166 @@
+"""The pipeline facade and command-line interface."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.ctypes import ILP32
+from repro.pipeline import MODELS, compile_c, explore_c, run_c
+
+
+class TestPipeline:
+    def test_models_registered(self):
+        assert set(MODELS) == {"concrete", "provenance", "strict",
+                               "cheri", "gcc"}
+
+    def test_compile_reusable_across_models(self):
+        pipe = compile_c("int main(void){ return 0; }")
+        for model in ("concrete", "provenance", "strict"):
+            out = pipe.run(model)
+            assert out.exit_code == 0
+
+    def test_ilp32_sizes(self):
+        out = run_c(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d %d %d\n", (int)sizeof(long), (int)sizeof(void*),
+           (int)sizeof(long long));
+    return 0;
+}''', impl=ILP32)
+        assert out.stdout == "4 4 8\n"
+
+    def test_lp64_sizes(self):
+        out = run_c(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%d %d\n", (int)sizeof(long), (int)sizeof(void*));
+    return 0;
+}''')
+        assert out.stdout == "8 8\n"
+
+    def test_seeded_random_exploration(self):
+        src = r'''
+#include <stdio.h>
+int pr(int c) { putchar(c); return 0; }
+int main(void) { pr('a') + pr('b'); return 0; }'''
+        outs = {run_c(src, seed=s).stdout for s in range(12)}
+        assert outs == {"ab", "ba"}
+
+    def test_max_steps_timeout(self):
+        out = run_c("int main(void){ while (1) ; return 0; }",
+                    max_steps=5000)
+        assert out.status == "timeout"
+
+    def test_explore_returns_result(self):
+        res = explore_c("int main(void){ return 0; }")
+        assert res.paths_run == 1
+        assert res.exhausted
+
+
+class TestCli:
+    def _write(self, tmp_path, source):
+        f = tmp_path / "prog.c"
+        f.write_text(source)
+        return str(f)
+
+    def test_run_ok(self, tmp_path, capsys):
+        path = self._write(tmp_path,
+                           '#include <stdio.h>\n'
+                           'int main(void){ printf("hi\\n"); '
+                           'return 0; }')
+        code = cli_main([path])
+        assert code == 0
+        assert capsys.readouterr().out == "hi\n"
+
+    def test_exit_code_propagates(self, tmp_path):
+        path = self._write(tmp_path, "int main(void){ return 5; }")
+        assert cli_main([path]) == 5
+
+    def test_ub_reported(self, tmp_path, capsys):
+        path = self._write(tmp_path,
+                           "int main(void){ int x = 2147483647; "
+                           "return x + 1; }")
+        code = cli_main([path])
+        assert code == 1
+        assert "Exceptional_condition" in capsys.readouterr().err
+
+    def test_static_error_reported(self, tmp_path, capsys):
+        path = self._write(tmp_path, "int main(void){ return y; }")
+        assert cli_main([path]) == 2
+        assert "desugaring" in capsys.readouterr().err
+
+    def test_pp_core(self, tmp_path, capsys):
+        path = self._write(tmp_path, "int main(void){ return 1 << 2; }")
+        assert cli_main([path, "--pp-core"]) == 0
+        out = capsys.readouterr().out
+        assert "proc main" in out
+
+    def test_exhaustive_mode(self, tmp_path, capsys):
+        path = self._write(tmp_path, r'''
+#include <stdio.h>
+int pr(int c) { putchar(c); return 0; }
+int main(void) { pr('a') + pr('b'); return 0; }''')
+        code = cli_main([path, "--exhaustive", "--max-paths", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executions explored" in out
+        assert "ab" in out and "ba" in out
+
+    def test_model_flag(self, tmp_path):
+        path = self._write(tmp_path, r'''
+int main(void) {
+    unsigned int x;
+    unsigned int y = x;  /* uninit read: UB under strict only */
+    return 0;
+}''')
+        assert cli_main([path, "--model", "concrete"]) == 0
+        assert cli_main([path, "--model", "strict"]) == 1
+
+    def test_missing_file(self, capsys):
+        assert cli_main(["/nonexistent/prog.c"]) == 2
+
+
+class TestUnspecifiedOptions:
+    """§2.4/§2.5: the uninit and padding semantic options diverge
+    observably — the E15 experiment's core claims."""
+
+    UNINIT = r'''
+#include <stdio.h>
+int main(void) {
+    unsigned int x;
+    unsigned int a = x, b = x;
+    printf("%d\n", a == b);
+    return 0;
+}'''
+
+    def test_option_stable_vs_ub(self):
+        from repro.memory.base import MemoryOptions
+        stable = run_c(self.UNINIT, model="concrete")
+        assert stable.stdout == "1\n"   # option (4): stable
+        strict = run_c(self.UNINIT, model="strict")
+        assert strict.status == "ub"    # option (1): UB
+
+    PADDING = r'''
+#include <stdio.h>
+#include <string.h>
+struct padded { char c; int i; };
+int main(void) {
+    struct padded s;
+    memset(&s, 0, sizeof(s));
+    unsigned char *bytes = (unsigned char *)&s;
+    s.c = 'x';
+    printf("%d\n", bytes[1]);
+    return 0;
+}'''
+
+    def test_padding_keep_vs_unspec(self):
+        from repro.memory.base import MemoryOptions
+        keep = run_c(self.PADDING, model="concrete")
+        assert keep.stdout == "0\n"     # option (4): untouched
+        opts = MemoryOptions(uninit_read="stable",
+                             padding_on_member_store="zero")
+        zero = run_c(self.PADDING, model="concrete", options=opts)
+        assert zero.stdout == "0\n"     # option (3): zeroed
+        opts2 = MemoryOptions(uninit_read="unspecified",
+                              padding_on_member_store="unspec")
+        unspec = run_c(self.PADDING, model="concrete", options=opts2)
+        assert unspec.stdout == "<unspec>\n"  # option (2)

@@ -1,0 +1,151 @@
+"""Unit tests for the preprocessor (ISO C11 §6.10)."""
+
+import pytest
+
+from repro.cpp import preprocess
+from repro.errors import PreprocessorError
+from repro.lex import TokenKind
+
+
+def texts(src, **kw):
+    return [t.text for t in preprocess(src, **kw)
+            if t.kind is not TokenKind.EOF]
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        assert texts("#define N 42\nN") == ["42"]
+
+    def test_redefinition_same_ok(self):
+        assert texts("#define N 1\n#define N 1\nN") == ["1"]
+
+    def test_redefinition_different_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define N 1\n#define N 2\n")
+
+    def test_undef(self):
+        assert texts("#define N 1\n#undef N\nN") == ["N"]
+
+    def test_chained_expansion(self):
+        assert texts("#define A B\n#define B 7\nA") == ["7"]
+
+    def test_self_reference_blue_paint(self):
+        assert texts("#define A A\nA") == ["A"]
+
+    def test_mutual_recursion_stops(self):
+        assert texts("#define A B\n#define B A\nA") == ["A"]
+
+
+class TestFunctionMacros:
+    def test_basic(self):
+        assert texts("#define SQ(x) ((x)*(x))\nSQ(3)") == \
+            list("((3)*(3))")
+
+    def test_name_without_parens_not_expanded(self):
+        assert texts("#define F(x) x\nF") == ["F"]
+
+    def test_two_params(self):
+        assert texts("#define ADD(a,b) a+b\nADD(1,2)") == \
+            ["1", "+", "2"]
+
+    def test_nested_call_argument(self):
+        assert texts("#define ID(x) x\nID(f(1,2))") == \
+            ["f", "(", "1", ",", "2", ")"]
+
+    def test_argument_prescan(self):
+        assert texts("#define ONE 1\n#define ID(x) x\nID(ONE)") == ["1"]
+
+    def test_stringise(self):
+        out = [t for t in preprocess("#define S(x) #x\nS(a b)")
+               if t.kind is TokenKind.STRING]
+        assert out[0].value == b"a b"
+
+    def test_paste(self):
+        assert texts("#define CAT(a,b) a##b\nCAT(foo,bar)") == \
+            ["foobar"]
+
+    def test_paste_numbers(self):
+        assert texts("#define CAT(a,b) a##b\nCAT(1,2)") == ["12"]
+
+    def test_variadic(self):
+        assert texts("#define V(...) __VA_ARGS__\nV(1, 2)") == \
+            ["1", ",", "2"]
+
+    def test_empty_args(self):
+        assert texts("#define F() 9\nF()") == ["9"]
+
+
+class TestConditionals:
+    def test_ifdef(self):
+        assert texts("#define X\n#ifdef X\nyes\n#endif") == ["yes"]
+
+    def test_ifndef(self):
+        assert texts("#ifndef X\nyes\n#endif") == ["yes"]
+
+    def test_if_arith(self):
+        assert texts("#if 2 + 2 == 4\nok\n#endif") == ["ok"]
+
+    def test_if_defined(self):
+        src = "#define A 1\n#if defined(A) && !defined(B)\nok\n#endif"
+        assert texts(src) == ["ok"]
+
+    def test_else(self):
+        assert texts("#if 0\na\n#else\nb\n#endif") == ["b"]
+
+    def test_elif_chain(self):
+        src = "#define N 2\n#if N==1\na\n#elif N==2\nb\n#elif N==3\n" \
+              "c\n#else\nd\n#endif"
+        assert texts(src) == ["b"]
+
+    def test_nested_dead_code(self):
+        src = "#if 0\n#if 1\nx\n#endif\ny\n#endif\nz"
+        assert texts(src) == ["z"]
+
+    def test_unknown_identifier_is_zero(self):
+        assert texts("#if UNDEFINED\nx\n#else\ny\n#endif") == ["y"]
+
+    def test_ternary(self):
+        assert texts("#if 1 ? 5 : 0\nok\n#endif") == ["ok"]
+
+    def test_unbalanced_endif(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif")
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#error nope")
+
+    def test_error_in_dead_branch_ignored(self):
+        assert texts("#if 0\n#error nope\n#endif\nok") == ["ok"]
+
+
+class TestIncludes:
+    def test_builtin_header(self):
+        out = texts("#include <stddef.h>\nsize_t")
+        # size_t is a typedef name in the header plus our use.
+        assert out.count("size_t") >= 2
+
+    def test_include_guard_idempotent(self):
+        one = texts("#include <limits.h>")
+        two = texts("#include <limits.h>\n#include <limits.h>")
+        assert one == two
+
+    def test_missing_header(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#include <nonexistent.h>")
+
+    def test_user_header(self):
+        out = texts('#include "my.h"\nVAL',
+                    extra_headers={"my.h": "#define VAL 123\n"})
+        assert out == ["123"]
+
+    def test_pragma_ignored(self):
+        assert texts("#pragma once\nx") == ["x"]
+
+
+class TestPredefined:
+    def test_stdc(self):
+        assert texts("__STDC__") == ["1"]
+
+    def test_line(self):
+        assert texts("a\nb __LINE__") == ["a", "b", "2"]

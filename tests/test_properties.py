@@ -1,0 +1,135 @@
+"""Hypothesis property tests: the interpreter's arithmetic against an
+independent Python model of the ISO semantics (§6.5, §6.3.1)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import run_c
+
+_small_ints = st.integers(-1000, 1000)
+_uints = st.integers(0, 2**32 - 1)
+_ints = st.integers(-(2**31), 2**31 - 1)
+
+
+def c_int_result(src):
+    out = run_c(src, model="concrete")
+    assert out.status == "done", (out.status, out.ub, out.error)
+    return out.stdout
+
+
+@settings(max_examples=25, deadline=None)
+@given(_ints, _ints)
+def test_signed_addition_matches(a, b):
+    r = a + b
+    src = (f'#include <stdio.h>\nint main(void) {{ int a = {a}; '
+           f'int b = {b}; long s = (long)a + b; '
+           f'printf("%ld\\n", s); return 0; }}')
+    assert c_int_result(src) == f"{r}\n"
+
+
+@settings(max_examples=25, deadline=None)
+@given(_uints, _uints)
+def test_unsigned_addition_is_modular(a, b):
+    r = (a + b) % 2**32
+    src = (f'#include <stdio.h>\nint main(void) {{ unsigned a = {a}u; '
+           f'unsigned b = {b}u; printf("%u\\n", a + b); return 0; }}')
+    assert c_int_result(src) == f"{r}\n"
+
+
+@settings(max_examples=25, deadline=None)
+@given(_uints, _uints)
+def test_unsigned_multiplication_is_modular(a, b):
+    r = (a * b) % 2**32
+    src = (f'#include <stdio.h>\nint main(void) {{ unsigned a = {a}u; '
+           f'unsigned b = {b}u; printf("%u\\n", a * b); return 0; }}')
+    assert c_int_result(src) == f"{r}\n"
+
+
+@settings(max_examples=25, deadline=None)
+@given(_ints, st.integers(-(2**31), 2**31 - 1).filter(lambda x: x != 0))
+def test_signed_division_truncates_toward_zero(a, b):
+    if a == -(2**31) and b == -1:
+        return  # UB, tested elsewhere
+    q = abs(a) // abs(b)
+    q = q if (a < 0) == (b < 0) else -q
+    r = a - b * q
+    src = ('#include <stdio.h>\nint main(void) { '
+           f'int a = {a}; int b = {b}; '
+           'printf("%d %d\\n", a / b, a % b); return 0; }')
+    assert c_int_result(src) == f"{q} {r}\n"
+
+
+@settings(max_examples=20, deadline=None)
+@given(_uints, st.integers(0, 31))
+def test_unsigned_shifts(a, s):
+    left = (a << s) % 2**32
+    right = a >> s
+    src = (f'#include <stdio.h>\nint main(void) {{ unsigned a = {a}u; '
+           f'printf("%u %u\\n", a << {s}, a >> {s}); return 0; }}')
+    assert c_int_result(src) == f"{left} {right}\n"
+
+
+@settings(max_examples=20, deadline=None)
+@given(_ints, _ints)
+def test_comparisons_match(a, b):
+    vals = [int(a < b), int(a <= b), int(a == b), int(a != b),
+            int(a > b), int(a >= b)]
+    expected = " ".join(map(str, vals))
+    src = (f'#include <stdio.h>\nint main(void) {{ int a = {a}; '
+           f'int b = {b}; printf("%d %d %d %d %d %d\\n", '
+           f'a < b, a <= b, a == b, a != b, a > b, a >= b); '
+           f'return 0; }}')
+    assert c_int_result(src) == expected + "\n"
+
+
+@settings(max_examples=20, deadline=None)
+@given(_ints)
+def test_int_to_char_conversion_wraps(a):
+    w = a & 0xFF
+    expected = w - 256 if w >= 128 else w
+    src = (f'#include <stdio.h>\nint main(void) {{ '
+           f'signed char c = (signed char){a}; '
+           f'printf("%d\\n", c); return 0; }}')
+    assert c_int_result(src) == f"{expected}\n"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=8))
+def test_array_sum_matches(values):
+    n = len(values)
+    init = ", ".join(map(str, values))
+    src = (f'#include <stdio.h>\nint main(void) {{ '
+           f'int a[{n}] = {{ {init} }}; int s = 0; '
+           f'for (int i = 0; i < {n}; i++) s += a[i]; '
+           f'printf("%d\\n", s); return 0; }}')
+    assert c_int_result(src) == f"{sum(values)}\n"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.binary(min_size=0, max_size=12).filter(lambda b: 0 not in b))
+def test_strlen_matches(data):
+    escaped = "".join(f"\\x{b:02x}" for b in data)
+    src = (f'#include <stdio.h>\n#include <string.h>\n'
+           f'int main(void) {{ printf("%zu\\n", strlen("{escaped}")); '
+           f'return 0; }}')
+    assert c_int_result(src) == f"{len(data)}\n"
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=8),
+       st.lists(st.integers(0, 255), min_size=1, max_size=8))
+def test_memcmp_matches(a, b):
+    n = min(len(a), len(b))
+    expected = 0
+    for x, y in zip(a[:n], b[:n]):
+        if x != y:
+            expected = 1 if x > y else -1
+            break
+    init_a = ", ".join(map(str, a))
+    init_b = ", ".join(map(str, b))
+    src = (f'#include <stdio.h>\n#include <string.h>\n'
+           f'int main(void) {{ '
+           f'unsigned char a[{len(a)}] = {{ {init_a} }}; '
+           f'unsigned char b[{len(b)}] = {{ {init_b} }}; '
+           f'int r = memcmp(a, b, {n}); '
+           f'printf("%d\\n", (r > 0) - (r < 0)); return 0; }}')
+    assert c_int_result(src) == f"{expected}\n"

@@ -1,0 +1,138 @@
+"""Evaluation-order semantics (ISO §6.5p2; paper §5.6): unsequenced
+races, indeterminate sequencing of function calls, atomicity of
+postfix increment."""
+
+import pytest
+
+
+class TestUnsequencedRaces:
+    def test_two_assignments(self, expect_ub):
+        expect_ub("int main(void){ int x; "
+                  "int y = (x = 1) + (x = 2); return y; }",
+                  "Unsequenced_race")
+
+    def test_write_read_race(self, expect_ub):
+        expect_ub("int main(void){ int x = 0; "
+                  "int y = (x = 1) + x; return y; }",
+                  "Unsequenced_race")
+
+    def test_x_equals_x_plus_plus(self, expect_ub):
+        expect_ub("int main(void){ int x = 0; x = x++; return x; }",
+                  "Unsequenced_race")
+
+    def test_i_equals_i_plus_plus_times(self, expect_ub):
+        expect_ub("int main(void){ int i = 0; int a[3] = {0,0,0}; "
+                  "a[i] = i++; return 0; }", "Unsequenced_race")
+
+    def test_reads_do_not_race(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 3;
+    int y = x + x * x;
+    printf("%d\n", y);
+    return 0;
+}''')
+        assert out.stdout == "12\n"
+
+    def test_distinct_objects_no_race(self, run_ok):
+        run_ok("int main(void){ int x = 0, y = 0; "
+               "int z = (x = 1) + (y = 2); return z; }")
+
+    def test_sequenced_by_logical_and(self, run_ok):
+        # && has a sequence point: no race.
+        run_ok("int main(void){ int x = 0; "
+               "int y = (x = 1) && (x = 2); return y; }")
+
+    def test_sequenced_by_comma(self, run_ok):
+        run_ok("int main(void){ int x = 0; "
+               "int y = ((x = 1), (x = 2)); return y + x; }")
+
+    def test_assignment_into_self_ok(self, run_ok):
+        # x = x + 1 is fine: the read is part of the value computation.
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void){ int x = 1; x = x + 1; printf("%d\n", x); return 0; }
+''')
+        assert out.stdout == "2\n"
+
+    def test_function_calls_are_indeterminately_sequenced(self, run_ok):
+        # Two calls both writing a global: NOT a race (indeterminately
+        # sequenced, §5.6 point 6).
+        run_ok(r'''
+int g;
+int set(int v) { g = v; return v; }
+int main(void) { return set(1) + set(2) - 3; }''')
+
+    def test_call_vs_operand_access_not_race(self, run_ok):
+        # The paper's example shape: x++ + f(...) where f touches x.
+        run_ok(r'''
+int x = 1;
+int f(void) { return x; }
+int main(void) { int w = x++ + f(); return w - 3 >= -2 ? 0 : 1; }''')
+
+
+class TestEvaluationOrderNondeterminism:
+    def test_both_call_orders_observable(self, explore):
+        res = explore(r'''
+#include <stdio.h>
+int pr(int c) { putchar(c); return 0; }
+int main(void) { pr('a') + pr('b'); putchar('\n'); return 0; }''',
+                      max_paths=100)
+        outs = {o.stdout for o in res.outcomes
+                if o.status in ("done", "exit")}
+        assert outs == {"ab\n", "ba\n"}
+
+    def test_argument_order_nondeterministic(self, explore):
+        res = explore(r'''
+#include <stdio.h>
+int pr(int c) { putchar(c); return c; }
+int two(int a, int b) { return 0; }
+int main(void) { two(pr('x'), pr('y')); putchar('\n'); return 0; }''',
+                      max_paths=100)
+        outs = {o.stdout for o in res.outcomes
+                if o.status in ("done", "exit")}
+        assert outs == {"xy\n", "yx\n"}
+
+    def test_deterministic_program_single_behaviour(self, explore):
+        res = explore(r'''
+#include <stdio.h>
+int main(void) { printf("only\n"); return 0; }''', max_paths=50)
+        assert len(res.distinct()) == 1
+        assert res.exhausted
+
+    def test_paper_sequencing_example(self, explore):
+        # w = x++ + f(z,2); — §5.6's worked example. Deterministic
+        # result despite internal nondeterminism.
+        res = explore(r'''
+#include <stdio.h>
+int f(int a, int b) { return a + b; }
+int main(void) {
+    int w, x = 1, z = 10;
+    w = x++ + f(z, 2);
+    printf("w=%d x=%d\n", w, x);
+    return 0;
+}''', max_paths=200)
+        outs = {o.stdout for o in res.outcomes}
+        assert outs == {"w=13 x=2\n"}
+
+
+class TestSequencePoints:
+    def test_full_expression_boundary(self, run_ok):
+        # Separate statements never race.
+        run_ok("int main(void){ int x = 0; x = 1; x = 2; return x; }")
+
+    def test_initialiser_order_in_one_declaration(self, run_ok):
+        # Initialisers of distinct declarators are sequenced.
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    int x = 1, y = x + 1, z = y + 1;
+    printf("%d %d %d\n", x, y, z);
+    return 0;
+}''')
+        assert out.stdout == "1 2 3\n"
+
+    def test_condition_sequenced_before_branch(self, run_ok):
+        run_ok("int main(void){ int x = 0; "
+               "if (x == 0) x = 1; return x - 1; }")

@@ -1,0 +1,81 @@
+"""The embedded survey data and report generators (paper §2)."""
+
+from repro.survey import (
+    EXPERTISE, RESPONSES_TOTAL, SURVEY_15, SURVEY_2013_QUESTION_COUNT,
+    SURVEY_2015_QUESTION_COUNT, expertise_table, survey_question_table,
+    design_space_table, clarity_table,
+)
+
+
+class TestData:
+    def test_totals(self):
+        assert RESPONSES_TOTAL == 323
+        assert SURVEY_2013_QUESTION_COUNT == 42
+        assert SURVEY_2015_QUESTION_COUNT == 15
+
+    def test_expertise_counts(self):
+        table = dict(EXPERTISE)
+        assert table["C applications programming"] == 255
+        assert table["C systems programming"] == 230
+        assert table["Linux developer"] == 160
+        assert table["C or C++ standards committee member"] == 8
+        assert table["GCC developer"] == 15
+        assert table["Clang developer"] == 26
+        assert table["Formal semantics"] == 18
+
+    def test_q7_15_relational(self):
+        q = SURVEY_15["[7/15]"]
+        opts = {o.label: (o.count, o.percent) for o in q.options}
+        assert opts["yes"] == (191, 60)
+        assert opts["only sometimes"] == (52, 16)
+        assert opts["no"] == (31, 9)
+        extant = {o.label: o.count for o in q.extant_options}
+        assert extant["yes"] == 101
+        assert extant["yes, but it shouldn't"] == 37
+
+    def test_q2_15_uninit_bimodal(self):
+        q = SURVEY_15["[2/15]"]
+        counts = [o.count for o in q.options]
+        assert counts == [139, 42, 21, 112]
+        # bimodal: UB and stable-value dominate (paper §2.4)
+        assert counts[0] > counts[1] and counts[3] > counts[2]
+
+    def test_q9_15_oob(self):
+        q = SURVEY_15["[9/15]"]
+        assert q.options[0].count == 230
+        assert q.options[0].percent == 73
+
+    def test_q5_15_copying(self):
+        q = SURVEY_15["[5/15]"]
+        assert q.options[0].count == 216
+
+    def test_q11_15_char_array(self):
+        q = SURVEY_15["[11/15]"]
+        assert q.options[0].count == 243
+        assert q.extant_options[0].count == 201
+
+    def test_questions_map_to_registry(self):
+        from repro.testsuite.questions import QUESTION_BY_ID
+        for q in SURVEY_15.values():
+            assert q.question_id in QUESTION_BY_ID
+
+
+class TestReports:
+    def test_expertise_table_renders(self):
+        text = expertise_table()
+        assert "323 responses" in text
+        assert "C systems programming" in text and "230" in text
+
+    def test_survey_question_table(self):
+        text = survey_question_table("[7/15]")
+        assert "191" in text and "60%" in text
+
+    def test_design_space_table(self):
+        text = design_space_table()
+        assert "Structure and union padding" in text
+        assert " 13" in text
+        assert "85" in text
+
+    def test_clarity_table(self):
+        text = clarity_table()
+        assert "38" in text and "28" in text and "26" in text

@@ -1,0 +1,113 @@
+"""The design-space question registry and the de facto test suite
+(paper §2)."""
+
+import pytest
+
+from repro.testsuite import (
+    CATEGORIES, QUESTIONS, TESTS, category_counts, clarity_split,
+    run_test,
+)
+from repro.testsuite.questions import QUESTION_BY_ID
+
+
+class TestRegistry:
+    def test_85_unique_questions(self):
+        assert len(QUESTIONS) == 85
+        ids = [q.qid for q in QUESTIONS]
+        assert len(set(ids)) == 85
+
+    def test_22_categories(self):
+        assert len(CATEGORIES) == 22
+
+    def test_category_counts_match_paper(self):
+        counts = category_counts()
+        expected = {
+            "Pointer provenance basics": 3,
+            "Pointer provenance via integer types": 5,
+            "Pointers involving multiple provenances": 5,
+            "Pointer provenance via pointer representation copying": 4,
+            "Pointer provenance and union type punning": 2,
+            "Pointer provenance via IO": 1,
+            "Stability of pointer values": 1,
+            "Pointer equality comparison (with == or !=)": 3,
+            "Pointer relational comparison (with <, >, <=, or >=)": 3,
+            "Null pointers": 3,
+            "Pointer arithmetic": 6,
+            "Casts between pointer types": 2,
+            "Accesses to related structure and union types": 4,
+            "Pointer lifetime end": 2,
+            "Invalid accesses": 2,
+            "Trap representations": 2,
+            "Unspecified values": 11,
+            "Structure and union padding": 13,
+            "Basic effective types": 2,
+            "Effective types and character arrays": 1,
+            "Effective types and subobjects": 6,
+            "Other questions": 5,
+        }
+        assert counts == expected
+
+    def test_clarity_split_matches_paper(self):
+        # §2: "for 38 the ISO standard is unclear; for 28 the de facto
+        # standards are unclear; for 26 there are significant
+        # differences".
+        assert clarity_split() == (38, 28, 26)
+
+    def test_known_questions_present(self):
+        q25 = QUESTION_BY_ID["Q25"]
+        assert "relational comparison" in q25.title
+        assert q25.survey == "[7/15]"
+        q75 = QUESTION_BY_ID["Q75"]
+        assert q75.category == "Effective types and character arrays"
+        assert QUESTION_BY_ID["Q31"].survey == "[9/15]"
+
+    def test_tests_reference_known_questions(self):
+        for test in TESTS.values():
+            for qid in test.questions:
+                assert qid in QUESTION_BY_ID, \
+                    f"{test.name} references unknown {qid}"
+
+    def test_every_question_test_exists(self):
+        for q in QUESTIONS:
+            for tname in q.tests:
+                assert tname in TESTS, f"{q.qid} -> missing {tname}"
+
+
+class TestSuiteExpectations:
+    """Run a representative slice of the suite under each model and
+    check the expected verdicts (the full sweep runs in the benches)."""
+
+    CORE = ["provenance_basic_global_yx", "int_cast_roundtrip",
+            "oob_transient", "relational_cross_object", "uninit_read",
+            "char_array_as_heap", "use_after_free", "ptr_copy_memcpy",
+            "inter_object_offset", "union_pun_int",
+            "unsequenced_race", "signed_overflow"]
+
+    @pytest.mark.parametrize("name", CORE)
+    def test_concrete(self, name):
+        result = run_test(TESTS[name], "concrete")
+        assert result.matches is not False, \
+            f"{name}: {result.verdict} != {result.expected}"
+
+    @pytest.mark.parametrize("name", CORE)
+    def test_provenance(self, name):
+        result = run_test(TESTS[name], "provenance")
+        assert result.matches is not False, \
+            f"{name}: {result.verdict} != {result.expected}"
+
+    @pytest.mark.parametrize("name", CORE)
+    def test_strict(self, name):
+        result = run_test(TESTS[name], "strict")
+        assert result.matches is not False, \
+            f"{name}: {result.verdict} != {result.expected}"
+
+    def test_dr260_concrete_output(self):
+        # The concrete semantics prints the store's effect (§2.1).
+        result = run_test(TESTS["provenance_basic_global_yx"],
+                          "concrete")
+        assert "x=1 y=11 *p=11 *q=11" in result.stdout
+
+    def test_dr260_provenance_flags(self):
+        result = run_test(TESTS["provenance_basic_global_yx"],
+                          "provenance")
+        assert result.verdict == "ub:Access_wrong_provenance"

@@ -1,0 +1,118 @@
+"""The tvc translation validator (paper §6)."""
+
+import pytest
+
+from repro.tvc import validate
+from repro.tvc.minir import IRBlock, IRFunction, IRInstr, IRTrap, run_ir
+
+
+class TestMiniIR:
+    def _fn(self, instrs):
+        fn = IRFunction("main")
+        fn.block("entry").instrs.extend(instrs)
+        return fn
+
+    def test_const_ret(self):
+        fn = self._fn([IRInstr("const", "a", [5]),
+                       IRInstr("ret", None, ["a"])])
+        assert run_ir(fn) == 5
+
+    def test_arith(self):
+        fn = self._fn([
+            IRInstr("const", "a", [6]),
+            IRInstr("const", "b", [7]),
+            IRInstr("mul", "c", ["a", "b"]),
+            IRInstr("ret", None, ["c"])])
+        assert run_ir(fn) == 42
+
+    def test_nsw_overflow_traps(self):
+        fn = self._fn([
+            IRInstr("const", "a", [2**31 - 1]),
+            IRInstr("const", "b", [1]),
+            IRInstr("add", "c", ["a", "b"]),
+            IRInstr("ret", None, ["c"])])
+        with pytest.raises(IRTrap):
+            run_ir(fn)
+
+    def test_sdiv_zero_traps(self):
+        fn = self._fn([
+            IRInstr("const", "a", [1]),
+            IRInstr("const", "b", [0]),
+            IRInstr("sdiv", "c", ["a", "b"]),
+            IRInstr("ret", None, ["c"])])
+        with pytest.raises(IRTrap):
+            run_ir(fn)
+
+    def test_uninitialised_slot_traps(self):
+        fn = self._fn([
+            IRInstr("alloca", "s", []),
+            IRInstr("load", "v", ["s"]),
+            IRInstr("ret", None, ["v"])])
+        with pytest.raises(IRTrap):
+            run_ir(fn)
+
+    def test_branching(self):
+        fn = IRFunction("main")
+        fn.block("entry").instrs.extend([
+            IRInstr("const", "a", [1]),
+            IRInstr("condbr", None, ["a", "yes", "no"])])
+        fn.block("yes").instrs.extend([
+            IRInstr("const", "r", [10]), IRInstr("ret", None, ["r"])])
+        fn.block("no").instrs.extend([
+            IRInstr("const", "r2", [20]),
+            IRInstr("ret", None, ["r2"])])
+        assert run_ir(fn) == 10
+
+
+class TestValidation:
+    def test_straightline(self):
+        r = validate("int main(void){ int x = 3; int y = 4; "
+                     "return x*x + y*y; }")
+        assert r.supported and r.validated
+        assert r.ir_result == "ret:25"
+
+    def test_loop(self):
+        r = validate("int main(void){ int s = 0; int i = 1; "
+                     "while (i <= 10) { s = s + i; i = i + 1; } "
+                     "return s; }")
+        assert r.validated and r.ir_result == "ret:55"
+
+    def test_if_else(self):
+        r = validate("int main(void){ int a = 5; "
+                     "if (a > 3) { a = 100; } else { a = 200; } "
+                     "return a; }")
+        assert r.validated and r.ir_result == "ret:100"
+
+    def test_ub_refines_to_anything(self):
+        r = validate("int main(void){ int x = 2147483647; "
+                     "return x + 1; }")
+        assert r.validated  # Cerberus UB licenses the IR trap
+
+    def test_division_ub(self):
+        r = validate("int main(void){ int d = 0; return 7 / d; }")
+        assert r.validated
+        assert r.ir_result.startswith("trap:")
+
+    def test_unsupported_io(self):
+        r = validate('#include <stdio.h>\n'
+                     'int main(void){ printf("x"); return 0; }')
+        assert not r.supported
+
+    def test_unsupported_pointers(self):
+        r = validate("int main(void){ int x = 1; int *p = &x; "
+                     "return *p; }")
+        assert not r.supported
+
+    def test_unsupported_multiple_functions(self):
+        r = validate("int f(void){ return 1; } "
+                     "int main(void){ return f(); }")
+        assert not r.supported
+
+    def test_exit_code_truncation(self):
+        # Exit codes observable mod 256 on both sides.
+        r = validate("int main(void){ return 300; }")
+        assert r.validated and r.ir_result == "ret:44"
+
+    def test_ir_pretty_prints(self):
+        r = validate("int main(void){ return 1; }")
+        assert "define i32 @main()" in r.ir_text

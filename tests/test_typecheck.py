@@ -1,0 +1,182 @@
+"""Unit tests for the Ail type checker (Typed Ail, paper §5.1)."""
+
+import pytest
+
+from repro.ail import ast as A, desugar
+from repro.cparser import parse_text
+from repro.ctypes import LP64
+from repro.ctypes.types import (
+    Floating, FloatKind, Integer, IntKind, Pointer,
+)
+from repro.errors import TypeCheckError
+from repro.typing import typecheck
+
+
+def tc(src):
+    return typecheck(desugar(parse_text(src), LP64), LP64)
+
+
+def expr_of_return(src):
+    prog = tc(src)
+    main = prog.functions[prog.main]
+    for item in main.body.items:
+        if isinstance(item, A.SReturn):
+            return item.expr
+    raise AssertionError("no return")
+
+
+class TestExpressionTypes:
+    def test_int_constant(self):
+        e = expr_of_return("int main(void) { return 1; }")
+        assert e.operand.ty.ty == Integer(IntKind.INT)
+
+    def test_large_constant_is_long(self):
+        e = expr_of_return("int main(void) { return (int)5000000000; }")
+        cast = e.operand           # EConv(assign) around the cast
+        assert cast.operand.ty.ty == Integer(IntKind.LONG)
+
+    def test_hex_constant_can_be_unsigned(self):
+        src = "int main(void) { unsigned int x = 0xFFFFFFFF; return 0; }"
+        prog = tc(src)  # must typecheck: 0xFFFFFFFF is unsigned int
+
+    def test_suffix_u(self):
+        src = "int main(void) { return (int)(1u + 1); }"
+        tc(src)
+
+    def test_usual_arith_int_plus_long(self):
+        src = "long f(int a, long b) { return a + b; }" \
+              "int main(void){ return 0; }"
+        prog = tc(src)
+        f = [fd for s, fd in prog.functions.items()
+             if s.name == "f"][0]
+        ret = f.body.items[0]
+        # a + b : long
+        assert ret.expr.operand.ty.ty == Integer(IntKind.LONG)
+
+    def test_comparison_is_int(self):
+        e = expr_of_return(
+            "int main(void) { long a = 1; return a < 2; }")
+        assert e.operand.ty.ty == Integer(IntKind.INT)
+
+    def test_array_decays_in_rvalue(self):
+        src = "int main(void) { int a[3]; int *p = a; return 0; }"
+        prog = tc(src)
+        decl = prog.functions[prog.main].body.items[1]
+        init = decl.init.expr
+        assert isinstance(init, A.EConv) and init.kind == "assign"
+
+    def test_sizeof_is_size_t(self):
+        e = expr_of_return(
+            "int main(void) { return (int)sizeof(int); }")
+        cast = e.operand
+        assert cast.operand.ty.ty == Integer(IntKind.ULONG)
+
+    def test_pointer_diff_is_ptrdiff(self):
+        src = "int main(void) { int a[2]; return (int)(&a[1] - &a[0]); }"
+        tc(src)
+
+    def test_float_promotion_in_arith(self):
+        src = "int main(void) { double d = 1; float f = 2.0f; " \
+              "d = d + f; return 0; }"
+        tc(src)
+
+
+class TestLvalues:
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { 1 = 2; return 0; }")
+
+    def test_assign_to_const_rejected(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { const int x = 1; x = 2; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { int a[2], b[2]; a = b; return 0; }")
+
+    def test_addressof_rvalue_rejected(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { int *p = &(1 + 2); return 0; }")
+
+    def test_incr_requires_modifiable(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { const int x = 0; x++; return 0; }")
+
+
+class TestCallChecking:
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            tc("int f(int a) { return a; } "
+               "int main(void) { return f(1, 2); }")
+
+    def test_too_few_args(self):
+        with pytest.raises(TypeCheckError):
+            tc("int f(int a, int b) { return a; } "
+               "int main(void) { return f(1); }")
+
+    def test_call_non_function(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { int x = 1; return x(); }")
+
+    def test_variadic_extra_args_ok(self):
+        tc('#include <stdio.h>\n'
+           'int main(void) { printf("%d %d", 1, 2); return 0; }')
+
+    def test_incompatible_pointer_arg(self):
+        with pytest.raises(TypeCheckError):
+            tc("void f(int *p) {} "
+               "int main(void) { double d; f(&d); return 0; }")
+
+    def test_void_pointer_compatible(self):
+        tc("void f(void *p) {} "
+           "int main(void) { int x; f(&x); return 0; }")
+
+
+class TestPointerRules:
+    def test_deref_non_pointer(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { int x = 1; return *x; }")
+
+    def test_arith_on_void_ptr_rejected(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { void *p = 0; p = p + 1; return 0; }")
+
+    def test_null_constant_assignable(self):
+        tc("int main(void) { int *p = 0; return p == 0; }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { int x = 1; return x.y; }")
+
+    def test_unknown_member(self):
+        with pytest.raises(TypeCheckError):
+            tc("struct s { int a; }; "
+               "int main(void) { struct s v; return v.b; }")
+
+    def test_arrow_on_struct_value(self):
+        with pytest.raises(TypeCheckError):
+            tc("struct s { int a; }; "
+               "int main(void) { struct s v; return v->a; }")
+
+
+class TestStatements:
+    def test_return_type_conversion(self):
+        tc("int main(void) { return 1.5; }")  # double -> int, allowed
+
+    def test_return_value_in_void_function(self):
+        with pytest.raises(TypeCheckError):
+            tc("void f(void) { return 1; } int main(void){ return 0; }")
+
+    def test_return_nothing_in_int_function(self):
+        with pytest.raises(TypeCheckError):
+            tc("int f(void) { return; } int main(void){ return 0; }")
+
+    def test_switch_on_non_integer(self):
+        with pytest.raises(TypeCheckError):
+            tc("int main(void) { double d = 1; switch (d) {} "
+               "return 0; }")
+
+    def test_if_on_struct_rejected(self):
+        with pytest.raises(TypeCheckError):
+            tc("struct s { int a; }; int main(void) "
+               "{ struct s v; if (v) return 1; return 0; }")
