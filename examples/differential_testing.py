@@ -34,6 +34,13 @@ def main() -> None:
                                seed_base=200)
     print(f"  {report.summary()}  [{time.time() - start:.1f}s]")
 
+    print("\ncross-model validation (compile once, run every model):")
+    start = time.time()
+    report = validate_programs(
+        10, size=10, seed_base=300,
+        models=["concrete", "provenance", "gcc"])
+    print(f"  {report.summary()}  [{time.time() - start:.1f}s]")
+
     print("\ntranslation validation (tvc, paper §6):")
     for src in [
         "int main(void){ int x = 6; int y = 7; return x * y; }",

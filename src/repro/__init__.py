@@ -8,7 +8,10 @@ the De Facto Standards* (PLDI 2016). The public surface:
 * :func:`repro.pipeline.explore_c` — exhaustively enumerate all
   allowed executions (the test-oracle mode);
 * :func:`repro.pipeline.compile_c` — the front half of the pipeline
-  (Cabs -> Ail -> Typed Ail -> Core) for inspection;
+  (Cabs -> Ail -> Typed Ail -> Core), memoised, returning a reusable
+  :class:`repro.pipeline.CompiledProgram`;
+* :func:`repro.pipeline.run_many` / :func:`repro.pipeline.explore_many`
+  — execute one compiled program across many memory object models;
 * :mod:`repro.memory` — the pluggable memory object models
   (concrete / provenance / strict / cheri);
 * :mod:`repro.testsuite` — the 85 design-space questions and the
@@ -18,8 +21,12 @@ the De Facto Standards* (PLDI 2016). The public surface:
 See README.md for a tour and DESIGN.md for the architecture.
 """
 
-from .pipeline import compile_c, explore_c, run_c
+from .pipeline import (
+    CompiledProgram, compile_c, explore_c, explore_many, run_c,
+    run_many,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["compile_c", "explore_c", "run_c", "__version__"]
+__all__ = ["CompiledProgram", "compile_c", "explore_c", "explore_many",
+           "run_c", "run_many", "__version__"]

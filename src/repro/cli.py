@@ -1,8 +1,10 @@
 """Command-line interface: ``cerberus-py file.c``.
 
 Modes mirror the paper's tool: run one path, exhaustively explore all
-allowed behaviours, or pretty-print the elaborated Core.
-"""
+allowed behaviours, or pretty-print the elaborated Core. ``--models``
+compiles once and executes the shared artifact under a whole list of
+memory object models, printing one verdict per model (the paper's
+cross-model comparison)."""
 
 from __future__ import annotations
 
@@ -12,7 +14,7 @@ import sys
 from .core.pretty import pretty_program
 from .ctypes.implementation import ILP32, LP64
 from .errors import CerberusError
-from .pipeline import MODELS, compile_c
+from .pipeline import MODELS, compile_c, explore_many, run_many
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,6 +26,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=sorted(MODELS),
                    default="provenance",
                    help="memory object model (default: provenance)")
+    p.add_argument("--models", default=None, metavar="M1,M2,...",
+                   help="comma-separated list of memory object models "
+                        "(or 'all'): compile once and print one "
+                        "verdict per model")
     p.add_argument("--impl", choices=["LP64", "ILP32"], default="LP64",
                    help="implementation environment")
     p.add_argument("--exhaustive", action="store_true",
@@ -47,12 +53,15 @@ def main(argv=None) -> int:
         print(f"cerberus-py: {exc}", file=sys.stderr)
         return 2
     impl = LP64 if args.impl == "LP64" else ILP32
+    if args.models and not args.pp_core:
+        return _run_batch(args, source, impl)
     try:
         pipeline = compile_c(source, impl, name=args.file)
     except CerberusError as exc:
         print(f"cerberus-py: {exc}", file=sys.stderr)
         return 2
     if args.pp_core:
+        # Core is model-independent, so --pp-core wins over --models.
         print(pretty_program(pipeline.core))
         return 0
     if args.exhaustive:
@@ -77,6 +86,52 @@ def main(argv=None) -> int:
         print("\ntimeout", file=sys.stderr)
         return 3
     return outcome.exit_code or 0
+
+
+def _run_batch(args, source: str, impl) -> int:
+    """--models: one front-end translation, a verdict per model."""
+    if args.models == "all":
+        models = list(MODELS)
+    else:
+        models = [m.strip() for m in args.models.split(",")
+                  if m.strip()]
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        print(f"cerberus-py: unknown model(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(sorted(MODELS))})",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.exhaustive:
+            results = explore_many(source, models=models, impl=impl,
+                                   max_paths=args.max_paths,
+                                   max_steps=args.max_steps,
+                                   name=args.file)
+            for model, res in results.items():
+                behaviours = " | ".join(o.summary()
+                                        for o in res.distinct())
+                print(f"{model:12s} {res.paths_run:4d} paths  "
+                      f"{behaviours}")
+            return 1 if any(r.has_ub() for r in results.values()) \
+                else 0
+        outcomes = run_many(source, models=models, impl=impl,
+                            max_steps=args.max_steps, seed=args.seed,
+                            name=args.file)
+    except CerberusError as exc:
+        print(f"cerberus-py: {exc}", file=sys.stderr)
+        return 2
+    for model, outcome in outcomes.items():
+        print(f"{model:12s} {outcome.summary()}")
+    # Mirror the single-model exit codes: UB trumps internal errors
+    # trumps timeouts.
+    statuses = {o.status for o in outcomes.values()}
+    if any(o.is_ub for o in outcomes.values()):
+        return 1
+    if "error" in statuses:
+        return 2
+    if "timeout" in statuses:
+        return 3
+    return 0
 
 
 if __name__ == "__main__":

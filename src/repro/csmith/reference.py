@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..errors import CerberusError
-from ..pipeline import run_c
+from ..pipeline import run_many
 from .generator import GeneratedProgram, generate_program
 
 
@@ -36,26 +36,35 @@ class ValidationReport:
 def validate_programs(count: int, size: int = 12,
                       model: str = "concrete",
                       max_steps: int = 300_000,
-                      seed_base: int = 1000) -> ValidationReport:
+                      seed_base: int = 1000,
+                      models: Optional[List[str]] = None
+                      ) -> ValidationReport:
     """Generate ``count`` programs and compare Cerberus-py's output
-    against the reference."""
+    against the reference.
+
+    With ``models`` (a list of memory object models) each program is
+    translated once and the compiled artifact executed under every
+    model — all must reproduce the reference output to count as
+    agreement (the cross-model differential mode)."""
+    model_list = list(models) if models else [model]
     report = ValidationReport()
     for i in range(count):
         seed = seed_base + i
         program = generate_program(seed, size)
         report.total += 1
         try:
-            outcome = run_c(program.source, model=model,
-                            max_steps=max_steps)
+            outcomes = run_many(program.source, models=model_list,
+                                max_steps=max_steps)
         except CerberusError:
             report.failed += 1
             report.failures.append(seed)
             continue
-        if outcome.status == "timeout":
+        if any(o.status == "timeout" for o in outcomes.values()):
             report.timeout += 1
-        elif outcome.status in ("done", "exit") and \
-                outcome.stdout == program.expected_stdout and \
-                (outcome.exit_code or 0) == 0:
+        elif all(o.status in ("done", "exit") and
+                 o.stdout == program.expected_stdout and
+                 (o.exit_code or 0) == 0
+                 for o in outcomes.values()):
             report.agree += 1
         else:
             report.disagree += 1

@@ -6,11 +6,12 @@ from .values import (
     VPointer, VFunction, VSpecified, VUnspecified, VMemStruct,
 )
 from .driver import Driver, Outcome, run_program
-from .exhaustive import explore_all
+from .exhaustive import explore_all, explore_program
 
 __all__ = [
     "Value", "VUnit", "VBool", "VCtype", "VTuple", "VList", "VInteger",
     "VFloating", "VPointer", "VFunction", "VSpecified", "VUnspecified",
     "VMemStruct",
     "Driver", "Outcome", "run_program", "explore_all",
+    "explore_program",
 ]

@@ -44,6 +44,23 @@ class ExplorationResult:
         return sorted({o.summary() for o in self.outcomes})
 
 
+def explore_program(program, make_model: Callable[[], object],
+                    max_paths: int = 500,
+                    max_steps: int = 500_000,
+                    entry: str = "main") -> ExplorationResult:
+    """Enumerate every oracle path of a *pre-compiled* Core program.
+
+    ``program`` is an elaborated :class:`repro.core.ast.Program` and
+    ``make_model()`` builds a fresh memory model per path — so path
+    enumeration replays execution only; the front end never re-runs.
+    """
+
+    def make_driver(oracle: Oracle) -> Driver:
+        return Driver(program, make_model(), oracle, max_steps)
+
+    return explore_all(make_driver, max_paths=max_paths, entry=entry)
+
+
 def explore_all(make_driver: Callable[[Oracle], Driver],
                 max_paths: int = 2000,
                 entry: str = "main") -> ExplorationResult:

@@ -70,7 +70,8 @@ def _do_printf(evaluator, args, loc, out_sink):
             except Exception:
                 strings[inner.ptr] = None
     text, _ = format_string(fmt, list(args[1:]),
-                            lambda p: strings.get(p))
+                            lambda p: strings.get(p),
+                            impl=evaluator.impl, loc=loc)
     yield from out_sink(text)
     return text
 

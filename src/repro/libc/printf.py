@@ -1,34 +1,75 @@
 """printf-family formatting (ISO C11 §7.21.6.1 fragment).
 
 Conversions supported: d i u o x X c s p f e g % with length modifiers
-h hh l ll z t (parsed; values are mathematical integers already, so the
-modifiers only matter for %n-style writes, which are unsupported).
-Unspecified argument values print as ``<unspec>`` in liberal models —
-the strict models flag the read long before it reaches printf (paper §3,
-Q49).
+hh h l ll q j z t and ``*`` width/precision (which consume int
+arguments, §7.21.6.1p5).
+
+The length modifier determines the bit-width to which negative
+arguments of the unsigned conversions (%u %o %x %X) are reduced:
+``hh`` -> unsigned char, ``h`` -> unsigned short, none -> the active
+:class:`Implementation`'s ``unsigned int``, ``l``/``z``/``t`` ->
+``unsigned long``/``size_t``/``ptrdiff_t``, ``ll``/``q``/``j`` ->
+``unsigned long long``. So ``printf("%u\\n", -1)`` prints 4294967295
+under LP64 while ``%hu`` prints 65535 and ``%lx`` stays
+ffffffffffffffff.
+
+An argument whose type does not match its conversion specification is
+undefined behaviour (§7.21.6.1p9), reported as
+``Printf_argument_type_mismatch``. Unspecified argument values print as
+``<unspec>`` in liberal models — the strict models flag the read long
+before it reaches printf (paper §3, Q49).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..ctypes.implementation import LP64
+from ..ctypes.types import IntKind
 from ..dynamics.values import (
     Value, VFloating, VInteger, VPointer, VSpecified, VUnspecified,
 )
 from ..errors import InternalError
+from ..ub import PRINTF_ARGUMENT_TYPE_MISMATCH, UndefinedBehaviour
 
 _INT_CONVS = "diuoxX"
 _FLOAT_CONVS = "fFeEgG"
+
+_LENGTH_KINDS = {
+    "hh": IntKind.UCHAR, "h": IntKind.USHORT, "": IntKind.UINT,
+    "l": IntKind.ULONG, "ll": IntKind.ULLONG, "q": IntKind.ULLONG,
+    "j": IntKind.ULLONG, "z": IntKind.ULONG, "t": IntKind.ULONG,
+}
 
 
 def _unwrap(v: Value) -> Value:
     return v.value if isinstance(v, VSpecified) else v
 
 
-def format_string(fmt: bytes, args: List[Value],
-                  fetch_string) -> Tuple[str, int]:
+def _conv_bits(length: str, impl) -> int:
+    """The width (in bits) of the unsigned type named by a length
+    modifier, under the active implementation environment (the
+    mainstream LP64 assumption when none is supplied)."""
+    if impl is None:
+        impl = LP64
+    # Unparseable modifier soup: widest wins.
+    kind = _LENGTH_KINDS.get(length, IntKind.ULLONG)
+    return impl.width(kind)
+
+
+def _mismatch(conv: str, arg: Optional[Value], loc) -> None:
+    raise UndefinedBehaviour(
+        PRINTF_ARGUMENT_TYPE_MISMATCH, loc,
+        f"%{conv} conversion applied to incompatible argument {arg!r}")
+
+
+def format_string(fmt: bytes, args: List[Value], fetch_string,
+                  impl=None, loc=None) -> Tuple[str, int]:
     """Render ``fmt`` with ``args``; ``fetch_string(ptr) -> bytes|None``
-    resolves %s pointers. Returns (text, #args consumed)."""
+    resolves %s pointers. ``impl`` (an :class:`Implementation`) supplies
+    the integer widths for the unsigned conversions; ``loc`` attributes
+    diagnostics to the printf call site. Returns (text, #args consumed).
+    """
     out: List[str] = []
     i = 0
     argi = 0
@@ -46,68 +87,144 @@ def format_string(fmt: bytes, args: List[Value],
             i += 1
             continue
         spec_start = i
-        # flags
+        flags = ""
         while i < n and text[i] in "-+ #0":
+            flags += text[i]
             i += 1
-        # width
-        while i < n and text[i].isdigit():
+        # width: digits or * (consumes an int argument below)
+        width: Optional[int] = None
+        width_star = False
+        if i < n and text[i] == "*":
+            width_star = True
             i += 1
-        # precision
+        else:
+            while i < n and text[i].isdigit():
+                width = (width or 0) * 10 + int(text[i])
+                i += 1
+        # precision: .digits or .* (a bare "." means precision 0)
+        prec: Optional[int] = None
+        prec_star = False
         if i < n and text[i] == ".":
             i += 1
-            while i < n and text[i].isdigit():
+            prec = 0
+            if i < n and text[i] == "*":
+                prec_star = True
                 i += 1
-        # length modifiers
+            else:
+                while i < n and text[i].isdigit():
+                    prec = prec * 10 + int(text[i])
+                    i += 1
+        length = ""
         while i < n and text[i] in "hlqjzt":
+            length += text[i]
             i += 1
         if i >= n:
             out.append("%" + text[spec_start:])
             break
         conv = text[i]
-        spec = "%" + _strip_length(text[spec_start:i]) + _py_conv(conv)
         i += 1
-        arg: Optional[Value] = None
-        if conv != "%":
-            if argi >= len(args):
-                out.append("<missing>")
+        if conv == "%":        # e.g. "%5%" — render a literal %
+            out.append("%")
+            continue
+        # * width/precision consume int arguments, in order, before the
+        # converted value (§7.21.6.1p5).
+        missing = False
+        unspec = False
+        for star, is_width in ((width_star, True), (prec_star, False)):
+            if not star:
                 continue
-            arg = _unwrap(args[argi])
+            if argi >= len(args):
+                missing = True
+                continue
+            sarg = _unwrap(args[argi])
             argi += 1
-        if isinstance(arg, VUnspecified):
+            if isinstance(sarg, VUnspecified):
+                unspec = True
+                continue
+            if not isinstance(sarg, VInteger):
+                _mismatch("*", sarg, loc)
+            sval = sarg.ival.value
+            if is_width:
+                # A negative * width counts as the - flag plus a
+                # positive width.
+                if sval < 0:
+                    flags += "-"
+                    sval = -sval
+                width = sval
+            else:
+                # A negative * precision is taken as omitted.
+                prec = sval if sval >= 0 else None
+        if missing or argi >= len(args):
+            out.append("<missing>")
+            continue
+        arg = _unwrap(args[argi])
+        argi += 1
+        if unspec or isinstance(arg, VUnspecified):
             out.append("<unspec>")
             continue
+        spec = "%" + flags
+        if width is not None:
+            spec += str(width)
+        if prec is not None:
+            spec += "." + str(prec)
+        spec += _py_conv(conv)
         if conv in _INT_CONVS:
-            assert isinstance(arg, VInteger), f"%{conv} of {arg!r}"
+            if not isinstance(arg, VInteger):
+                _mismatch(conv, arg, loc)
             value = arg.ival.value
             if conv in "uoxX" and value < 0:
-                value &= (1 << 64) - 1
+                value &= (1 << _conv_bits(length, impl)) - 1
+            if prec == 0 and value == 0:
+                # §7.21.6.1p8: zero with explicit zero precision
+                # prints no digits (sign/# prefixes survive; the 0
+                # flag is ignored when a precision is given).
+                body = ""
+                if conv in "di" and "+" in flags:
+                    body = "+"
+                elif conv in "di" and " " in flags:
+                    body = " "
+                elif conv == "o" and "#" in flags:
+                    body = "0"
+                pad = " " * ((width or 0) - len(body))
+                out.append(body + pad if "-" in flags else pad + body)
+                continue
+            if conv == "o" and "#" in flags:
+                # C's # for octal forces a leading zero digit; Python's
+                # would produce "0o".
+                digits = "%o" % value
+                if not digits.startswith("0"):
+                    prec = max(prec or 0, len(digits) + 1)
+                spec = "%" + flags.replace("#", "")
+                if width is not None:
+                    spec += str(width)
+                spec += f".{prec}o" if prec is not None else "o"
             out.append(spec % value)
         elif conv in _FLOAT_CONVS:
             if isinstance(arg, VInteger):
                 out.append(spec % float(arg.ival.value))
-            else:
-                assert isinstance(arg, VFloating)
+            elif isinstance(arg, VFloating):
                 out.append(spec % arg.fval.value)
+            else:
+                _mismatch(conv, arg, loc)
         elif conv == "c":
-            assert isinstance(arg, VInteger)
-            out.append(chr(arg.ival.value & 0xFF))
+            if not isinstance(arg, VInteger):
+                _mismatch(conv, arg, loc)
+            out.append(spec % chr(arg.ival.value & 0xFF))
         elif conv == "s":
-            assert isinstance(arg, VPointer), f"%s of {arg!r}"
+            if not isinstance(arg, VPointer):
+                _mismatch(conv, arg, loc)
             data = fetch_string(arg.ptr)
             out.append("<unspec>" if data is None
-                       else data.decode("latin-1"))
+                       else spec % data.decode("latin-1"))
         elif conv == "p":
-            assert isinstance(arg, (VPointer, VInteger))
+            if not isinstance(arg, (VPointer, VInteger)):
+                _mismatch(conv, arg, loc)
             addr = arg.ptr.addr if isinstance(arg, VPointer) \
                 else arg.ival.value
             out.append(f"0x{addr:x}")
         else:
-            raise InternalError(f"unsupported conversion %{conv}")
+            raise InternalError(f"unsupported conversion %{conv}", loc)
     return "".join(out), argi
-
-
-def _strip_length(spec: str) -> str:
-    return "".join(c for c in spec if c not in "hlqjzt")
 
 
 def _py_conv(conv: str) -> str:

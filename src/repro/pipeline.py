@@ -1,16 +1,35 @@
 """The Cerberus-py pipeline facade (paper Fig. 1).
 
-``run_c`` / ``explore_c`` push C source through the full pipeline —
-preprocess, parse (Cabs), desugar (Ail), typecheck (Typed Ail),
-elaborate (Core) — and execute it against a chosen memory object model
-in single-path or exhaustive mode.
+Translation is split from execution so the front end runs once per
+program:
+
+* :func:`compile_c` pushes C source through the whole front end —
+  preprocess, parse (Cabs), desugar (Ail), typecheck (Typed Ail),
+  elaborate (Core) — and returns a reusable :class:`CompiledProgram`.
+  Results are memoised in a bounded content-addressed in-memory cache
+  keyed on ``(source, impl, flags)``; see :func:`compile_cache_stats`
+  and :func:`clear_compile_cache`.
+* :meth:`CompiledProgram.run` / :meth:`CompiledProgram.explore` execute
+  the compiled artifact against a chosen memory object model in
+  single-path or exhaustive mode — any number of times, under any
+  number of models, without re-elaborating.
+* :func:`run_c` / :func:`explore_c` are thin compile-then-execute
+  wrappers over one model.
+* :func:`run_many` / :func:`explore_many` execute one program across a
+  whole list of models — the paper's §2–§5 methodology of comparing
+  verdicts between memory object models — compiling once per distinct
+  implementation environment (the ``cheri`` model needs the CHERI128
+  environment; every other registered model shares one artifact).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Iterable, Optional
 
 from .ail.desugar import desugar
 from .ail import ast as A
@@ -19,9 +38,8 @@ from .core import ast as K
 from .core.typecheck import typecheck_program
 from .cparser import parse_text
 from .ctypes.implementation import Implementation, LP64, CHERI128
-from .ctypes.types import TagEnv
-from .dynamics.driver import Driver, Oracle, Outcome, run_program
-from .dynamics.exhaustive import ExplorationResult, explore_all
+from .dynamics.driver import Oracle, Outcome, run_program
+from .dynamics.exhaustive import ExplorationResult, explore_program
 from .elab import elaborate
 from .errors import CoreTypeError
 from .memory.base import MemoryModel, MemoryOptions
@@ -41,9 +59,9 @@ MODELS: Dict[str, type] = {
 
 
 @dataclass
-class Pipeline:
-    """A compiled C program: Typed Ail + Core, ready to run under any
-    memory object model."""
+class CompiledProgram:
+    """A compiled C program: Cabs + Typed Ail + Core, ready to run under
+    any memory object model, repeatedly, without re-elaboration."""
 
     source: str
     impl: Implementation
@@ -80,18 +98,70 @@ class Pipeline:
                 **model_kwargs) -> ExplorationResult:
         """Exhaustively explore all allowed executions (the paper's
         test-oracle mode, §5.1)."""
+        return explore_program(
+            self.core,
+            lambda: self.make_model(model, options, **model_kwargs),
+            max_paths=max_paths, max_steps=max_steps)
 
-        def make_driver(oracle: Oracle) -> Driver:
-            mem = self.make_model(model, options, **model_kwargs)
-            return Driver(self.core, mem, oracle, max_steps)
 
-        return explore_all(make_driver, max_paths=max_paths)
+# Historical name for the compiled artifact.
+Pipeline = CompiledProgram
+
+
+# -- the content-addressed compile cache --------------------------------------
+
+_CACHE_CAPACITY = 128
+_cache_lock = threading.Lock()
+_compile_cache: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _cache_key(source: str, impl: Implementation, name: str,
+               check_core: bool) -> str:
+    """Content address of one front-end translation: the source text,
+    the implementation environment (``repr`` of the frozen dataclass is
+    a complete fingerprint), and the compile flags."""
+    h = hashlib.sha256()
+    for part in (source, repr(impl), name, str(check_core)):
+        h.update(part.encode("utf-8", "surrogateescape"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached artifact and reset the hit/miss counters."""
+    with _cache_lock:
+        _compile_cache.clear()
+        for k in _cache_stats:
+            _cache_stats[k] = 0
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Cache observability: hits, misses, evictions, current size."""
+    with _cache_lock:
+        return dict(_cache_stats, size=len(_compile_cache))
 
 
 def compile_c(source: str, impl: Implementation = LP64,
               name: str = "<string>",
-              check_core: bool = True) -> Pipeline:
-    """Run the front half of the pipeline: source -> Core."""
+              check_core: bool = True,
+              use_cache: bool = True) -> CompiledProgram:
+    """Run the front half of the pipeline: source -> Core.
+
+    Translations are memoised (``use_cache=False`` bypasses the cache,
+    e.g. for benchmarking the raw front end); the returned artifact is
+    shared, and safe to share, because execution state lives entirely
+    in per-run drivers and memory models."""
+    key = _cache_key(source, impl, name, check_core) if use_cache \
+        else None
+    if key is not None:
+        with _cache_lock:
+            cached = _compile_cache.get(key)
+            if cached is not None:
+                _compile_cache.move_to_end(key)
+                _cache_stats["hits"] += 1
+                return cached
+            _cache_stats["misses"] += 1
     from .ctypes.types import IntKind
     predefined = {
         # Implementation-defined limit constants used by <limits.h>
@@ -111,7 +181,32 @@ def compile_c(source: str, impl: Implementation = LP64,
         if errors:
             raise CoreTypeError("ill-formed Core produced by "
                                 "elaboration:\n" + "\n".join(errors))
-    return Pipeline(source, impl, cabs, ail, core)
+    program = CompiledProgram(source, impl, cabs, ail, core)
+    if key is not None:
+        with _cache_lock:
+            _compile_cache[key] = program
+            _compile_cache.move_to_end(key)
+            while len(_compile_cache) > _CACHE_CAPACITY:
+                _compile_cache.popitem(last=False)
+                _cache_stats["evictions"] += 1
+    return program
+
+
+def impl_for_model(model: str,
+                   impl: Implementation = LP64) -> Implementation:
+    """The implementation environment a model runs under: the cheri
+    model needs capability pointers, so the default LP64 choice is
+    upgraded to CHERI128 for it (an explicit non-LP64 ``impl`` wins)."""
+    if model == "cheri" and impl is LP64:
+        return CHERI128
+    return impl
+
+
+def compile_for_model(source: str, model: str,
+                      impl: Implementation = LP64,
+                      **kwargs) -> CompiledProgram:
+    """Compile ``source`` under the environment ``model`` requires."""
+    return compile_c(source, impl_for_model(model, impl), **kwargs)
 
 
 def run_c(source: str, model: str = "provenance",
@@ -120,13 +215,10 @@ def run_c(source: str, model: str = "provenance",
           max_steps: int = 2_000_000,
           seed: Optional[int] = None,
           **model_kwargs) -> Outcome:
-    """One-shot: compile and run a C program on the chosen memory
-    object model, returning the observable Outcome."""
-    if model == "cheri" and impl is LP64:
-        impl = CHERI128
-    return compile_c(source, impl).run(model, options,
-                                       max_steps=max_steps, seed=seed,
-                                       **model_kwargs)
+    """One-shot: compile (memoised) and run a C program on the chosen
+    memory object model, returning the observable Outcome."""
+    return compile_for_model(source, model, impl).run(
+        model, options, max_steps=max_steps, seed=seed, **model_kwargs)
 
 
 def explore_c(source: str, model: str = "provenance",
@@ -135,10 +227,65 @@ def explore_c(source: str, model: str = "provenance",
               max_paths: int = 500,
               max_steps: int = 500_000,
               **model_kwargs) -> ExplorationResult:
-    """One-shot: compile and exhaustively explore a C program."""
-    if model == "cheri" and impl is LP64:
-        impl = CHERI128
-    return compile_c(source, impl).explore(model, options,
-                                           max_paths=max_paths,
-                                           max_steps=max_steps,
-                                           **model_kwargs)
+    """One-shot: compile (memoised) and exhaustively explore a C
+    program."""
+    return compile_for_model(source, model, impl).explore(
+        model, options, max_paths=max_paths, max_steps=max_steps,
+        **model_kwargs)
+
+
+def _compile_per_impl(source: str, models: Iterable[str],
+                      impl: Implementation, name: str,
+                      use_cache: bool) -> Dict[str, CompiledProgram]:
+    """One front-end translation per distinct implementation
+    environment, shared by every model that runs under it."""
+    compiled: Dict[str, CompiledProgram] = {}
+    by_model: Dict[str, CompiledProgram] = {}
+    for model in models:
+        m_impl = impl_for_model(model, impl)
+        if m_impl.name not in compiled:
+            compiled[m_impl.name] = compile_c(source, m_impl, name=name,
+                                              use_cache=use_cache)
+        by_model[model] = compiled[m_impl.name]
+    return by_model
+
+
+def run_many(source: str, models: Optional[Iterable[str]] = None,
+             impl: Implementation = LP64,
+             options: Optional[MemoryOptions] = None,
+             max_steps: int = 2_000_000,
+             seed: Optional[int] = None,
+             name: str = "<string>",
+             use_cache: bool = True,
+             **model_kwargs) -> Dict[str, Outcome]:
+    """Run one program under many memory object models (default: all
+    registered), compiling once per distinct implementation
+    environment. Returns ``{model: Outcome}`` in request order, with
+    verdicts identical to per-model :func:`run_c` calls."""
+    programs = _compile_per_impl(source,
+                                 tuple(MODELS) if models is None
+                                 else tuple(models),
+                                 impl, name, use_cache)
+    return {model: program.run(model, options, max_steps=max_steps,
+                               seed=seed, **model_kwargs)
+            for model, program in programs.items()}
+
+
+def explore_many(source: str, models: Optional[Iterable[str]] = None,
+                 impl: Implementation = LP64,
+                 options: Optional[MemoryOptions] = None,
+                 max_paths: int = 500,
+                 max_steps: int = 500_000,
+                 name: str = "<string>",
+                 use_cache: bool = True,
+                 **model_kwargs) -> Dict[str, ExplorationResult]:
+    """Exhaustively explore one program under many memory object models
+    (default: all registered), compiling once per distinct
+    implementation environment."""
+    programs = _compile_per_impl(source,
+                                 tuple(MODELS) if models is None
+                                 else tuple(models),
+                                 impl, name, use_cache)
+    return {model: program.explore(model, options, max_paths=max_paths,
+                                   max_steps=max_steps, **model_kwargs)
+            for model, program in programs.items()}

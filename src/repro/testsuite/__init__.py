@@ -6,10 +6,12 @@ from .questions import (
     Question, QUESTIONS, CATEGORIES, category_counts, clarity_split,
 )
 from .programs import TESTS, TestCase
-from .runner import run_test, run_suite, SuiteReport
+from .runner import (
+    run_test, run_test_many, run_suite, run_suite_many, SuiteReport,
+)
 
 __all__ = [
     "Question", "QUESTIONS", "CATEGORIES", "category_counts",
-    "clarity_split", "TESTS", "TestCase", "run_test", "run_suite",
-    "SuiteReport",
+    "clarity_split", "TESTS", "TestCase", "run_test", "run_test_many",
+    "run_suite", "run_suite_many", "SuiteReport",
 ]

@@ -1,6 +1,11 @@
 """Run the de facto test suite against memory models and tool personae
 and check verdicts against expectations (the paper's "experimental data
-for our test suite" methodology, §2-§3)."""
+for our test suite" methodology, §2-§3).
+
+Sweeps are compile-once: :func:`run_test_many` / :func:`run_suite_many`
+translate each test program a single time per implementation
+environment and execute the shared Core artifact under every requested
+model."""
 
 from __future__ import annotations
 
@@ -9,7 +14,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dynamics.driver import Outcome
 from ..errors import CerberusError
-from ..pipeline import explore_c, run_c
+from ..pipeline import (
+    CompiledProgram, compile_c, compile_for_model, impl_for_model,
+)
 from .programs import TESTS, TestCase
 
 
@@ -67,13 +74,26 @@ def _matches(verdict: str, expected: str) -> bool:
     return verdict == expected
 
 
+def _error_result(test: TestCase, model: str,
+                  exc: CerberusError) -> TestResult:
+    expected = test.expect.get(model)
+    matches = None if expected is None else False
+    return TestResult(test.name, model, f"error:{type(exc).__name__}",
+                      expected, matches)
+
+
 def run_test(test: TestCase, model: str,
-             max_steps: int = 400_000) -> TestResult:
+             max_steps: int = 400_000,
+             program: Optional[CompiledProgram] = None) -> TestResult:
+    """Check one test under one model; pass a pre-compiled ``program``
+    to skip the front end (batch sweeps do)."""
     expected = test.expect.get(model)
     try:
+        if program is None:
+            program = compile_for_model(test.source, model)
         if test.exhaustive:
-            res = explore_c(test.source, model=model, max_paths=64,
-                            max_steps=max_steps)
+            res = program.explore(model, max_paths=64,
+                                  max_steps=max_steps)
             outcomes = res.distinct()
             verdicts = sorted({_verdict_of(o) for o in outcomes})
             verdict = " | ".join(verdicts)
@@ -86,21 +106,50 @@ def run_test(test: TestCase, model: str,
             return TestResult(test.name, model, verdict, expected,
                               matches,
                               outcomes[0].stdout if outcomes else "")
-        outcome = run_c(test.source, model=model, max_steps=max_steps)
+        outcome = program.run(model, max_steps=max_steps)
         verdict = _verdict_of(outcome)
         matches = None if expected is None else _matches(verdict,
                                                          expected)
         return TestResult(test.name, model, verdict, expected, matches,
                           outcome.stdout)
     except CerberusError as exc:
-        verdict = f"error:{type(exc).__name__}"
-        matches = None if expected is None else False
-        return TestResult(test.name, model, verdict, expected, matches)
+        return _error_result(test, model, exc)
+
+
+def run_test_many(test: TestCase, models: List[str],
+                  max_steps: int = 400_000) -> List[TestResult]:
+    """Check one test under many models with one front-end translation
+    per implementation environment."""
+    programs: Dict[str, object] = {}
+    results: List[TestResult] = []
+    for model in models:
+        impl = impl_for_model(model)
+        entry = programs.get(impl.name)
+        if entry is None:
+            try:
+                entry = compile_c(test.source, impl)
+            except CerberusError as exc:
+                entry = exc
+            programs[impl.name] = entry
+        if isinstance(entry, CerberusError):
+            results.append(_error_result(test, model, entry))
+        else:
+            results.append(run_test(test, model, max_steps,
+                                    program=entry))
+    return results
 
 
 def run_suite(model: str, names: Optional[List[str]] = None,
               max_steps: int = 400_000) -> SuiteReport:
+    return run_suite_many([model], names, max_steps)
+
+
+def run_suite_many(models: List[str],
+                   names: Optional[List[str]] = None,
+                   max_steps: int = 400_000) -> SuiteReport:
+    """The per-test × per-model sweep, compile-once per test program."""
     report = SuiteReport()
     for name in (names or sorted(TESTS)):
-        report.results.append(run_test(TESTS[name], model, max_steps))
+        report.results.extend(run_test_many(TESTS[name], models,
+                                            max_steps))
     return report

@@ -151,6 +151,10 @@ INDIRECTION_INVALID_FUNCTION_POINTER = _ub(
     "Indirection_invalid_function_pointer", "6.5.3.2p4",
     "calling through a pointer that does not point at a function of "
     "compatible type")
+PRINTF_ARGUMENT_TYPE_MISMATCH = _ub(
+    "Printf_argument_type_mismatch", "7.21.6.1p9",
+    "an argument to a formatted-output function does not have the type "
+    "required by its conversion specification")
 
 
 class UndefinedBehaviour(Exception):

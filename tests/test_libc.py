@@ -2,6 +2,21 @@
 
 import pytest
 
+from repro.dynamics.values import VInteger, VSpecified
+from repro.libc.printf import format_string
+from repro.memory.values import IntegerValue
+
+
+def _vint(n):
+    return VSpecified(VInteger(IntegerValue(n)))
+
+
+def _fmt(fmt, *ints):
+    text, consumed = format_string(fmt.encode("latin-1"),
+                                   [_vint(n) for n in ints],
+                                   lambda p: None)
+    return text
+
 
 class TestPrintf:
     def test_conversions(self, run_ok):
@@ -67,6 +82,125 @@ int main(void) {
     return 0;
 }''')
         assert out.stdout == "7-ok\n123 6\n"
+
+
+class TestPrintfConversionTable:
+    """Golden table for the conversion machinery: width masking per
+    length modifier (§7.21.6.1p7), * width/precision forms (p5),
+    flag/width/precision combinations, argument-type UB (p9), and the
+    <missing>/trailing-% edges."""
+
+    def test_unsigned_masks_to_length_modifier_width(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%u\n", -1);
+    printf("%hu\n", -1);
+    printf("%hhu %hx %ho\n", -1, -1, -1);
+    printf("%lu %lx\n", -1L, -1L);
+    printf("%x %X %o\n", -1, -16, -8);
+    return 0;
+}''')
+        assert out.stdout == ("4294967295\n"
+                              "65535\n"
+                              "255 ffff 177777\n"
+                              "18446744073709551615 ffffffffffffffff\n"
+                              "ffffffff FFFFFFF0 37777777770\n")
+
+    def test_unsigned_mask_uses_implementation_int_width(self):
+        # Under ILP32 `%lu` masks to 32 bits (long is 4 bytes there).
+        from repro.ctypes.implementation import ILP32
+        from repro.pipeline import run_c
+        out = run_c(r'''
+#include <stdio.h>
+int main(void) { printf("%lu\n", -1L); return 0; }''', impl=ILP32)
+        assert out.stdout == "4294967295\n"
+
+    def test_star_width_and_precision(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("[%*d]\n", 5, 42);
+    printf("[%*d]\n", -5, 42);
+    printf("[%.*f]\n", 2, 3.14159);
+    printf("[%*.*f]\n", 8, 2, 3.14159);
+    printf("[%*s]\n", 6, "hi");
+    return 0;
+}''')
+        assert out.stdout == ("[   42]\n[42   ]\n[3.14]\n"
+                              "[    3.14]\n[    hi]\n")
+
+    def test_flags_width_precision_combinations(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("%+08.3f|%#06x|% d|%-6d|\n", 3.14159, 255, 42, 7);
+    printf("[%10.3s][%-8s]\n", "hello", "hi");
+    printf("%05u|%#o\n", -1, 8);
+    return 0;
+}''')
+        assert out.stdout == ("+003.142|0x00ff| 42|7     |\n"
+                              "[       hel][hi      ]\n"
+                              "4294967295|010\n")
+
+    def test_mismatched_conversion_is_ub(self, expect_ub):
+        expect_ub(r'''
+#include <stdio.h>
+int main(void) { printf("%s\n", 5); return 0; }''',
+                  "Printf_argument_type_mismatch")
+        expect_ub(r'''
+#include <stdio.h>
+int main(void) { printf("%d\n", "str"); return 0; }''',
+                  "Printf_argument_type_mismatch")
+        expect_ub(r'''
+#include <stdio.h>
+int main(void) { printf("%*d\n", "w", 1); return 0; }''',
+                  "Printf_argument_type_mismatch")
+
+    def test_zero_precision_zero_prints_nothing(self, run_ok):
+        # §7.21.6.1p8: zero with explicit zero precision -> no digits
+        # (sign and octal-# prefixes survive; width pads with spaces).
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    printf("[%.0d][%5.0d][%-3.0d][%+.0d][% .0d]\n", 0, 0, 0, 0, 0);
+    printf("[%.0u][%#.0o][%#.0x][%05.0d][%.*d]\n", 0, 0, 0, 0, 0, 0);
+    printf("[%.0d][%.2d]\n", 5, 7);
+    return 0;
+}''')
+        assert out.stdout == ("[][     ][   ][+][ ]\n"
+                              "[][0][][     ][]\n"
+                              "[5][07]\n")
+
+    def test_missing_and_trailing_edges(self):
+        assert _fmt("%d %d", 1) == "1 <missing>"
+        assert _fmt("[%*d]", 5) == "[<missing>]"
+        assert _fmt("tail%") == "tail%"
+        assert _fmt("%") == "%"
+        assert _fmt("%5") == "%5"
+        assert _fmt("100%% sure") == "100% sure"
+        assert _fmt("%5%|%i", 3) == "%|3"
+
+    def test_format_string_length_table(self):
+        # Direct golden table over the length-modifier widths (no
+        # Implementation supplied -> LP64 defaults).
+        table = [
+            ("%hhu", -1, "255"),
+            ("%hu", -1, "65535"),
+            ("%u", -1, "4294967295"),
+            ("%lu", -1, "18446744073709551615"),
+            ("%llu", -1, "18446744073709551615"),
+            ("%ju", -1, "18446744073709551615"),
+            ("%zu", -1, "18446744073709551615"),
+            ("%tu", -1, "18446744073709551615"),
+            ("%hhx", -1, "ff"),
+            ("%hX", -1, "FFFF"),
+            ("%o", -1, "37777777777"),
+            ("%lx", -1, "ffffffffffffffff"),
+            ("%ld", -5, "-5"),          # signed: no masking
+        ]
+        for fmt, value, want in table:
+            assert _fmt(fmt, value) == want, fmt
 
 
 class TestStringH:

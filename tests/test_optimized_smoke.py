@@ -1,0 +1,75 @@
+"""Tier-1 smoke check under ``python -O``.
+
+``-O`` strips ``assert`` statements, so any diagnostic or control flow
+that leans on them silently vanishes. The subprocess driver below uses
+explicit checks only (no ``assert``) and exercises the layers that
+historically used bare asserts: the printf argument-type diagnostics,
+the batch pipeline, and one full de facto test-suite sweep, whose
+verdicts must be identical to an in-process run without ``-O``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+_DRIVER = r'''
+import sys
+
+if sys.flags.optimize < 1:
+    sys.exit("driver must run under python -O")
+
+from repro.pipeline import run_c, run_many
+from repro.testsuite import run_suite_many
+
+OK_SRC = """#include <stdio.h>
+int main(void){ printf("%u %hu\\n", -1, -1); return 0; }"""
+out = run_c(OK_SRC)
+if out.status != "done" or out.stdout != "4294967295 65535\n":
+    sys.exit(f"width masking broken under -O: {out.summary()}")
+
+BAD_SRC = """#include <stdio.h>
+int main(void){ printf("%s\\n", 5); return 0; }"""
+bad = run_c(BAD_SRC)
+if bad.status != "ub" or bad.ub is None or \
+        bad.ub.name != "Printf_argument_type_mismatch":
+    sys.exit("mismatched conversion must stay UB under -O, got "
+             f"{bad.summary()}")
+
+many = run_many(OK_SRC, models=["concrete", "strict"])
+if any(o.stdout != "4294967295 65535\n" for o in many.values()):
+    sys.exit("run_many diverged under -O")
+
+report = run_suite_many(["concrete", "provenance"])
+for r in report.results:
+    print(f"{r.name}\t{r.model}\t{r.verdict!r}")
+if report.failed():
+    sys.exit(f"{len(report.failed())} suite expectations failed "
+             "under -O")
+'''
+
+
+def test_suite_verdicts_survive_python_O():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-O", "-c", _DRIVER],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert proc.returncode == 0, \
+        f"-O smoke failed:\n{proc.stdout}\n{proc.stderr}"
+
+    from repro.testsuite import run_suite_many
+    expected = {
+        (r.name, r.model): repr(r.verdict)
+        for r in run_suite_many(["concrete", "provenance"]).results
+    }
+    seen = {}
+    for line in proc.stdout.splitlines():
+        name, model, verdict = line.split("\t", 2)
+        seen[(name, model)] = verdict
+    assert seen == expected

@@ -4,7 +4,10 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.ctypes import ILP32
-from repro.pipeline import MODELS, compile_c, explore_c, run_c
+from repro.pipeline import (
+    MODELS, clear_compile_cache, compile_c, compile_cache_stats,
+    explore_c, explore_many, run_c, run_many,
+)
 
 
 class TestPipeline:
@@ -54,6 +57,117 @@ int main(void) { pr('a') + pr('b'); return 0; }'''
         res = explore_c("int main(void){ return 0; }")
         assert res.paths_run == 1
         assert res.exhausted
+
+
+class TestCompileCache:
+    SRC = "int main(void){ return 41 + 1; }"
+
+    def test_cache_returns_same_artifact(self):
+        clear_compile_cache()
+        a = compile_c(self.SRC)
+        b = compile_c(self.SRC)
+        assert a is b
+        stats = compile_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_cache_bypass_and_key_discrimination(self):
+        clear_compile_cache()
+        a = compile_c(self.SRC)
+        fresh = compile_c(self.SRC, use_cache=False)
+        assert fresh is not a
+        assert compile_cache_stats()["size"] == 1
+        other_impl = compile_c(self.SRC, impl=ILP32)
+        other_src = compile_c("int main(void){ return 42; }")
+        assert other_impl is not a
+        assert other_src is not a
+        assert compile_cache_stats()["size"] == 3
+
+    def test_clear_resets(self):
+        compile_c(self.SRC)
+        clear_compile_cache()
+        stats = compile_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0,
+                         "size": 0}
+
+
+class TestBatchExecution:
+    # Observable on every model, with model-divergent UB available via
+    # the uninitialised read below.
+    SRC = r'''
+#include <stdio.h>
+int main(void) {
+    unsigned u = 7;
+    printf("%u %u\n", u, -1);
+    return 0;
+}'''
+
+    DIVERGENT = r'''
+int main(void) {
+    int x;
+    int y = x;
+    return 0;
+}'''
+
+    def test_run_many_matches_individual_run_c(self):
+        many = run_many(self.SRC)
+        assert list(many) == list(MODELS)
+        for model in MODELS:
+            solo = run_c(self.SRC, model=model)
+            o = many[model]
+            assert (o.status, o.exit_code, o.stdout, o.ub) == \
+                (solo.status, solo.exit_code, solo.stdout, solo.ub)
+
+    def test_run_many_preserves_model_divergence(self):
+        many = run_many(self.DIVERGENT)
+        for model in MODELS:
+            solo = run_c(self.DIVERGENT, model=model)
+            o = many[model]
+            assert (o.status, o.ub) == (solo.status, solo.ub)
+        assert many["strict"].status == "ub"
+        assert many["concrete"].status == "done"
+
+    def test_run_many_compiles_once_per_impl(self):
+        clear_compile_cache()
+        run_many(self.SRC)
+        stats = compile_cache_stats()
+        # One translation per distinct implementation environment,
+        # shared across all five models without even consulting the
+        # cache again.
+        assert stats["misses"] == 2     # LP64 + CHERI128
+        assert stats["hits"] == 0
+        run_many(self.SRC)              # warm: both impls cache-hit
+        stats = compile_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 2
+
+    def test_run_many_model_subset(self):
+        many = run_many(self.SRC, models=["gcc", "concrete"])
+        assert list(many) == ["gcc", "concrete"]
+
+    def test_explore_many_matches_explore_c(self):
+        src = r'''
+#include <stdio.h>
+int pr(int c) { putchar(c); return 0; }
+int main(void) { pr('a') + pr('b'); return 0; }'''
+        many = explore_many(src, models=["concrete", "provenance"])
+        for model, res in many.items():
+            solo = explore_c(src, model=model)
+            assert res.paths_run == solo.paths_run
+            assert res.behaviours() == solo.behaviours()
+            assert {o.stdout for o in res.distinct()} == {"ab", "ba"}
+
+    def test_suite_sweep_matches_per_model_suites(self):
+        from repro.testsuite import TESTS, run_suite, run_suite_many
+        names = sorted(TESTS)[:6]
+        sweep = run_suite_many(["concrete", "strict"], names=names)
+        singles = [r for model in ["concrete", "strict"]
+                   for r in run_suite(model, names=names).results]
+        sweep_key = {(r.name, r.model): r.verdict
+                     for r in sweep.results}
+        single_key = {(r.name, r.model): r.verdict for r in singles}
+        assert sweep_key == single_key
 
 
 class TestCli:
@@ -117,6 +231,42 @@ int main(void) {
 
     def test_missing_file(self, capsys):
         assert cli_main(["/nonexistent/prog.c"]) == 2
+
+    def test_models_batch_flag(self, tmp_path, capsys):
+        path = self._write(tmp_path, r'''
+int main(void) {
+    unsigned int x;
+    unsigned int y = x;  /* uninit read: UB under strict only */
+    return 0;
+}''')
+        code = cli_main([path, "--models", "concrete,strict"])
+        out = capsys.readouterr().out
+        assert code == 1                      # strict flags UB
+        assert "concrete" in out and "strict" in out
+        assert "Read_uninitialised" in out
+        assert cli_main([path, "--models", "concrete,gcc"]) == 0
+
+    def test_models_batch_exit_codes(self, tmp_path, capsys):
+        slow = self._write(tmp_path,
+                           "int main(void){ while (1) ; return 0; }")
+        code = cli_main([slow, "--models", "concrete,gcc",
+                         "--max-steps", "5000"])
+        capsys.readouterr()
+        assert code == 3                      # timeout, as single mode
+        pp = self._write(tmp_path, "int main(void){ return 1 << 2; }")
+        code = cli_main([pp, "--models", "all", "--pp-core"])
+        out = capsys.readouterr().out
+        assert code == 0                      # --pp-core wins
+        assert "proc main" in out
+
+    def test_models_all_and_unknown(self, tmp_path, capsys):
+        path = self._write(tmp_path,
+                           "int main(void){ return 0; }")
+        assert cli_main([path, "--models", "all"]) == 0
+        out = capsys.readouterr().out
+        assert all(m in out for m in MODELS)
+        assert cli_main([path, "--models", "nope"]) == 2
+        assert "unknown model" in capsys.readouterr().err
 
 
 class TestUnspecifiedOptions:
