@@ -1,0 +1,87 @@
+"""Farm campaign throughput: serial cold store vs ``jobs=4`` warm
+store on a Csmith differential corpus.
+
+The farm's two scaling levers are measured together on one
+reproducible corpus (explicit seed list, so every run sweeps the same
+programs):
+
+* **artifact store** — the cold pass translates every program and
+  fills the store; the warm pass must perform **zero** front-end
+  translations (asserted via the campaign report's counters — the
+  whole front end is skipped, execution replays the pickled Core);
+* **worker pool** — the warm ``jobs=4`` campaign must beat the cold
+  serial campaign wall-clock (on a single-core container the win
+  comes from skipping translation; with more cores it compounds).
+
+A JSON perf record is printed on the ``-s`` stream and written to
+``benchmarks/perf_farm_sweep.json``.
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.farm.campaign import csmith_campaign
+from repro.pipeline import clear_compile_cache
+
+SEEDS = [41000 + i for i in range(24)]
+SIZE = 16
+MODELS = ["concrete"]
+
+
+def _campaign(jobs, store):
+    clear_compile_cache()   # every pass starts with a cold process cache
+    report, campaign = csmith_campaign(seeds=SEEDS, size=SIZE,
+                                       models=MODELS, jobs=jobs,
+                                       store=store)
+    return report, campaign
+
+
+def test_farm_sweep(benchmark):
+    cold_root = Path(tempfile.mkdtemp(prefix="farm-bench-cold-"))
+    warm_root = Path(tempfile.mkdtemp(prefix="farm-bench-warm-"))
+    try:
+        serial_report, serial_cold = _campaign(1, cold_root / "store")
+        jobs4_cold_report, jobs4_cold = _campaign(4,
+                                                  warm_root / "store")
+        # Same store as the serial pass: now warm.
+        warm_report, jobs4_warm = benchmark.pedantic(
+            lambda: _campaign(4, cold_root / "store"),
+            rounds=1, iterations=1)
+
+        # All three campaigns ran the same corpus to the same verdicts.
+        assert serial_report.summary() == warm_report.summary()
+        assert serial_report.summary() == jobs4_cold_report.summary()
+        assert serial_report.disagree == 0
+        assert serial_report.failed == 0
+
+        # Cold passes translate; the warm pass must not: the store's
+        # hit counters prove the front end never ran.
+        assert serial_cold.cache["translations"] == len(SEEDS)
+        assert jobs4_warm.cache["translations"] == 0
+        assert jobs4_warm.cache["store_hits"] == len(SEEDS)
+        assert jobs4_warm.cache["store_hit_rate"] == 1.0
+
+        record = {
+            "benchmark": "farm_sweep",
+            "corpus": {"seeds": [SEEDS[0], SEEDS[-1]],
+                       "programs": len(SEEDS), "size": SIZE},
+            "models": MODELS,
+            "serial_cold_s": serial_cold.wall_s,
+            "jobs4_cold_s": jobs4_cold.wall_s,
+            "jobs4_warm_s": jobs4_warm.wall_s,
+            "speedup_warm_jobs4_vs_serial_cold": round(
+                serial_cold.wall_s / jobs4_warm.wall_s, 2),
+            "translations_cold": serial_cold.cache["translations"],
+            "translations_warm": jobs4_warm.cache["translations"],
+            "store_hits_warm": jobs4_warm.cache["store_hits"],
+        }
+        out_path = Path(__file__).with_name("perf_farm_sweep.json")
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        print("\n" + json.dumps(record))
+        assert record["speedup_warm_jobs4_vs_serial_cold"] > 1.0, \
+            record
+    finally:
+        shutil.rmtree(cold_root, ignore_errors=True)
+        shutil.rmtree(warm_root, ignore_errors=True)

@@ -25,6 +25,13 @@ from ..errors import DesugarError, UnsupportedError
 from ..source import Loc
 from . import ast as A
 
+class _NotConstantError(DesugarError):
+    """An expression whose *form* is not a constant expression (§6.6)
+    — as opposed to a constant expression with an erroneous value
+    (division by zero, non-integer result).  Array declarators use the
+    distinction: a well-formed but non-constant size declares a VLA."""
+
+
 # The valid multisets of type-specifier keywords (§6.7.2p2), mapped to
 # canonical types.
 _KEYWORD_TYPES: Dict[Tuple[str, ...], CType] = {}
@@ -354,9 +361,15 @@ class Desugarer:
                                    iso="6.7.2.1p2")
             for declarator, width in sdecl.declarators:
                 if width is not None:
+                    kind = "union" if ts.is_union else "struct"
+                    member = (f"bit-field '{declarator.name}'"
+                              if isinstance(declarator, C.DIdent)
+                              else "anonymous bit-field")
                     raise UnsupportedError(
-                        "bitfields are not supported (out of the Cerberus "
-                        "fragment)", sdecl.loc)
+                        f"{member} in {kind} definition: bit-fields "
+                        "are outside the Cerberus fragment (see "
+                        "ROADMAP.md 'Fragment gaps' for supported-"
+                        "fragment notes)", sdecl.loc)
                 assert declarator is not None
                 name, qty = self.apply_declarator(base_qty, declarator)
                 if name is None:
@@ -408,10 +421,26 @@ class Desugarer:
                 QualType(Pointer(base), quals), decl.inner)
         if isinstance(decl, C.DArray):
             if decl.is_star:
-                raise UnsupportedError("VLA of unspecified size", decl.loc)
+                raise UnsupportedError(
+                    "variable-length arrays are outside the Cerberus "
+                    "fragment ('[*]' declares a VLA of unspecified "
+                    "size; see ROADMAP.md 'Fragment gaps')", decl.loc)
             size: Optional[int] = None
             if decl.size is not None:
-                size = self.const_expr(self.expr(decl.size))
+                size_expr = self.expr(decl.size)
+                try:
+                    size = self.const_expr(size_expr)
+                except _NotConstantError as exc:
+                    # A well-formed size expression whose form is not
+                    # an integer constant expression declares a VLA
+                    # (§6.7.6.2p4) — a dedicated diagnostic.  Erroneous
+                    # *constant* sizes (division by zero, a float
+                    # size) keep their specific DesugarError.
+                    raise UnsupportedError(
+                        "variable-length arrays are outside the "
+                        "Cerberus fragment (array sizes must be "
+                        "integer constant expressions; see ROADMAP.md "
+                        "'Fragment gaps')", decl.loc) from exc
                 if size < 0:
                     raise DesugarError("array size is negative", decl.loc,
                                        iso="6.7.6.2p1")
@@ -953,8 +982,8 @@ class Desugarer:
                 return ~int(v)
             if e.op == "!":
                 return int(not v)
-            raise DesugarError(f"'{e.op}' in constant expression", e.loc,
-                               iso="6.6")
+            raise _NotConstantError(f"'{e.op}' in constant expression",
+                                    e.loc, iso="6.6")
         if isinstance(e, A.EBinary):
             a = self._const(e.lhs)
             if e.op == "&&":
@@ -986,7 +1015,7 @@ class Desugarer:
             return self.impl.alignof(e.of.ty, self.tags)
         if isinstance(e, A.EOffsetof):
             return self.impl.offsetof(e.record.ty, e.member, self.tags)
-        raise DesugarError(
+        raise _NotConstantError(
             f"{type(e).__name__} is not permitted in a constant expression",
             e.loc, iso="6.6")
 

@@ -1,27 +1,91 @@
-"""Command-line interface: ``cerberus-py file.c``.
+"""Command-line interface: ``cerberus-py file.c`` and ``cerberus-py
+farm ...``.
 
 Modes mirror the paper's tool: run one path, exhaustively explore all
 allowed behaviours, or pretty-print the elaborated Core. ``--models``
 compiles once and executes the shared artifact under a whole list of
 memory object models, printing one verdict per model (the paper's
-cross-model comparison)."""
+cross-model comparison).
+
+Farm flags (see :mod:`repro.farm`):
+
+* ``--store DIR`` — a persistent cross-process artifact store:
+  compiled Core is cached on disk, so repeated invocations skip the
+  front end entirely;
+* ``--jobs N`` — run the ``--models`` sweep through N parallel worker
+  processes;
+* ``--shard I/N`` — run only the I-th of N deterministic shards of
+  the sweep (corpus partitioning for independent campaign workers);
+* ``cerberus-py farm suite|csmith|sweep ...`` — whole-corpus
+  campaigns with JSON reports (per-program verdicts, cache hit rates,
+  wall-clock).
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Optional, Tuple
 
 from .core.pretty import pretty_program
 from .ctypes.implementation import ILP32, LP64
 from .errors import CerberusError
-from .pipeline import MODELS, compile_c, explore_many, run_many
+from .pipeline import (
+    MODELS, compile_c, explore_many, run_many, set_artifact_store,
+)
+
+
+def _parse_shard(text: Optional[str]) -> Tuple[int, int]:
+    """``"I/N"`` -> ``(I, N)``; None -> the whole corpus ``(0, 1)``."""
+    if not text:
+        return (0, 1)
+    try:
+        index, _, count = text.partition("/")
+        shard = (int(index), int(count))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--shard wants I/N (e.g. 0/4), got {text!r}") from None
+    if not (shard[1] >= 1 and 0 <= shard[0] < shard[1]):
+        raise argparse.ArgumentTypeError(
+            f"--shard index must be in [0, N), got {text!r}")
+    return shard
+
+
+def _parse_models(text: Optional[str], default=None):
+    if text is None:
+        return default
+    if text == "all":
+        return list(MODELS)
+    models = [m.strip() for m in text.split(",") if m.strip()]
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown model(s): {', '.join(unknown)} (choose from "
+            f"{', '.join(sorted(MODELS))})")
+    return models
+
+
+def _add_farm_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="number of parallel worker processes "
+                        "(default: 1 = serial in-process)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persistent artifact store directory: "
+                        "compiled Core is reused across processes "
+                        "and invocations (skips the front end)")
+    p.add_argument("--shard", type=_parse_shard, default=(0, 1),
+                   metavar="I/N",
+                   help="run only the I-th of N deterministic shards "
+                        "of the sweep (default: 0/1 = everything)")
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="cerberus-py",
         description="An executable de facto semantics for C "
-                    "(PLDI 2016 reproduction)")
+                    "(PLDI 2016 reproduction). Batch campaigns: "
+                    "cerberus-py farm {suite,csmith,sweep} --help")
     p.add_argument("file", help="C source file")
     p.add_argument("--model", choices=sorted(MODELS),
                    default="provenance",
@@ -41,10 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-paths", type=int, default=500)
     p.add_argument("--seed", type=int, default=None,
                    help="pseudorandom single-path exploration seed")
+    _add_farm_flags(p)
     return p
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "farm":
+        return farm_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as f:
@@ -53,6 +122,9 @@ def main(argv=None) -> int:
         print(f"cerberus-py: {exc}", file=sys.stderr)
         return 2
     impl = LP64 if args.impl == "LP64" else ILP32
+    if args.store:
+        from .farm.store import ArtifactStore
+        set_artifact_store(ArtifactStore(args.store))
     if args.models and not args.pp_core:
         return _run_batch(args, source, impl)
     try:
@@ -88,19 +160,33 @@ def main(argv=None) -> int:
     return outcome.exit_code or 0
 
 
-def _run_batch(args, source: str, impl) -> int:
-    """--models: one front-end translation, a verdict per model."""
-    if args.models == "all":
-        models = list(MODELS)
-    else:
-        models = [m.strip() for m in args.models.split(",")
-                  if m.strip()]
-    unknown = [m for m in models if m not in MODELS]
-    if unknown:
-        print(f"cerberus-py: unknown model(s): {', '.join(unknown)} "
-              f"(choose from {', '.join(sorted(MODELS))})",
-              file=sys.stderr)
+def _exit_code_for(statuses, any_ub: bool) -> int:
+    # Mirror the single-model exit codes: UB trumps internal errors
+    # trumps timeouts.
+    if any_ub:
+        return 1
+    if "error" in statuses:
         return 2
+    if "timeout" in statuses:
+        return 3
+    return 0
+
+
+def _run_batch(args, source: str, impl) -> int:
+    """--models: one front-end translation, a verdict per model
+    (``--jobs``/``--shard`` fan the models out across farm workers)."""
+    try:
+        models = _parse_models(args.models)
+    except argparse.ArgumentTypeError as exc:
+        print(f"cerberus-py: {exc}", file=sys.stderr)
+        return 2
+    from .farm.pool import shard_select
+    models = shard_select(models, *args.shard)
+    if not models:
+        print("cerberus-py: shard selected no models", file=sys.stderr)
+        return 2
+    if args.jobs > 1:
+        return _run_batch_farm(args, source, impl, models)
     try:
         if args.exhaustive:
             results = explore_many(source, models=models, impl=impl,
@@ -122,16 +208,178 @@ def _run_batch(args, source: str, impl) -> int:
         return 2
     for model, outcome in outcomes.items():
         print(f"{model:12s} {outcome.summary()}")
-    # Mirror the single-model exit codes: UB trumps internal errors
-    # trumps timeouts.
-    statuses = {o.status for o in outcomes.values()}
-    if any(o.is_ub for o in outcomes.values()):
-        return 1
-    if "error" in statuses:
+    return _exit_code_for({o.status for o in outcomes.values()},
+                          any(o.is_ub for o in outcomes.values()))
+
+
+def _run_batch_farm(args, source: str, impl, models) -> int:
+    """The --models sweep across worker processes: one task per model
+    (a warm --store makes every worker execution-only)."""
+    from .farm.pool import SweepTask, run_tasks
+    mode = "explore" if args.exhaustive else "run"
+    tasks = [SweepTask(index=i, name=args.file, kind=mode,
+                       source=source, models=(model,), impl=impl,
+                       max_steps=args.max_steps,
+                       max_paths=args.max_paths, seed=args.seed)
+             for i, model in enumerate(models)]
+    results = run_tasks(tasks, jobs=args.jobs, store=args.store)
+    statuses, any_ub = set(), False
+    for model, r in zip(models, results):
+        if not r.ok:
+            print(f"{model:12s} error: {r.error}")
+            statuses.add("error")
+            continue
+        if mode == "explore":
+            e = r.data["explorations"][model]
+            print(f"{model:12s} {e.paths_run:4d} paths  "
+                  + " | ".join(e.behaviours))
+            any_ub = any_ub or e.has_ub
+        else:
+            v = r.data["verdicts"][model]
+            print(f"{model:12s} {v.summary()}")
+            statuses.add(v.status)
+            any_ub = any_ub or v.status == "ub"
+    return _exit_code_for(statuses, any_ub)
+
+
+# -- the farm subcommand -------------------------------------------------------
+
+def build_farm_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cerberus-py farm",
+        description="Whole-corpus campaigns: parallel workers, "
+                    "persistent artifact store, deterministic "
+                    "sharding, JSON reports")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    suite = sub.add_parser(
+        "suite", help="sweep the de facto test suite across models")
+    suite.add_argument("--models", default="all", metavar="M1,M2,...")
+    suite.add_argument("--tests", default=None, metavar="T1,T2,...",
+                       help="subset of test names (default: all)")
+    suite.add_argument("--max-steps", type=int, default=400_000)
+
+    csmith = sub.add_parser(
+        "csmith", help="differentially validate a Csmith corpus")
+    csmith.add_argument("--count", type=int, default=None,
+                        help="corpus size (seeds seed-base..+count)")
+    csmith.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                        help="explicit corpus seed list (reproducible "
+                             "sharded campaigns)")
+    csmith.add_argument("--seed-base", type=int, default=1000)
+    csmith.add_argument("--size", type=int, default=12,
+                        help="statement budget per program")
+    csmith.add_argument("--models", default="concrete",
+                        metavar="M1,M2,...")
+    csmith.add_argument("--max-steps", type=int, default=300_000)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep ad-hoc C files across models")
+    sweep.add_argument("files", nargs="+", help="C source files")
+    sweep.add_argument("--models", default="all", metavar="M1,M2,...")
+    sweep.add_argument("--exhaustive", action="store_true")
+    sweep.add_argument("--max-steps", type=int, default=2_000_000)
+    sweep.add_argument("--max-paths", type=int, default=500)
+
+    for sp in (suite, csmith, sweep):
+        _add_farm_flags(sp)
+        sp.add_argument("--report", default=None, metavar="FILE",
+                        help="write the JSON campaign report here")
+        sp.add_argument("--task-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-task wall-clock timeout in seconds")
+    return p
+
+
+def _finish_campaign(campaign, report_path: Optional[str]) -> None:
+    cache = campaign.cache
+    rate = cache.get("store_hit_rate")
+    print(f"wall {campaign.wall_s:.2f}s  jobs={campaign.jobs}  "
+          f"translations={cache['translations']}  "
+          f"store hits={cache['store_hits']}"
+          + (f" (rate {rate})" if rate is not None else ""))
+    if report_path:
+        campaign.write(report_path)
+        print(f"campaign report: {report_path}")
+
+
+def farm_main(argv) -> int:
+    args = build_farm_parser().parse_args(argv)
+    try:
+        models = _parse_models(args.models)
+    except argparse.ArgumentTypeError as exc:
+        print(f"cerberus-py farm: {exc}", file=sys.stderr)
         return 2
-    if "timeout" in statuses:
-        return 3
-    return 0
+
+    if args.command == "suite":
+        from .farm.campaign import suite_campaign
+        names = [t.strip() for t in args.tests.split(",")
+                 if t.strip()] if args.tests else None
+        suite, campaign = suite_campaign(
+            models, names, jobs=args.jobs, store=args.store,
+            shard=args.shard, max_steps=args.max_steps,
+            task_timeout=args.task_timeout)
+        print(suite.table())
+        s = campaign.summary
+        print(f"{s['rows']} rows: {s['passed']} pass, "
+              f"{s['failed']} fail, {s['flagged']} flag UB")
+        _finish_campaign(campaign, args.report)
+        return 1 if suite.failed() else 0
+
+    if args.command == "csmith":
+        from .farm.campaign import csmith_campaign
+        seeds = None
+        if args.seeds:
+            try:
+                seeds = [int(s) for s in args.seeds.split(",")
+                         if s.strip()]
+            except ValueError:
+                print("cerberus-py farm: --seeds wants a "
+                      "comma-separated integer list", file=sys.stderr)
+                return 2
+        if seeds is None and args.count is None:
+            print("cerberus-py farm csmith: need --count or --seeds",
+                  file=sys.stderr)
+            return 2
+        report, campaign = csmith_campaign(
+            seeds=seeds, count=args.count, size=args.size,
+            models=models, jobs=args.jobs, store=args.store,
+            shard=args.shard, max_steps=args.max_steps,
+            seed_base=args.seed_base, task_timeout=args.task_timeout)
+        print(report.summary())
+        _finish_campaign(campaign, args.report)
+        return 0 if report.disagree == 0 and report.failed == 0 else 1
+
+    # sweep
+    from .farm.campaign import sweep_campaign
+    programs = []
+    for path in args.files:
+        try:
+            with open(path) as f:
+                programs.append((path, f.read()))
+        except OSError as exc:
+            print(f"cerberus-py farm: {exc}", file=sys.stderr)
+            return 2
+    results, campaign = sweep_campaign(
+        programs, models=models, jobs=args.jobs,
+        mode="explore" if args.exhaustive else "run",
+        store=args.store, shard=args.shard,
+        max_steps=args.max_steps, max_paths=args.max_paths,
+        task_timeout=args.task_timeout)
+    for entry in campaign.results:
+        for model, verdict in entry.get("verdicts", {}).items():
+            print(f"{entry['program']:32s} {model:12s} {verdict}")
+        for model, ex in entry.get("explorations", {}).items():
+            print(f"{entry['program']:32s} {model:12s} "
+                  f"{ex['paths']:4d} paths  "
+                  + " | ".join(ex["behaviours"]))
+        if entry.get("error"):
+            print(f"{entry['program']:32s} {'-':12s} "
+                  f"error: {entry['error']}")
+    _finish_campaign(campaign, args.report)
+    any_ub = campaign.summary.get("ub", 0) > 0
+    bad = any(not r.ok for r in results)
+    return 1 if any_ub else (2 if bad else 0)
 
 
 if __name__ == "__main__":

@@ -5,12 +5,18 @@ compares against the generator's independently computed expected output
 — the analogue of the paper's GCC comparison ("Of their 561 Csmith
 tests, Cerberus currently gives the same result as GCC for 556; the
 other 5 time-out").
+
+The corpus is reproducible by construction — an explicit ``seeds``
+list, or ``range(seed_base, seed_base + count)`` — so sharded farm
+campaign workers (``jobs=``/``store=``/``shard=``, backed by
+:mod:`repro.farm.campaign`) partition exactly the same programs
+deterministically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CerberusError
 from ..pipeline import run_many
@@ -33,23 +39,63 @@ class ValidationReport:
                 f"{self.failed} fail")
 
 
-def validate_programs(count: int, size: int = 12,
+def classify_outcomes(program: GeneratedProgram,
+                      outcomes: Dict[str, object]) -> str:
+    """Compare one program's per-model outcomes against the
+    generator's mirror: ``"agree"`` | ``"timeout"`` | ``"disagree"``.
+    Every model must reproduce the expected output to count as
+    agreement (the cross-model differential mode)."""
+    if any(o.status == "timeout" for o in outcomes.values()):
+        return "timeout"
+    if all(o.status in ("done", "exit") and
+           o.stdout == program.expected_stdout and
+           (o.exit_code or 0) == 0
+           for o in outcomes.values()):
+        return "agree"
+    return "disagree"
+
+
+def resolve_seeds(count: Optional[int],
+                  seeds: Optional[Sequence[int]],
+                  seed_base: int) -> List[int]:
+    """The corpus as an explicit, reproducible seed list."""
+    if seeds is not None:
+        return list(seeds)
+    if count is None:
+        raise ValueError("validate_programs needs count or seeds=")
+    return [seed_base + i for i in range(count)]
+
+
+def validate_programs(count: Optional[int] = None, size: int = 12,
                       model: str = "concrete",
                       max_steps: int = 300_000,
                       seed_base: int = 1000,
-                      models: Optional[List[str]] = None
+                      models: Optional[List[str]] = None,
+                      seeds: Optional[Sequence[int]] = None,
+                      jobs: int = 1,
+                      store=None,
+                      shard: Optional[Tuple[int, int]] = None
                       ) -> ValidationReport:
-    """Generate ``count`` programs and compare Cerberus-py's output
-    against the reference.
+    """Generate the corpus and compare Cerberus-py's output against
+    the reference.
 
     With ``models`` (a list of memory object models) each program is
     translated once and the compiled artifact executed under every
     model — all must reproduce the reference output to count as
-    agreement (the cross-model differential mode)."""
+    agreement.  ``seeds`` names the corpus explicitly (otherwise
+    ``seed_base``/``count``); ``jobs``, ``store``, and ``shard`` route
+    the sweep through the farm (parallel workers, persistent artifact
+    store, deterministic corpus partitioning)."""
     model_list = list(models) if models else [model]
+    seed_list = resolve_seeds(count, seeds, seed_base)
+    if jobs > 1 or store is not None or shard is not None:
+        from ..farm.campaign import csmith_campaign
+        report, _ = csmith_campaign(
+            seeds=seed_list, size=size, models=model_list, jobs=jobs,
+            store=store, shard=shard or (0, 1), max_steps=max_steps)
+        return report
     report = ValidationReport()
-    for i in range(count):
-        seed = seed_base + i
+    for seed in seed_list:
         program = generate_program(seed, size)
         report.total += 1
         try:
@@ -59,12 +105,10 @@ def validate_programs(count: int, size: int = 12,
             report.failed += 1
             report.failures.append(seed)
             continue
-        if any(o.status == "timeout" for o in outcomes.values()):
+        category = classify_outcomes(program, outcomes)
+        if category == "timeout":
             report.timeout += 1
-        elif all(o.status in ("done", "exit") and
-                 o.stdout == program.expected_stdout and
-                 (o.exit_code or 0) == 0
-                 for o in outcomes.values()):
+        elif category == "agree":
             report.agree += 1
         else:
             report.disagree += 1

@@ -10,6 +10,7 @@ sibling paths for its untried alternatives.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -47,7 +48,9 @@ class ExplorationResult:
 def explore_program(program, make_model: Callable[[], object],
                     max_paths: int = 500,
                     max_steps: int = 500_000,
-                    entry: str = "main") -> ExplorationResult:
+                    entry: str = "main",
+                    deadline_s: Optional[float] = None
+                    ) -> ExplorationResult:
     """Enumerate every oracle path of a *pre-compiled* Core program.
 
     ``program`` is an elaborated :class:`repro.core.ast.Program` and
@@ -58,21 +61,32 @@ def explore_program(program, make_model: Callable[[], object],
     def make_driver(oracle: Oracle) -> Driver:
         return Driver(program, make_model(), oracle, max_steps)
 
-    return explore_all(make_driver, max_paths=max_paths, entry=entry)
+    return explore_all(make_driver, max_paths=max_paths, entry=entry,
+                       deadline_s=deadline_s)
 
 
 def explore_all(make_driver: Callable[[Oracle], Driver],
                 max_paths: int = 2000,
-                entry: str = "main") -> ExplorationResult:
+                entry: str = "main",
+                deadline_s: Optional[float] = None) -> ExplorationResult:
     """Run ``make_driver`` over every oracle path (up to ``max_paths``).
 
     ``make_driver`` must build a *fresh* driver (and fresh memory model)
     for the given oracle — runs are independent replays.
+
+    ``deadline_s`` is a cooperative wall-clock budget for the whole
+    enumeration (the farm's per-task timeout): when it expires, the
+    paths explored so far are returned with ``exhausted=False`` —
+    partial evidence instead of a killed worker.
     """
     result = ExplorationResult()
+    deadline = (time.monotonic() + deadline_s
+                if deadline_s is not None else None)
     stack: List[List[int]] = [[]]
     while stack:
-        if result.paths_run >= max_paths:
+        if result.paths_run >= max_paths or \
+                (deadline is not None and
+                 time.monotonic() >= deadline):
             result.exhausted = False
             break
         prefix = stack.pop()

@@ -1,0 +1,86 @@
+"""``repro.farm`` — persistent artifact store + parallel sweep execution.
+
+The paper's method is inherently batch-shaped: one C program is swept
+across many memory object models (§2-§5), and whole corpora — the §5
+de facto test suite, the §6 Csmith differential validation — are swept
+across all of them. PR 1 split translation from execution
+(:mod:`repro.pipeline`'s ``compile_c`` -> :class:`CompiledProgram`);
+this subsystem turns that in-process seam into a cross-process,
+parallel execution farm.
+
+Layers
+======
+
+:mod:`repro.farm.store` — :class:`~repro.farm.store.ArtifactStore`
+    A persistent, on-disk, content-addressed store of compiled
+    artifacts (pickled :class:`~repro.pipeline.CompiledProgram`
+    objects) keyed on ``(source, impl, flags, schema_version)``.
+    Writes are atomic (temp file + ``os.replace``), corrupt or
+    truncated entries fall back to silent recompilation, and the store
+    is bounded by total size with LRU eviction (reads refresh an
+    entry's recency).  Installed into the pipeline with
+    :func:`repro.pipeline.set_artifact_store`, it is consulted after
+    the in-memory compile cache and lets repeated CLI / pytest /
+    benchmark invocations skip the front end entirely.
+
+:mod:`repro.farm.pool` — :func:`~repro.farm.pool.sweep` and friends
+    A ``multiprocessing`` worker pool (fork-based where available)
+    with deterministic sharding (``shard_index``/``shard_count``),
+    per-task timeouts (cooperative wall-clock deadlines inside the
+    worker, a hard ``get(timeout)`` backstop in the parent), and
+    deterministic result aggregation.  ``sweep(programs, models,
+    jobs=N)`` runs a corpus of C programs across a list of memory
+    object models on top of ``run_many`` / ``explore_many``;
+    ``jobs=1`` degrades to a serial in-process loop, so every caller
+    has one code path.
+
+:mod:`repro.farm.campaign` — campaign drivers and JSON reports
+    Drivers that re-back the repo's batch consumers:
+    :func:`~repro.farm.campaign.suite_campaign` behind
+    :func:`repro.testsuite.runner.run_suite_many`,
+    :func:`~repro.farm.campaign.csmith_campaign` behind
+    :func:`repro.csmith.reference.validate_programs`, and the
+    ``cerberus-py farm`` CLI subcommand.  Each campaign produces a
+    :class:`~repro.farm.campaign.CampaignReport` — per-program
+    verdicts, aggregated cache counters (front-end translations,
+    in-memory and store hit rates), and wall-clock — serialisable to
+    JSON for CI perf records.
+
+Quick start
+===========
+
+>>> from repro.farm import ArtifactStore, sweep, suite_campaign
+>>> results = sweep([("p", "int main(void){ return 0; }")],
+...                 models=["concrete", "provenance"], jobs=2)
+>>> report, campaign = suite_campaign(["concrete"], jobs=4,
+...                                   store="/tmp/cerberus-store")
+
+CLI::
+
+    cerberus-py file.c --models all --store DIR
+    cerberus-py farm suite  --models all --jobs 4 --store DIR --report r.json
+    cerberus-py farm csmith --seeds 1,2,3 --jobs 4 --shard 0/2
+    cerberus-py farm sweep a.c b.c --models concrete,cheri --jobs 2
+"""
+
+from __future__ import annotations
+
+from .store import STORE_SCHEMA_VERSION, ArtifactStore
+from .pool import SweepTask, TaskResult, Verdict, shard_select, sweep
+from .campaign import (
+    CampaignReport, csmith_campaign, suite_campaign, sweep_campaign,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "STORE_SCHEMA_VERSION",
+    "SweepTask",
+    "TaskResult",
+    "Verdict",
+    "shard_select",
+    "sweep",
+    "CampaignReport",
+    "suite_campaign",
+    "csmith_campaign",
+    "sweep_campaign",
+]

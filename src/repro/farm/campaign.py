@@ -1,0 +1,273 @@
+"""Campaign drivers: whole-corpus sweeps with JSON reports.
+
+A *campaign* is a corpus × models sweep executed through the farm
+pool and summarised in a :class:`CampaignReport`: per-program
+verdicts, aggregated cache counters (front-end translations, in-memory
+and artifact-store hit rates), and wall-clock.  Two stock campaigns
+re-back the repo's batch consumers:
+
+* :func:`suite_campaign` — the §2-§5 de facto test suite
+  (behind :func:`repro.testsuite.runner.run_suite_many`);
+* :func:`csmith_campaign` — the §6 Csmith differential validation
+  (behind :func:`repro.csmith.reference.validate_programs`);
+
+and :func:`sweep_campaign` runs ad-hoc corpora (the ``cerberus-py
+farm sweep`` subcommand).  Sharded workers (``shard=(i, n)``) report
+on disjoint slices of the corpus; their JSON reports can be
+concatenated because program entries carry corpus-global names.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..pipeline import MODELS
+from .pool import (
+    SweepTask, TaskResult, merge_stats, run_tasks, shard_select, sweep,
+)
+
+
+def _hit_rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    return round(hits / total, 4) if total else None
+
+
+@dataclass
+class CampaignReport:
+    """The JSON-able record of one farm campaign."""
+
+    kind: str
+    models: List[str]
+    jobs: int
+    shard: Tuple[int, int]
+    programs: int
+    wall_s: float
+    cache: Dict[str, object] = field(default_factory=dict)
+    summary: Dict[str, int] = field(default_factory=dict)
+    results: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, kind: str, models: Sequence[str], jobs: int,
+              shard: Tuple[int, int], task_results: List[TaskResult],
+              wall_s: float, summary: Dict[str, int],
+              results: List[dict]) -> "CampaignReport":
+        cache = dict(merge_stats(task_results))
+        cache["memory_hit_rate"] = _hit_rate(cache["memory_hits"],
+                                             cache["memory_misses"])
+        cache["store_hit_rate"] = _hit_rate(cache["store_hits"],
+                                            cache["store_misses"])
+        return cls(kind, list(models), jobs, tuple(shard),
+                   len(task_results), round(wall_s, 4), cache,
+                   summary, results)
+
+    def to_json(self) -> dict:
+        return {
+            "campaign": self.kind,
+            "models": self.models,
+            "jobs": self.jobs,
+            "shard": list(self.shard),
+            "programs": self.programs,
+            "wall_s": self.wall_s,
+            "cache": self.cache,
+            "summary": self.summary,
+            "results": self.results,
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_json(), f, indent=2)
+            f.write("\n")
+
+
+def _base_entry(r: TaskResult) -> dict:
+    entry = {"program": r.name, "wall_s": round(r.wall_s, 4)}
+    if r.timed_out:
+        entry["timed_out"] = True
+    if r.error:
+        entry["error"] = r.error
+    return entry
+
+
+# -- the de facto test suite ---------------------------------------------------
+
+def suite_campaign(models: Sequence[str],
+                   names: Optional[Sequence[str]] = None,
+                   jobs: int = 1,
+                   store=None,
+                   shard: Tuple[int, int] = (0, 1),
+                   max_steps: int = 400_000,
+                   task_timeout: Optional[float] = None):
+    """Sweep the de facto test suite across ``models``.
+
+    Returns ``(SuiteReport, CampaignReport)`` — the first identical in
+    shape to a serial :func:`~repro.testsuite.runner.run_suite_many`,
+    the second the farm's JSON campaign record."""
+    from ..testsuite.programs import TESTS
+    from ..testsuite.runner import SuiteReport, TestResult
+
+    all_names = list(names) if names is not None else sorted(TESTS)
+    sharded = shard_select(all_names, *shard)
+    tasks = [SweepTask(index=i, name=name, kind="suite",
+                       models=tuple(models), max_steps=max_steps)
+             for i, name in enumerate(sharded)]
+    start = time.perf_counter()
+    task_results = run_tasks(tasks, jobs=jobs, store=store,
+                             task_timeout=task_timeout)
+    wall = time.perf_counter() - start
+
+    suite = SuiteReport()
+    entries: List[dict] = []
+    for r in task_results:
+        entry = _base_entry(r)
+        if r.timed_out or (not r.ok and "results" not in r.data):
+            # The whole task died: surface one error row per model so
+            # the suite report stays per-test × per-model shaped.
+            test = TESTS.get(r.name)
+            for model in models:
+                expected = test.expect.get(model) if test else None
+                verdict = "error:FarmTimeout" if r.timed_out \
+                    else f"error:{r.error}"
+                suite.results.append(TestResult(
+                    r.name, model, verdict, expected,
+                    None if expected is None else False))
+            entry["verdicts"] = {}
+            entries.append(entry)
+            continue
+        results = r.data["results"]
+        suite.results.extend(results)
+        entry["verdicts"] = {t.model: t.verdict for t in results}
+        entry["matches"] = {t.model: t.matches for t in results}
+        entries.append(entry)
+
+    summary = {
+        "passed": len(suite.passed()),
+        "failed": len(suite.failed()),
+        "flagged": len(suite.flagged()),
+        "rows": len(suite.results),
+    }
+    campaign = CampaignReport.build("suite", models, jobs, shard,
+                                    task_results, wall, summary,
+                                    entries)
+    return suite, campaign
+
+
+# -- csmith differential validation -------------------------------------------
+
+def csmith_campaign(seeds: Optional[Sequence[int]] = None,
+                    count: Optional[int] = None,
+                    size: int = 12,
+                    models: Optional[Sequence[str]] = None,
+                    jobs: int = 1,
+                    store=None,
+                    shard: Tuple[int, int] = (0, 1),
+                    max_steps: int = 300_000,
+                    seed_base: int = 1000,
+                    task_timeout: Optional[float] = None):
+    """Differentially validate a reproducible Csmith corpus.
+
+    The corpus is an explicit ``seeds`` list (or ``range(seed_base,
+    seed_base + count)``) — sharded campaign workers therefore
+    partition exactly the same corpus deterministically.  Returns
+    ``(ValidationReport, CampaignReport)``."""
+    from ..csmith.reference import ValidationReport, resolve_seeds
+
+    seeds = resolve_seeds(count, seeds, seed_base)
+    model_list = list(models) if models else ["concrete"]
+    sharded = shard_select(list(seeds), *shard)
+    tasks = [SweepTask(index=i, name=f"csmith-{seed}", kind="csmith",
+                       models=tuple(model_list), max_steps=max_steps,
+                       csmith_seed=seed, csmith_size=size)
+             for i, seed in enumerate(sharded)]
+    start = time.perf_counter()
+    task_results = run_tasks(tasks, jobs=jobs, store=store,
+                             task_timeout=task_timeout)
+    wall = time.perf_counter() - start
+
+    report = ValidationReport()
+    entries: List[dict] = []
+    for seed, r in zip(sharded, task_results):
+        report.total += 1
+        entry = _base_entry(r)
+        entry["seed"] = seed
+        category = r.data.get("category")
+        if r.timed_out:
+            category = "timeout"
+        elif category is None:
+            category = "failed"
+        entry["category"] = category
+        if category == "agree":
+            report.agree += 1
+        elif category == "timeout":
+            report.timeout += 1
+        elif category == "failed":
+            report.failed += 1
+            report.failures.append(seed)
+        else:
+            report.disagree += 1
+            report.disagreements.append(seed)
+        entry["verdicts"] = {m: v.summary() for m, v in
+                             r.data.get("verdicts", {}).items()}
+        entries.append(entry)
+
+    summary = {"agree": report.agree, "disagree": report.disagree,
+               "timeout": report.timeout, "failed": report.failed}
+    campaign = CampaignReport.build("csmith", model_list, jobs, shard,
+                                    task_results, wall, summary,
+                                    entries)
+    return report, campaign
+
+
+# -- ad-hoc corpora ------------------------------------------------------------
+
+def sweep_campaign(programs: Iterable[Tuple[str, str]],
+                   models: Optional[Sequence[str]] = None,
+                   jobs: int = 1,
+                   mode: str = "run",
+                   store=None,
+                   shard: Tuple[int, int] = (0, 1),
+                   max_steps: int = 2_000_000,
+                   max_paths: int = 500,
+                   task_timeout: Optional[float] = None):
+    """Sweep an ad-hoc ``(name, source)`` corpus; returns
+    ``(task_results, CampaignReport)``."""
+    model_list = list(models) if models is not None else list(MODELS)
+    start = time.perf_counter()
+    task_results = sweep(programs, models=model_list, jobs=jobs,
+                         mode=mode, store=store,
+                         shard_index=shard[0], shard_count=shard[1],
+                         max_steps=max_steps, max_paths=max_paths,
+                         task_timeout=task_timeout)
+    wall = time.perf_counter() - start
+
+    entries: List[dict] = []
+    statuses = {"ub": 0, "ok": 0, "other": 0}
+    for r in task_results:
+        entry = _base_entry(r)
+        if "verdicts" in r.data:
+            entry["verdicts"] = {m: v.summary() for m, v in
+                                 r.data["verdicts"].items()}
+            for v in r.data["verdicts"].values():
+                if v.status == "ub":
+                    statuses["ub"] += 1
+                elif v.status in ("done", "exit"):
+                    statuses["ok"] += 1
+                else:
+                    statuses["other"] += 1
+        if "explorations" in r.data:
+            entry["explorations"] = {
+                m: {"paths": e.paths_run, "exhausted": e.exhausted,
+                    "behaviours": e.behaviours}
+                for m, e in r.data["explorations"].items()}
+            for e in r.data["explorations"].values():
+                if e.has_ub:
+                    statuses["ub"] += 1
+                else:
+                    statuses["ok"] += 1
+        entries.append(entry)
+    campaign = CampaignReport.build(f"sweep:{mode}", model_list, jobs,
+                                    shard, task_results, wall,
+                                    statuses, entries)
+    return task_results, campaign

@@ -1,0 +1,398 @@
+"""Parallel sweep execution: a ``multiprocessing`` worker pool over
+compiled-artifact tasks.
+
+One task = one program swept across a list of memory object models
+(via :func:`repro.pipeline.run_many` / ``explore_many``), or one test
+suite entry, or one Csmith seed.  Tasks are deterministic value
+objects, so:
+
+* **sharding** is a pure function of the task list —
+  :func:`shard_select` keeps every item whose position is congruent to
+  ``shard_index`` modulo ``shard_count``, so ``N`` campaign workers
+  started with ``--shard 0/N`` … ``--shard N-1/N`` partition a corpus
+  exactly, with no coordination;
+* **aggregation** is order-independent — results carry the task index
+  and are re-sorted, so a parallel sweep reports in the same order as
+  a serial one;
+* **timeouts** are two-level — a cooperative wall-clock deadline
+  inside the worker (exploration stops at the deadline, single runs
+  are bounded by ``max_steps``), and a hard ``AsyncResult.get(timeout)``
+  backstop in the parent that marks the task timed out and recycles
+  the pool.
+
+``jobs=1`` runs the same task loop serially in-process — one code
+path for every caller, no fork required.  Workers are forked where
+available (Linux) and each installs its own handle on the shared
+:class:`~repro.farm.store.ArtifactStore`, so a warm store makes a
+parallel sweep execution-only: zero front-end translations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ctypes.implementation import Implementation, LP64
+from ..errors import CerberusError
+from ..pipeline import (
+    MODELS, compile_cache_stats, clear_compile_cache,
+    explore_many, get_artifact_store, run_many, set_artifact_store,
+)
+from .store import ArtifactStore
+
+_STAT_KEYS = ("translations", "memory_hits", "memory_misses",
+              "store_hits", "store_misses", "store_puts")
+
+
+@dataclass
+class Verdict:
+    """The observable result of one run, stripped for IPC (no trace)."""
+
+    status: str
+    exit_code: Optional[int] = None
+    stdout: str = ""
+    ub: Optional[str] = None
+    ub_detail: str = ""
+    error: str = ""
+
+    @classmethod
+    def from_outcome(cls, o) -> "Verdict":
+        return cls(o.status, o.exit_code, o.stdout,
+                   o.ub.name if o.ub else None, o.ub_detail, o.error)
+
+    def summary(self) -> str:
+        if self.status == "ub":
+            return f"UB[{self.ub}]"
+        if self.status in ("done", "exit"):
+            return f"exit={self.exit_code} stdout={self.stdout!r}"
+        if self.status == "error":
+            return f"error: {self.error}"
+        return self.status
+
+
+@dataclass
+class ExploreSummary:
+    """An :class:`~repro.dynamics.exhaustive.ExplorationResult`
+    stripped for IPC: distinct behaviours only, no traces."""
+
+    paths_run: int
+    exhausted: bool
+    behaviours: List[str]
+    has_ub: bool
+
+
+@dataclass
+class SweepTask:
+    """One unit of farm work.  ``kind`` selects the worker recipe:
+
+    * ``"run"`` — run ``source`` once per model (:func:`run_many`);
+    * ``"explore"`` — exhaustively explore per model;
+    * ``"suite"`` — the named de facto test-suite entry across models;
+    * ``"csmith"`` — generate the seeded program, run it across
+      models, classify against the generator's expected output.
+    """
+
+    index: int
+    name: str
+    kind: str = "run"
+    source: str = ""
+    models: Tuple[str, ...] = ()
+    impl: Implementation = LP64
+    max_steps: int = 2_000_000
+    max_paths: int = 500
+    seed: Optional[int] = None          # "run": oracle seed
+    csmith_seed: int = 0                # "csmith": generator seed
+    csmith_size: int = 12
+    deadline_s: Optional[float] = None  # cooperative in-task deadline
+
+
+@dataclass
+class TaskResult:
+    index: int
+    name: str
+    kind: str
+    ok: bool = True
+    error: str = ""
+    timed_out: bool = False
+    wall_s: float = 0.0
+    # deltas of the compile/store counters attributable to this task
+    stats: Dict[str, int] = field(default_factory=dict)
+    # kind-specific payload: "verdicts" ({model: Verdict}),
+    # "explorations" ({model: ExploreSummary}), "results"
+    # (List[TestResult]), "category" (csmith classification)
+    data: Dict[str, object] = field(default_factory=dict)
+
+
+def shard_select(items: Sequence, shard_index: int,
+                 shard_count: int) -> list:
+    """The deterministic ``shard_index``-th of ``shard_count``
+    partitions: item ``i`` belongs to shard ``i % shard_count``."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard_index {shard_index} not in "
+                         f"[0, {shard_count})")
+    return [item for i, item in enumerate(items)
+            if i % shard_count == shard_index]
+
+
+# -- counter snapshots ---------------------------------------------------------
+
+def _snapshot() -> Dict[str, int]:
+    cs = compile_cache_stats()
+    snap = {"translations": cs["translations"],
+            "memory_hits": cs["hits"],
+            "memory_misses": cs["misses"],
+            "store_hits": 0, "store_misses": 0, "store_puts": 0}
+    store = get_artifact_store()
+    if store is not None:
+        ss = store.stats()
+        snap["store_hits"] = ss["hits"]
+        snap["store_misses"] = ss["misses"]
+        snap["store_puts"] = ss["stores"]
+    return snap
+
+
+def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {k: after[k] - before[k] for k in _STAT_KEYS}
+
+
+def merge_stats(results: Iterable[TaskResult]) -> Dict[str, int]:
+    """Sum the per-task counter deltas of a whole sweep."""
+    total = {k: 0 for k in _STAT_KEYS}
+    for r in results:
+        for k in _STAT_KEYS:
+            total[k] += r.stats.get(k, 0)
+    return total
+
+
+# -- the worker ---------------------------------------------------------------
+
+def execute_task(task: SweepTask) -> TaskResult:
+    """Run one task in the current process (workers and the serial
+    path both come through here)."""
+    before = _snapshot()
+    start = time.perf_counter()
+    result = TaskResult(task.index, task.name, task.kind)
+    try:
+        if task.kind == "run":
+            outcomes = run_many(task.source, models=task.models,
+                                impl=task.impl,
+                                max_steps=task.max_steps,
+                                seed=task.seed, name=task.name)
+            result.data["verdicts"] = {
+                m: Verdict.from_outcome(o) for m, o in outcomes.items()}
+        elif task.kind == "explore":
+            explorations = explore_many(task.source, models=task.models,
+                                        impl=task.impl,
+                                        max_paths=task.max_paths,
+                                        max_steps=task.max_steps,
+                                        name=task.name,
+                                        deadline_s=task.deadline_s)
+            result.data["explorations"] = {
+                m: ExploreSummary(r.paths_run, r.exhausted,
+                                  r.behaviours(), r.has_ub())
+                for m, r in explorations.items()}
+        elif task.kind == "suite":
+            from ..testsuite.programs import TESTS
+            from ..testsuite.runner import run_test_many
+            results = run_test_many(TESTS[task.name], list(task.models),
+                                    max_steps=task.max_steps)
+            result.data["results"] = results
+        elif task.kind == "csmith":
+            from ..csmith.generator import generate_program
+            from ..csmith.reference import classify_outcomes
+            program = generate_program(task.csmith_seed,
+                                       task.csmith_size)
+            try:
+                outcomes = run_many(program.source, models=task.models,
+                                    impl=task.impl,
+                                    max_steps=task.max_steps,
+                                    name=task.name)
+            except CerberusError as exc:
+                result.data["category"] = "failed"
+                result.data["verdicts"] = {}
+                result.error = f"{type(exc).__name__}: {exc}"
+            else:
+                result.data["category"] = classify_outcomes(program,
+                                                            outcomes)
+                result.data["verdicts"] = {
+                    m: Verdict.from_outcome(o)
+                    for m, o in outcomes.items()}
+        else:
+            raise ValueError(f"unknown task kind {task.kind!r}")
+    except CerberusError as exc:
+        result.ok = False
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.wall_s = time.perf_counter() - start
+    result.stats = _delta(before, _snapshot())
+    return result
+
+
+def _resolve_store(store):
+    """Normalise the ``store`` argument: ``None`` falls back to the
+    globally installed store (so ``set_artifact_store`` + a farm run
+    compose), a path builds an :class:`ArtifactStore`, an existing
+    store passes through."""
+    if store is None:
+        return get_artifact_store()
+    if hasattr(store, "get"):
+        return store
+    return ArtifactStore(store)
+
+
+def _store_spec(store) -> Optional[Tuple[str, int, int]]:
+    """A picklable description of the store for worker initialisers."""
+    if store is None:
+        return None
+    return (str(store.root), store.max_bytes, store.schema_version)
+
+
+def _init_worker(store_spec: Optional[Tuple[str, int, int]]) -> None:
+    """Per-worker setup: a clean in-memory cache (fork inherits the
+    parent's — clearing keeps per-task counter deltas honest) and this
+    worker's own handle on the shared on-disk store."""
+    clear_compile_cache()
+    if store_spec is None:
+        set_artifact_store(None)
+    else:
+        root, max_bytes, schema_version = store_spec
+        set_artifact_store(ArtifactStore(root, max_bytes,
+                                         schema_version))
+
+
+def _timeout_result(task: SweepTask, timeout: float) -> TaskResult:
+    return TaskResult(task.index, task.name, task.kind, ok=False,
+                      timed_out=True,
+                      error=f"task exceeded {timeout:g}s wall-clock")
+
+
+def run_tasks(tasks: Sequence[SweepTask], jobs: int = 1,
+              store=None,
+              task_timeout: Optional[float] = None) -> List[TaskResult]:
+    """Execute tasks and return results in task order.
+
+    ``jobs=1`` runs serially in this process (installing ``store``
+    for the duration); ``jobs>1`` forks a worker pool, each worker
+    opening its own handle on the shared store.  ``store=None`` falls
+    back to the globally installed artifact store, so
+    ``set_artifact_store`` + farm runs compose.
+
+    ``task_timeout`` bounds each task's wall-clock.  In worker mode
+    it is a hard limit: a task that exceeds it is reported
+    ``timed_out``, the wedged pool is terminated, and a fresh pool
+    resumes the remaining tasks (already-finished results are kept).
+    In serial mode the limit is cooperative only — exploration stops
+    at the deadline; a single non-terminating run is bounded by
+    ``max_steps``, not wall-clock."""
+    tasks = list(tasks)
+    if task_timeout is not None:
+        for t in tasks:
+            if t.deadline_s is None:
+                t.deadline_s = task_timeout
+    store = _resolve_store(store)
+    if jobs <= 1 or len(tasks) <= 1:
+        previous = set_artifact_store(store)
+        try:
+            return [execute_task(t) for t in tasks]
+        finally:
+            set_artifact_store(previous)
+    results = _run_tasks_pooled(tasks, jobs, _store_spec(store),
+                                task_timeout)
+    results.sort(key=lambda r: r.index)
+    return results
+
+
+def _run_tasks_pooled(tasks: List[SweepTask], jobs: int, spec,
+                      task_timeout: Optional[float]
+                      ) -> List[TaskResult]:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+    def fresh_pool():
+        return ctx.Pool(jobs, initializer=_init_worker,
+                        initargs=(spec,))
+
+    results: List[TaskResult] = []
+    remaining = list(tasks)
+    pool = fresh_pool()
+    try:
+        while remaining:
+            pending = [(t, pool.apply_async(execute_task, (t,)))
+                       for t in remaining]
+            remaining = []
+            restart = False
+            for task, async_result in pending:
+                if restart:
+                    # A wedged worker poisoned this pool; collect
+                    # whatever already finished and resubmit the rest
+                    # on a fresh pool instead of charging them the
+                    # dead pool's queueing delay.
+                    if async_result.ready():
+                        try:
+                            results.append(async_result.get())
+                        except Exception as exc:
+                            results.append(_failure_result(task, exc))
+                    else:
+                        remaining.append(task)
+                    continue
+                try:
+                    if task_timeout is None:
+                        results.append(async_result.get())
+                    else:
+                        results.append(async_result.get(task_timeout))
+                except multiprocessing.TimeoutError:
+                    results.append(_timeout_result(task, task_timeout))
+                    restart = True
+                except Exception as exc:  # worker died / unpicklable
+                    results.append(_failure_result(task, exc))
+            if restart:
+                pool.terminate()   # reclaim wedged workers
+                pool.join()
+                pool = fresh_pool() if remaining else None
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    return results
+
+
+def _failure_result(task: SweepTask, exc: Exception) -> TaskResult:
+    return TaskResult(task.index, task.name, task.kind, ok=False,
+                      error=f"worker failure: {type(exc).__name__}: "
+                            f"{exc}")
+
+
+def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
+          jobs: int = 1,
+          impl: Implementation = LP64,
+          mode: str = "run",
+          store=None,
+          shard_index: int = 0, shard_count: int = 1,
+          max_steps: int = 2_000_000, max_paths: int = 500,
+          seed: Optional[int] = None,
+          task_timeout: Optional[float] = None) -> List[TaskResult]:
+    """Sweep a corpus of C programs across memory object models.
+
+    ``programs`` is an iterable of ``(name, source)`` pairs (bare
+    source strings get positional names).  Returns one
+    :class:`TaskResult` per (sharded) program, in corpus order."""
+    model_list = tuple(MODELS) if models is None else tuple(models)
+    named = []
+    for i, entry in enumerate(programs):
+        if isinstance(entry, str):
+            named.append((f"program-{i}", entry))
+        else:
+            name, source = entry
+            named.append((str(name), source))
+    named = shard_select(named, shard_index, shard_count)
+    tasks = [SweepTask(index=i, name=name, kind=mode, source=source,
+                       models=model_list, impl=impl,
+                       max_steps=max_steps, max_paths=max_paths,
+                       seed=seed)
+             for i, (name, source) in enumerate(named)]
+    return run_tasks(tasks, jobs=jobs, store=store,
+                     task_timeout=task_timeout)

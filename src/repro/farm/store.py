@@ -1,0 +1,216 @@
+"""Persistent, content-addressed store of compiled artifacts.
+
+The in-memory compile cache (:mod:`repro.pipeline`) dies with the
+process; every fresh CLI invocation, pytest worker, or benchmark round
+re-pays the whole front end.  :class:`ArtifactStore` persists pickled
+:class:`~repro.pipeline.CompiledProgram` artifacts on disk, keyed on
+the same content address as the in-memory cache — the source text, the
+implementation environment, the compile flags — plus a
+``schema_version`` so that incompatible artifact layouts can never be
+deserialised into a newer interpreter.
+
+Durability properties:
+
+* **Atomic writes** — artifacts are written to a temp file in the
+  object directory and published with ``os.replace``; readers see the
+  old entry or the new one, never a torn write.
+* **Corruption fallback** — a truncated, garbled, or foreign file
+  deserialises into a miss (and is unlinked best-effort): callers
+  silently recompile, they never crash on a bad store.
+* **Bounded size, LRU eviction** — the store never holds more than
+  ``max_bytes`` of artifacts; reads refresh an entry's mtime, and the
+  least-recently-used entries are evicted first (the newest entry is
+  always kept, even if it alone exceeds the bound).
+* **Concurrency** — many processes may share one store directory:
+  writes are atomic, reads tolerate concurrent eviction, and eviction
+  tolerates concurrent unlinks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+# Bump when CompiledProgram / the AST layout changes incompatibly: the
+# version is folded into the content address, so old entries simply
+# stop matching (and age out via LRU eviction).
+STORE_SCHEMA_VERSION = 1
+
+_MAGIC = "cerberus-farm-artifact"
+
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class ArtifactStore:
+    """An on-disk compile cache shared across processes.
+
+    Install into the pipeline with
+    :func:`repro.pipeline.set_artifact_store`; ``compile_c`` then
+    consults it after the in-memory cache and before the front end.
+    """
+
+    def __init__(self, root, max_bytes: int = _DEFAULT_MAX_BYTES,
+                 schema_version: Optional[int] = None):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.schema_version = (STORE_SCHEMA_VERSION
+                               if schema_version is None
+                               else schema_version)
+        self._counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "stores": 0,
+            "evictions": 0, "corrupt": 0,
+        }
+        # Approximate on-disk footprint, maintained incrementally so
+        # a put under the bound costs O(1) — the full directory scan
+        # only runs when the estimate crosses ``max_bytes``.  It may
+        # drift below reality when other processes write the same
+        # store; the scan resynchronises it on every eviction pass.
+        self._approx_bytes: Optional[int] = None
+
+    # -- content addressing ---------------------------------------------------
+
+    def key(self, source: str, impl, name: str = "<string>",
+            check_core: bool = True) -> str:
+        """The content address of one translation: source text,
+        implementation environment (``repr`` of the frozen dataclass
+        is a complete fingerprint), compile flags, schema version."""
+        h = hashlib.sha256()
+        for part in (source, repr(impl), name, str(check_core),
+                     str(self.schema_version)):
+            h.update(part.encode("utf-8", "surrogateescape"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.pkl"
+
+    # -- read side ------------------------------------------------------------
+
+    def get(self, source: str, impl, name: str = "<string>",
+            check_core: bool = True):
+        """Load a compiled artifact, or ``None`` on miss.
+
+        Any failure — missing file, short read, unpickling error,
+        wrong magic or schema — is a miss; a damaged entry is dropped
+        so the recompiled artifact can replace it."""
+        key = self.key(source, impl, name, check_core)
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._counters["misses"] += 1
+            return None
+        try:
+            magic, version, stored_key, program = pickle.loads(blob)
+            if (magic != _MAGIC or version != self.schema_version
+                    or stored_key != key):
+                raise ValueError("artifact header mismatch")
+        except Exception:
+            self._counters["corrupt"] += 1
+            self._counters["misses"] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            # Refresh recency for LRU eviction.
+            os.utime(path, None)
+        except OSError:
+            pass
+        self._counters["hits"] += 1
+        return program
+
+    # -- write side -----------------------------------------------------------
+
+    def put(self, source: str, impl, name: str, check_core: bool,
+            program) -> None:
+        """Persist a compiled artifact atomically, then enforce the
+        size bound."""
+        key = self.key(source, impl, name, check_core)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            (_MAGIC, self.schema_version, key, program),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._counters["stores"] += 1
+        if self._approx_bytes is None:
+            self._approx_bytes = self.size_bytes()
+        else:
+            self._approx_bytes += len(payload)
+        if self._approx_bytes > self.max_bytes:
+            self._evict(keep=path)
+
+    def _entries(self):
+        """All stored artifacts as (mtime, size, path), oldest first."""
+        out = []
+        for path in self.objects.glob("*/*.pkl"):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # concurrently evicted
+            out.append((st.st_mtime, st.st_size, path))
+        out.sort(key=lambda e: (e[0], e[2].name))
+        return out
+
+    def _evict(self, keep: Optional[Path] = None) -> None:
+        """Drop least-recently-used entries until the store fits in
+        ``max_bytes`` (the ``keep`` entry survives regardless)."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue  # another process got there first
+            total -= size
+            self._counters["evictions"] += 1
+        self._approx_bytes = total  # resynchronised with the scan
+
+    # -- observability --------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def stats(self) -> Dict[str, int]:
+        """Per-process counters plus the current on-disk footprint."""
+        return dict(self._counters,
+                    entries=len(self._entries()),
+                    size_bytes=self.size_bytes())
+
+    def reset_stats(self) -> None:
+        for k in self._counters:
+            self._counters[k] = 0
+
+    def clear(self) -> None:
+        """Drop every stored artifact (counters are kept)."""
+        for _, _, path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._approx_bytes = 0

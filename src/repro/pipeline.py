@@ -8,7 +8,12 @@ program:
   elaborate (Core) — and returns a reusable :class:`CompiledProgram`.
   Results are memoised in a bounded content-addressed in-memory cache
   keyed on ``(source, impl, flags)``; see :func:`compile_cache_stats`
-  and :func:`clear_compile_cache`.
+  and :func:`clear_compile_cache`.  A persistent cross-process second
+  level (an artifact store from :mod:`repro.farm.store`) can be
+  installed with :func:`set_artifact_store`: it is consulted after an
+  in-memory miss and filled after each front-end translation, so
+  repeated CLI / pytest / benchmark invocations skip the front end
+  entirely.
 * :meth:`CompiledProgram.run` / :meth:`CompiledProgram.explore` execute
   the compiled artifact against a chosen memory object model in
   single-path or exhaustive mode — any number of times, under any
@@ -95,13 +100,16 @@ class CompiledProgram:
                 options: Optional[MemoryOptions] = None,
                 max_paths: int = 500,
                 max_steps: int = 500_000,
+                deadline_s: Optional[float] = None,
                 **model_kwargs) -> ExplorationResult:
         """Exhaustively explore all allowed executions (the paper's
-        test-oracle mode, §5.1)."""
+        test-oracle mode, §5.1).  ``deadline_s`` bounds the whole
+        enumeration by wall-clock (farm per-task timeouts)."""
         return explore_program(
             self.core,
             lambda: self.make_model(model, options, **model_kwargs),
-            max_paths=max_paths, max_steps=max_steps)
+            max_paths=max_paths, max_steps=max_steps,
+            deadline_s=deadline_s)
 
 
 # Historical name for the compiled artifact.
@@ -113,7 +121,29 @@ Pipeline = CompiledProgram
 _CACHE_CAPACITY = 128
 _cache_lock = threading.Lock()
 _compile_cache: "OrderedDict[str, CompiledProgram]" = OrderedDict()
-_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+_cache_stats = {"hits": 0, "misses": 0, "evictions": 0,
+                "translations": 0, "store_hits": 0}
+
+# Optional second cache level: a persistent cross-process artifact
+# store (duck-typed to repro.farm.store.ArtifactStore — get/put/stats).
+# Consulted after an in-memory miss and before the front end runs.
+_artifact_store = None
+
+
+def set_artifact_store(store):
+    """Install (or with ``None``, remove) the persistent artifact
+    store behind :func:`compile_c`; returns the previous store so
+    callers can restore it."""
+    global _artifact_store
+    with _cache_lock:
+        previous = _artifact_store
+        _artifact_store = store
+    return previous
+
+
+def get_artifact_store():
+    """The currently installed persistent artifact store, if any."""
+    return _artifact_store
 
 
 def _cache_key(source: str, impl: Implementation, name: str,
@@ -162,6 +192,18 @@ def compile_c(source: str, impl: Implementation = LP64,
                 _cache_stats["hits"] += 1
                 return cached
             _cache_stats["misses"] += 1
+        store = _artifact_store
+        if store is not None:
+            program = store.get(source, impl, name, check_core)
+            if program is not None:
+                with _cache_lock:
+                    _cache_stats["store_hits"] += 1
+                    _compile_cache[key] = program
+                    _compile_cache.move_to_end(key)
+                    while len(_compile_cache) > _CACHE_CAPACITY:
+                        _compile_cache.popitem(last=False)
+                        _cache_stats["evictions"] += 1
+                return program
     from .ctypes.types import IntKind
     predefined = {
         # Implementation-defined limit constants used by <limits.h>
@@ -172,6 +214,8 @@ def compile_c(source: str, impl: Implementation = LP64,
         "__cerberus_ulong_max":
             f"{impl.int_max(IntKind.ULONG)}UL",
     }
+    with _cache_lock:
+        _cache_stats["translations"] += 1
     cabs = parse_text(source, name, predefined=predefined)
     ail = desugar(cabs, impl)
     typecheck(ail, impl)
@@ -189,6 +233,9 @@ def compile_c(source: str, impl: Implementation = LP64,
             while len(_compile_cache) > _CACHE_CAPACITY:
                 _compile_cache.popitem(last=False)
                 _cache_stats["evictions"] += 1
+        store = _artifact_store
+        if store is not None:
+            store.put(source, impl, name, check_core, program)
     return program
 
 
@@ -278,14 +325,18 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                  max_steps: int = 500_000,
                  name: str = "<string>",
                  use_cache: bool = True,
+                 deadline_s: Optional[float] = None,
                  **model_kwargs) -> Dict[str, ExplorationResult]:
     """Exhaustively explore one program under many memory object models
     (default: all registered), compiling once per distinct
-    implementation environment."""
+    implementation environment.  ``deadline_s`` is a per-model
+    wall-clock budget for the enumeration."""
     programs = _compile_per_impl(source,
                                  tuple(MODELS) if models is None
                                  else tuple(models),
                                  impl, name, use_cache)
     return {model: program.explore(model, options, max_paths=max_paths,
-                                   max_steps=max_steps, **model_kwargs)
+                                   max_steps=max_steps,
+                                   deadline_s=deadline_s,
+                                   **model_kwargs)
             for model, program in programs.items()}

@@ -5,7 +5,10 @@ for our test suite" methodology, §2-§3).
 Sweeps are compile-once: :func:`run_test_many` / :func:`run_suite_many`
 translate each test program a single time per implementation
 environment and execute the shared Core artifact under every requested
-model."""
+model.  ``run_suite_many(jobs=, store=, shard=)`` additionally routes
+the sweep through the farm (:mod:`repro.farm.campaign`): parallel
+worker processes, a persistent cross-process artifact store, and
+deterministic suite sharding."""
 
 from __future__ import annotations
 
@@ -146,8 +149,24 @@ def run_suite(model: str, names: Optional[List[str]] = None,
 
 def run_suite_many(models: List[str],
                    names: Optional[List[str]] = None,
-                   max_steps: int = 400_000) -> SuiteReport:
-    """The per-test × per-model sweep, compile-once per test program."""
+                   max_steps: int = 400_000,
+                   jobs: int = 1,
+                   store=None,
+                   shard: Optional[Tuple[int, int]] = None
+                   ) -> SuiteReport:
+    """The per-test × per-model sweep, compile-once per test program.
+
+    ``jobs`` > 1 fans tests out across farm worker processes;
+    ``store`` (an :class:`~repro.farm.store.ArtifactStore` or a
+    directory path) persists compiled artifacts across processes and
+    invocations; ``shard=(i, n)`` runs the i-th of n deterministic
+    slices of the suite.  Verdicts are identical to the serial loop."""
+    if jobs > 1 or store is not None or shard is not None:
+        from ..farm.campaign import suite_campaign
+        report, _ = suite_campaign(models, names, jobs=jobs,
+                                   store=store, shard=shard or (0, 1),
+                                   max_steps=max_steps)
+        return report
     report = SuiteReport()
     for name in (names or sorted(TESTS)):
         report.results.extend(run_test_many(TESTS[name], models,

@@ -1,0 +1,224 @@
+"""The persistent artifact store: durability, bounds, versioning.
+
+Covers the store's contract end to end: cache hits across *separate
+processes* (a subprocess round-trip), silent recompilation on
+corrupted or truncated artifacts, LRU eviction under the size bound,
+and invalidation on a ``schema_version`` bump.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ctypes.implementation import ILP32, LP64
+from repro.farm.store import ArtifactStore, STORE_SCHEMA_VERSION
+from repro.pipeline import (
+    clear_compile_cache, compile_c, compile_cache_stats,
+    set_artifact_store,
+)
+
+SRC = "int main(void){ return 40 + 2; }"
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ArtifactStore(tmp_path / "store")
+    previous = set_artifact_store(s)
+    clear_compile_cache()
+    yield s
+    set_artifact_store(previous)
+    clear_compile_cache()
+
+
+def _entry_paths(s: ArtifactStore):
+    return sorted(p for p in s.objects.glob("*/*.pkl")
+                  if not p.name.startswith(".tmp-"))
+
+
+class TestStoreBasics:
+    def test_put_on_translate_get_on_fresh_cache(self, store):
+        program = compile_c(SRC)
+        assert store.stats()["stores"] == 1
+        assert compile_cache_stats()["translations"] == 1
+        clear_compile_cache()            # simulate a fresh process
+        again = compile_c(SRC)
+        assert compile_cache_stats()["translations"] == 0
+        assert store.stats()["hits"] == 1
+        assert again.run("concrete").exit_code == 42
+        assert again is not program      # deserialised, not shared
+
+    def test_key_discriminates_impl_and_flags(self, store):
+        k = store.key(SRC, LP64)
+        assert k != store.key(SRC, ILP32)
+        assert k != store.key(SRC, LP64, check_core=False)
+        assert k != store.key(SRC + " ", LP64)
+        assert k == store.key(SRC, LP64)
+
+    def test_store_survives_direct_get_put(self, tmp_path):
+        s = ArtifactStore(tmp_path / "s")
+        assert s.get(SRC, LP64) is None
+        program = compile_c(SRC, use_cache=False)
+        s.put(SRC, LP64, "<string>", True, program)
+        loaded = s.get(SRC, LP64)
+        assert loaded.run("provenance").exit_code == 42
+
+
+class TestCrossProcess:
+    def test_cache_hit_across_two_processes(self, tmp_path):
+        """The defining property: a second *process* skips the front
+        end entirely on a warm store."""
+        store_dir = tmp_path / "xproc"
+        child = (
+            "import json, sys\n"
+            "from repro.farm.store import ArtifactStore\n"
+            "from repro.pipeline import compile_c, "
+            "compile_cache_stats, set_artifact_store\n"
+            f"store = ArtifactStore({str(store_dir)!r})\n"
+            "set_artifact_store(store)\n"
+            f"program = compile_c({SRC!r})\n"
+            "out = program.run('concrete')\n"
+            "print(json.dumps({'exit': out.exit_code,\n"
+            "    'translations': "
+            "compile_cache_stats()['translations'],\n"
+            "    'store': store.stats()}))\n"
+        )
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src_root + os.pathsep \
+            + env.get("PYTHONPATH", "")
+
+        def run_child():
+            proc = subprocess.run([sys.executable, "-c", child],
+                                  capture_output=True, text=True,
+                                  env=env, check=True)
+            import json
+            return json.loads(proc.stdout)
+
+        first = run_child()
+        assert first["exit"] == 42
+        assert first["translations"] == 1
+        assert first["store"]["stores"] == 1
+
+        second = run_child()
+        assert second["exit"] == 42
+        assert second["translations"] == 0      # front end skipped
+        assert second["store"]["hits"] == 1
+
+
+class TestCorruption:
+    def test_truncated_artifact_recompiles_silently(self, store):
+        compile_c(SRC)
+        [path] = _entry_paths(store)
+        path.write_bytes(path.read_bytes()[:20])  # truncate
+        clear_compile_cache()
+        program = compile_c(SRC)                  # must not raise
+        assert program.run("concrete").exit_code == 42
+        stats = store.stats()
+        assert stats["corrupt"] == 1
+        assert compile_cache_stats()["translations"] == 1
+
+    def test_garbage_artifact_recompiles_silently(self, store):
+        compile_c(SRC)
+        [path] = _entry_paths(store)
+        path.write_bytes(b"\x00not a pickle at all")
+        clear_compile_cache()
+        assert compile_c(SRC).run("concrete").exit_code == 42
+        assert store.stats()["corrupt"] == 1
+
+    def test_foreign_pickle_rejected(self, store):
+        compile_c(SRC)
+        [path] = _entry_paths(store)
+        path.write_bytes(pickle.dumps(("wrong-magic", 1, "k", None)))
+        clear_compile_cache()
+        assert compile_c(SRC).run("concrete").exit_code == 42
+        assert store.stats()["corrupt"] == 1
+
+    def test_corrupt_entry_is_dropped_then_replaced(self, store):
+        compile_c(SRC)
+        [path] = _entry_paths(store)
+        path.write_bytes(b"junk")
+        clear_compile_cache()
+        compile_c(SRC)                   # drops junk, re-puts
+        [fresh] = _entry_paths(store)
+        payload = pickle.loads(fresh.read_bytes())
+        assert payload[0] == "cerberus-farm-artifact"
+
+
+class TestEviction:
+    def _put(self, s, i):
+        src = f"int main(void){{ return {i}; }}"
+        program = compile_c(src, use_cache=False)
+        s.put(src, LP64, "<string>", True, program)
+        return src
+
+    def test_eviction_respects_size_bound(self, tmp_path):
+        s0 = ArtifactStore(tmp_path / "probe")
+        self._put(s0, 0)
+        entry_size = s0.size_bytes()
+        assert entry_size > 0
+        # Room for ~2 entries: the third put must evict the LRU one.
+        s = ArtifactStore(tmp_path / "bounded",
+                          max_bytes=int(entry_size * 2.5))
+        srcs = [self._put(s, i) for i in range(3)]
+        stats = s.stats()
+        assert stats["evictions"] >= 1
+        assert s.size_bytes() <= s.max_bytes
+        assert s.get(srcs[0], LP64) is None      # oldest evicted
+        assert s.get(srcs[2], LP64) is not None  # newest kept
+
+    def test_lru_get_refreshes_recency(self, tmp_path):
+        s0 = ArtifactStore(tmp_path / "probe")
+        self._put(s0, 0)
+        entry_size = s0.size_bytes()
+        s = ArtifactStore(tmp_path / "lru",
+                          max_bytes=int(entry_size * 2.5))
+        a = self._put(s, 10)
+        os.utime(_entry_paths(s)[0], (1, 1))     # age entry a
+        b = self._put(s, 11)
+        s.get(a, LP64)                           # touch a: now MRU? no-
+        # a was aged to epoch, then touched -> newest; b untouched.
+        c = self._put(s, 12)                     # evicts b, not a
+        assert s.get(a, LP64) is not None
+        assert s.get(b, LP64) is None
+
+    def test_newest_entry_always_survives(self, tmp_path):
+        s = ArtifactStore(tmp_path / "tiny", max_bytes=1)
+        src = self._put(s, 7)
+        assert s.get(src, LP64) is not None      # kept despite bound
+
+
+class TestSchemaVersion:
+    def test_schema_bump_invalidates_old_entries(self, tmp_path):
+        root = tmp_path / "versioned"
+        v1 = ArtifactStore(root, schema_version=STORE_SCHEMA_VERSION)
+        program = compile_c(SRC, use_cache=False)
+        v1.put(SRC, LP64, "<string>", True, program)
+        assert v1.get(SRC, LP64) is not None
+
+        v2 = ArtifactStore(root,
+                           schema_version=STORE_SCHEMA_VERSION + 1)
+        assert v2.get(SRC, LP64) is None         # key no longer matches
+        assert v2.stats()["misses"] == 1
+        # and the old store still serves its own entries
+        assert v1.get(SRC, LP64) is not None
+
+    def test_schema_bump_recompiles_through_pipeline(self, tmp_path):
+        root = tmp_path / "versioned2"
+        previous = set_artifact_store(ArtifactStore(root))
+        try:
+            clear_compile_cache()
+            compile_c(SRC)
+            assert compile_cache_stats()["translations"] == 1
+            set_artifact_store(
+                ArtifactStore(root,
+                              schema_version=STORE_SCHEMA_VERSION + 1))
+            clear_compile_cache()
+            compile_c(SRC)
+            assert compile_cache_stats()["translations"] == 1
+        finally:
+            set_artifact_store(previous)
+            clear_compile_cache()

@@ -1,0 +1,79 @@
+"""Dedicated diagnostics for known fragment gaps (VLAs, bit-fields).
+
+The paper stresses that static-phase failures "identify exactly what
+part of the standard is violated"; the same courtesy applies to the
+deliberate fragment gaps — a VLA must be reported as a VLA, not as a
+generic constant-expression complaint, and both diagnostics must point
+the user at the fragment documentation.
+"""
+
+import pytest
+
+from repro.errors import DesugarError, UnsupportedError
+from repro.pipeline import compile_c
+
+
+class TestVlaDiagnostic:
+    def test_variable_size_array_named_as_vla(self):
+        with pytest.raises(UnsupportedError,
+                           match="variable-length arrays are outside "
+                                 "the Cerberus fragment") as exc:
+            compile_c("int main(void) { int n = 4; int a[n]; "
+                      "return 0; }")
+        # The generic constant-expression error is the chained cause,
+        # not the user-facing diagnostic.
+        assert isinstance(exc.value.__cause__, DesugarError)
+
+    def test_vla_diagnostic_points_at_fragment_docs(self):
+        with pytest.raises(UnsupportedError,
+                           match="Fragment gaps"):
+            compile_c("void f(int n) { int a[n * 2]; }")
+
+    def test_unspecified_size_star_is_vla_too(self):
+        with pytest.raises(UnsupportedError,
+                           match="variable-length arrays"):
+            compile_c("void f(int n) { int a[*]; }")
+
+    def test_constant_sizes_still_fold(self):
+        compile_c("int main(void) { int a[2 + 3]; "
+                  "return sizeof(a) == 5 * sizeof(int) ? 0 : 1; }")
+
+    def test_negative_size_stays_a_constraint_violation(self):
+        # A *constant* but invalid size is a DesugarError (§6.7.6.2p1),
+        # not a fragment gap.
+        with pytest.raises(DesugarError, match="negative"):
+            compile_c("int main(void) { int a[-1]; return 0; }")
+
+    def test_erroneous_constant_sizes_keep_their_diagnostics(self):
+        # Constant-expression *errors* are not VLAs: the specific
+        # diagnostic must survive, not the fragment-gap message.
+        with pytest.raises(DesugarError, match="division by zero"):
+            compile_c("int main(void) { int a[1/0]; return 0; }")
+        with pytest.raises(DesugarError,
+                           match="not an integer constant"):
+            compile_c("int main(void) { int a[3.5]; return 0; }")
+
+
+class TestBitfieldDiagnostic:
+    def test_named_bitfield_names_the_member(self):
+        with pytest.raises(UnsupportedError,
+                           match="bit-field 'x' in struct definition"):
+            compile_c("struct s { int x : 3; }; "
+                      "int main(void) { return 0; }")
+
+    def test_bitfield_points_at_fragment_docs(self):
+        with pytest.raises(UnsupportedError, match="Fragment gaps"):
+            compile_c("struct s { unsigned flags : 1; }; "
+                      "int main(void) { return 0; }")
+
+    def test_anonymous_bitfield(self):
+        with pytest.raises(UnsupportedError,
+                           match="anonymous bit-field"):
+            compile_c("struct s { int a; int : 4; }; "
+                      "int main(void) { return 0; }")
+
+    def test_union_bitfield_names_union(self):
+        with pytest.raises(UnsupportedError,
+                           match="bit-field 'b' in union definition"):
+            compile_c("union u { int b : 2; }; "
+                      "int main(void) { return 0; }")

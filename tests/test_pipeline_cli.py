@@ -89,7 +89,17 @@ class TestCompileCache:
         clear_compile_cache()
         stats = compile_cache_stats()
         assert stats == {"hits": 0, "misses": 0, "evictions": 0,
+                         "translations": 0, "store_hits": 0,
                          "size": 0}
+
+    def test_translations_counted(self):
+        clear_compile_cache()
+        compile_c(self.SRC)
+        compile_c(self.SRC)                     # in-memory hit
+        stats = compile_cache_stats()
+        assert stats["translations"] == 1
+        compile_c(self.SRC, use_cache=False)    # bypass still counts
+        assert compile_cache_stats()["translations"] == 2
 
 
 class TestBatchExecution:
