@@ -18,8 +18,8 @@ from ..ctypes import convert
 from ..ctypes.implementation import Implementation
 from ..ctypes.types import (
     Array, CType, Floating, FloatKind, Function, Integer, IntKind, Pointer,
-    Qualifiers, QualType, StructRef, TagEnv, Member, UnionRef, Void,
-    NO_QUALS,
+    Qualifiers, QualType, StructRef, TagEnv, Member, UnionRef, VarArray,
+    Void, NO_QUALS,
 )
 from ..errors import DesugarError, UnsupportedError
 from ..source import Loc
@@ -101,6 +101,11 @@ class Desugarer:
         self._file_scope_objects: Dict[str, A.ObjectDef] = {}
         # Symbol -> declared type (for sizeof in constant expressions).
         self._sym_types: Dict[A.Symbol, QualType] = {}
+        # Hidden VLA size declarations produced while winding
+        # declarators: (size symbol, desugared size expression, loc).
+        # Flushed into the statement stream by _declare_object; other
+        # declarator contexts must reject or discard them.
+        self._vla_pending: List[Tuple[A.Symbol, A.Expr, Loc]] = []
 
     # -- scope helpers --------------------------------------------------------
 
@@ -171,6 +176,11 @@ class Desugarer:
                 if idecl.init is not None:
                     raise DesugarError("typedef with initialiser", idecl.loc,
                                        iso="6.7p4")
+                if isinstance(qty.ty, VarArray):
+                    self._vla_pending.clear()
+                    raise UnsupportedError(
+                        "variably modified typedef (see ROADMAP.md "
+                        "'Fragment gaps')", idecl.loc)
                 self.bind(name, ("typedef", qty))
                 continue
             if isinstance(qty.ty, Function):
@@ -198,6 +208,25 @@ class Desugarer:
     def _declare_object(self, name: str, qty: QualType,
                         idecl: C.InitDeclarator, storage: List[str],
                         file_scope: bool) -> List[A.SDecl]:
+        pendings = list(self._vla_pending)
+        self._vla_pending.clear()
+        if isinstance(qty.ty, VarArray):
+            if file_scope or "static" in storage or "extern" in storage:
+                raise DesugarError(
+                    f"variable length array '{name}' must have "
+                    "automatic storage duration", idecl.loc,
+                    iso="6.7.6.2p2")
+            if idecl.init is not None:
+                raise DesugarError(
+                    f"variable length array '{name}' may not be "
+                    "initialised", idecl.loc, iso="6.7.9p3")
+            sym = A.Symbol.fresh(name)
+            self.bind(name, ("object", sym, qty))
+            out = [A.SDecl(psym, QualType(Integer(IntKind.LONG)),
+                           A.InitScalar(size_expr, loc=loc), loc=loc)
+                   for psym, size_expr, loc in pendings]
+            out.append(A.SDecl(sym, qty, None, loc=idecl.loc))
+            return out
         init: Optional[A.Init] = None
         if idecl.init is not None:
             qty = self._complete_from_init(qty, idecl.init)
@@ -351,9 +380,24 @@ class Desugarer:
                 raise DesugarError("storage class in struct member",
                                    sdecl.loc, iso="6.7.2.1p1")
             if not sdecl.declarators:
-                # Anonymous struct/union member (§6.7.2.1p13).
+                # Anonymous struct/union member (§6.7.2.1p13),
+                # implemented by splicing the inner members into the
+                # outer list.  Splicing loses the sub-object boundary,
+                # which is fine for ordinary members (the offsets
+                # coincide) but NOT for bit-fields: the inner record's
+                # own allocation units and tail padding would be
+                # merged into the outer packing, diverging from the
+                # SysV layout — keep that corner a named gap.
                 if isinstance(base_qty.ty, (StructRef, UnionRef)):
                     inner = self.tags.require(base_qty.ty.tag)
+                    if any(m.bit_width is not None
+                           for m in inner.members):
+                        raise UnsupportedError(
+                            "bit-field inside an anonymous "
+                            "struct/union member (its allocation "
+                            "units would merge into the enclosing "
+                            "record's packing; see ROADMAP.md "
+                            "'Fragment gaps')", sdecl.loc)
                     for m in inner.members:
                         members.append(m)
                     continue
@@ -361,15 +405,9 @@ class Desugarer:
                                    iso="6.7.2.1p2")
             for declarator, width in sdecl.declarators:
                 if width is not None:
-                    kind = "union" if ts.is_union else "struct"
-                    member = (f"bit-field '{declarator.name}'"
-                              if isinstance(declarator, C.DIdent)
-                              else "anonymous bit-field")
-                    raise UnsupportedError(
-                        f"{member} in {kind} definition: bit-fields "
-                        "are outside the Cerberus fragment (see "
-                        "ROADMAP.md 'Fragment gaps' for supported-"
-                        "fragment notes)", sdecl.loc)
+                    members.append(self._bitfield_member(
+                        base_qty, declarator, width, sdecl.loc, seen))
+                    continue
                 assert declarator is not None
                 name, qty = self.apply_declarator(base_qty, declarator)
                 if name is None:
@@ -382,9 +420,46 @@ class Desugarer:
                 if isinstance(qty.ty, Function):
                     raise DesugarError("member with function type",
                                        sdecl.loc, iso="6.7.2.1p3")
+                if isinstance(qty.ty, VarArray):
+                    raise DesugarError(
+                        "member with variably modified type",
+                        sdecl.loc, iso="6.7.2.1p9")
                 members.append(Member(name, qty))
         self.tags.define(tag_id, members)
         return ref_cls(tag_id)
+
+    def _bitfield_member(self, base_qty: QualType,
+                         declarator: Optional[C.Declarator],
+                         width: C.Expr, loc: Loc, seen: set) -> Member:
+        """A bit-field member declaration ``T name : width`` /
+        ``T : width`` (§6.7.2.1p4-5, p11-12)."""
+        name: Optional[str] = None
+        qty = base_qty
+        if declarator is not None:
+            name, qty = self.apply_declarator(base_qty, declarator)
+        if not isinstance(qty.ty, Integer):
+            raise DesugarError(
+                f"bit-field has non-integer type {qty.ty}", loc,
+                iso="6.7.2.1p5")
+        w = self.const_expr(self.expr(width))
+        if w < 0:
+            raise DesugarError("negative bit-field width", loc,
+                               iso="6.7.2.1p4")
+        max_w = self.impl.width(qty.ty.kind)
+        if w > max_w:
+            raise DesugarError(
+                f"bit-field width {w} exceeds the width of its type "
+                f"({qty.ty}: {max_w} bits)", loc, iso="6.7.2.1p4")
+        if w == 0 and name is not None:
+            raise DesugarError(
+                f"named bit-field '{name}' has zero width", loc,
+                iso="6.7.2.1p3")
+        if name is not None:
+            if name in seen:
+                raise DesugarError(f"duplicate member '{name}'", loc,
+                                   iso="6.7.2.1")
+            seen.add(name)
+        return Member(name, qty, bit_width=w)
 
     def enum(self, ts: C.TSEnum) -> CType:
         if ts.enumerators is None:
@@ -411,6 +486,11 @@ class Desugarer:
         if isinstance(decl, C.DIdent):
             return decl.name, base
         if isinstance(decl, C.DPointer):
+            if isinstance(base.ty, VarArray):
+                raise UnsupportedError(
+                    "pointer to variable length array (runtime element "
+                    "strides are outside the fragment; see ROADMAP.md "
+                    "'Fragment gaps')", decl.loc)
             quals = Qualifiers(
                 const="const" in decl.qualifiers,
                 volatile="volatile" in decl.qualifiers,
@@ -422,25 +502,33 @@ class Desugarer:
         if isinstance(decl, C.DArray):
             if decl.is_star:
                 raise UnsupportedError(
-                    "variable-length arrays are outside the Cerberus "
-                    "fragment ('[*]' declares a VLA of unspecified "
-                    "size; see ROADMAP.md 'Fragment gaps')", decl.loc)
+                    "'[*]' (VLA of unspecified size) is only meaningful "
+                    "in function prototypes and is outside the fragment "
+                    "(see ROADMAP.md 'Fragment gaps')", decl.loc)
+            if isinstance(base.ty, VarArray):
+                raise UnsupportedError(
+                    "array of variable length arrays (only the "
+                    "outermost dimension may be variable; see "
+                    "ROADMAP.md 'Fragment gaps')", decl.loc)
             size: Optional[int] = None
             if decl.size is not None:
                 size_expr = self.expr(decl.size)
                 try:
                     size = self.const_expr(size_expr)
-                except _NotConstantError as exc:
+                except _NotConstantError:
                     # A well-formed size expression whose form is not
                     # an integer constant expression declares a VLA
-                    # (§6.7.6.2p4) — a dedicated diagnostic.  Erroneous
-                    # *constant* sizes (division by zero, a float
-                    # size) keep their specific DesugarError.
-                    raise UnsupportedError(
-                        "variable-length arrays are outside the "
-                        "Cerberus fragment (array sizes must be "
-                        "integer constant expressions; see ROADMAP.md "
-                        "'Fragment gaps')", decl.loc) from exc
+                    # (§6.7.6.2p4): introduce the hidden size variable
+                    # the elaboration will load.  Erroneous *constant*
+                    # sizes (division by zero, a float size) keep
+                    # their specific DesugarError.
+                    sym = A.Symbol.fresh("vla.size")
+                    self._vla_pending.append((sym, size_expr, decl.loc))
+                    self._sym_types[sym] = QualType(
+                        Integer(IntKind.LONG))
+                    return self.apply_declarator(
+                        QualType(VarArray(base, sym), NO_QUALS),
+                        decl.inner)
                 if size < 0:
                     raise DesugarError("array size is negative", decl.loc,
                                        iso="6.7.6.2p1")
@@ -452,15 +540,23 @@ class Desugarer:
                 raise UnsupportedError(
                     "K&R-style function definitions are not supported",
                     decl.loc)
+            if isinstance(base.ty, VarArray):
+                raise DesugarError("function returning an array",
+                                   decl.loc, iso="6.7.6.3p1")
             params: List[QualType] = []
             no_proto = False
             if decl.ident_list is not None and not decl.params:
                 no_proto = True  # `()` — unspecified parameters
+            pending_mark = len(self._vla_pending)
             for p in decl.params:
                 pqty, pstorage = self.base_type(p.specs)
                 if p.declarator is not None:
                     _, pqty = self.apply_declarator(pqty, p.declarator)
                 params.append(self.adjust_param(pqty))
+            # VLA parameters decay to pointers (§6.7.6.3p7); their size
+            # expressions are not evaluated at runtime — drop the
+            # hidden declarations created while winding them.
+            del self._vla_pending[pending_mark:]
             if len(params) == 1 and isinstance(params[0].ty, Void) \
                     and params[0].quals.is_empty():
                 params = []
@@ -472,13 +568,14 @@ class Desugarer:
     def adjust_param(qty: QualType) -> QualType:
         """§6.7.6.3p7-8: array parameters decay to pointers, function
         parameters to function pointers."""
-        if isinstance(qty.ty, Array):
+        if isinstance(qty.ty, (Array, VarArray)):
             return QualType(Pointer(qty.ty.of), qty.quals)
         if isinstance(qty.ty, Function):
             return QualType(Pointer(QualType(qty.ty)))
         return qty
 
     def type_name(self, tn: C.TypeName) -> QualType:
+        pending_mark = len(self._vla_pending)
         base, storage = self.base_type(tn.specs)
         if storage:
             raise DesugarError("storage class in type name", tn.loc,
@@ -486,6 +583,15 @@ class Desugarer:
         if tn.declarator is None:
             return base
         name, qty = self.apply_declarator(base, tn.declarator)
+        if len(self._vla_pending) > pending_mark:
+            # A VLA type in a cast / sizeof(type) / offsetof / compound
+            # literal: the size expression would need a statement
+            # context to evaluate into.
+            del self._vla_pending[pending_mark:]
+            raise UnsupportedError(
+                "variably modified type in a type name (sizeof/cast/"
+                "compound literal of a VLA type; see ROADMAP.md "
+                "'Fragment gaps')", tn.loc)
         if name is not None:
             raise DesugarError("type name with identifier", tn.loc,
                                iso="6.7.7")
@@ -610,6 +716,11 @@ class Desugarer:
                     defn.members[mi].qty, designators[1:], sub)))
                 mi += 1
                 continue
+            # Unnamed bit-field members do not take part in positional
+            # initialisation (§6.7.9p9).
+            while mi < len(defn.members) and \
+                    defn.members[mi].name is None:
+                mi += 1
             if mi >= len(defn.members):
                 break
             member = defn.members[mi]
@@ -971,6 +1082,12 @@ class Desugarer:
                 raise DesugarError(
                     "sizeof of this expression form is not supported "
                     "in constant expressions", e.loc, iso="6.6")
+            if isinstance(qty.ty, VarArray):
+                # sizeof of a VLA is a runtime value (§6.5.3.4p2); in
+                # an array-size position this declares another VLA.
+                raise _NotConstantError(
+                    "sizeof of a variable length array is not a "
+                    "constant expression", e.loc, iso="6.6")
             return self.impl.sizeof(qty.ty, self.tags)
         if isinstance(e, A.EUnary):
             v = self._const(e.operand)
@@ -1037,7 +1154,7 @@ class Desugarer:
             base = self._type_of_simple(e.base)
             if base is None:
                 return None
-            if isinstance(base.ty, Array):
+            if isinstance(base.ty, (Array, VarArray)):
                 return base.ty.of
             if isinstance(base.ty, Pointer):
                 return base.ty.to

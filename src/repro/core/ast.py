@@ -479,6 +479,20 @@ class ScopedCreate:
     loc: Loc = field(default_factory=Loc.unknown)
 
 
+@dataclass
+class EVlaCreate(Expr):
+    """Create a variable length array object at its declaration point
+    (§6.2.4p7: a VLA's lifetime starts at the declaration, not at block
+    entry).  ``size`` is a pure expression computing the (already
+    positivity- and bound-checked) element count; the resulting pointer
+    is the expression's value, and the object is registered with the
+    dynamically innermost :class:`EScope` so every exit path kills it."""
+
+    elem_ty: CType
+    size: Pexpr
+    prefix: str
+
+
 # --------------------------------------------------------------------------
 # Definitions and programs
 # --------------------------------------------------------------------------

@@ -167,4 +167,7 @@ def pretty_expr(e: K.Expr) -> str:
         creates = "; ".join(f"{c.sym}: '{c.ty}'" for c in e.creates)
         return (f"scope [{creates}] in\n"
                 f"{_ind(pretty_expr(e.body), 1)}")
+    if isinstance(e, K.EVlaCreate):
+        return (f"create_vla('{e.elem_ty}', {pretty_pure(e.size)}, "
+                f"{e.prefix!r})")
     return f"<?expr {type(e).__name__}>"

@@ -19,7 +19,10 @@ from ..errors import CoreTypeError
 from . import ast as K
 
 _ACTION_ARITY = {"create": (3, 4), "alloc": (2, 2), "kill": (2, 2),
-                 "store": (3, 4), "load": (2, 3), "rmw": (3, 6)}
+                 "store": (3, 4), "load": (2, 3), "rmw": (3, 6),
+                 # Bit-field member accesses: (ctype, ptr, bit-offset,
+                 # width[, value]).
+                 "loadbf": (4, 4), "storebf": (5, 5)}
 
 
 class _Checker:
@@ -158,6 +161,8 @@ class _Checker:
         elif isinstance(e, K.EScope):
             inner_bound = bound | {c.sym for c in e.creates}
             self.expr(e.body, inner_bound, saves)
+        elif isinstance(e, K.EVlaCreate):
+            self.pure(e.size, bound)
         else:
             self.error(f"unknown Core expression {type(e).__name__}",
                        e.loc)

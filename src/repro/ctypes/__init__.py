@@ -3,11 +3,11 @@ integer conversion/promotion machinery (ISO C11 §6.2.5-6.3)."""
 
 from .types import (
     CType, Void, Integer, IntKind, Floating, FloatKind, Pointer, Array,
-    Function, StructRef, UnionRef, Qualifiers, QualType, TagEnv, TagDef,
-    Member, NO_QUALS, CONST,
+    VarArray, Function, StructRef, UnionRef, Qualifiers, QualType,
+    TagEnv, TagDef, Member, NO_QUALS, CONST,
 )
 from .implementation import (
-    Implementation, LP64, ILP32, CHERI128,
+    Implementation, FieldLayout, RecordLayout, LP64, ILP32, CHERI128,
 )
 from .convert import (
     integer_promotion, usual_arithmetic_conversions, integer_rank,
@@ -16,10 +16,11 @@ from .convert import (
 
 __all__ = [
     "CType", "Void", "Integer", "IntKind", "Floating", "FloatKind",
-    "Pointer", "Array", "Function", "StructRef", "UnionRef",
+    "Pointer", "Array", "VarArray", "Function", "StructRef", "UnionRef",
     "Qualifiers", "QualType", "TagEnv", "TagDef", "Member",
     "NO_QUALS", "CONST",
-    "Implementation", "LP64", "ILP32", "CHERI128",
+    "Implementation", "FieldLayout", "RecordLayout",
+    "LP64", "ILP32", "CHERI128",
     "integer_promotion", "usual_arithmetic_conversions", "integer_rank",
     "convert_integer_value", "is_representable",
 ]

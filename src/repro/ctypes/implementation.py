@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import InternalError
 from .types import (
     Array, CType, Floating, FloatKind, Function, Integer, IntKind, Pointer,
-    QualType, StructRef, TagEnv, UnionRef, Void,
+    QualType, StructRef, TagEnv, UnionRef, VarArray, Void,
 )
 
 
@@ -87,6 +87,10 @@ class Implementation:
             if ty.size is None:
                 raise InternalError("sizeof incomplete array type")
             return ty.size * self.sizeof(ty.of.ty, tags)
+        if isinstance(ty, VarArray):
+            raise InternalError(
+                "sizeof of a variable length array type is a runtime "
+                "value (the elaboration loads its hidden size variable)")
         if isinstance(ty, (StructRef, UnionRef)):
             return self.layout(ty, tags).size
         if isinstance(ty, Void):
@@ -103,66 +107,158 @@ class Implementation:
                 FloatKind.LDOUBLE else 16
         if isinstance(ty, Pointer):
             return self.pointer_align
-        if isinstance(ty, Array):
+        if isinstance(ty, (Array, VarArray)):
             return self.alignof(ty.of.ty, tags)
         if isinstance(ty, (StructRef, UnionRef)):
             return self.layout(ty, tags).align
         raise InternalError(f"alignof: unhandled type {ty}")
 
     def layout(self, ty: CType, tags: TagEnv) -> "RecordLayout":
-        """Compute (and cache per call) the layout of a struct/union."""
+        """Compute the layout of a struct/union, including bit-field
+        allocation-unit packing (§6.7.2.1p11, the SysV-style rules all
+        four LP64 environments and CHERI128 share): consecutive
+        bit-fields pack into the storage units of their declared types,
+        a bit-field never straddles a storage-unit boundary of its
+        declared type, a zero-width bit-field closes the current unit,
+        and (unlike GCC's ``-mms-bitfields``) a non-zero-width
+        bit-field contributes its declared type's alignment to the
+        struct."""
         assert isinstance(ty, (StructRef, UnionRef))
         defn = tags.require(ty.tag)
         if not defn.complete:
             raise InternalError(f"layout of incomplete type {ty}")
-        offsets: List[Tuple[str, int, QualType]] = []
+        fields: List[FieldLayout] = []
         if isinstance(ty, UnionRef):
             size = 0
             align = 1
             for m in defn.members:
+                if m.bit_width is not None and (m.name is None
+                                                or m.bit_width == 0):
+                    continue  # anonymous bit-fields do not pack unions
                 msize = self.sizeof(m.qty.ty, tags)
                 malign = self.alignof(m.qty.ty, tags)
-                offsets.append((m.name, 0, m.qty))
+                if m.bit_width is not None:
+                    fields.append(FieldLayout(m.name, 0, m.qty,
+                                              bit_offset=0,
+                                              bit_width=m.bit_width))
+                else:
+                    fields.append(FieldLayout(m.name, 0, m.qty))
                 size = max(size, msize)
                 align = max(align, malign)
-            size = _round_up(size, align)
-            return RecordLayout(size, align, offsets)
-        off = 0
+            size = _round_up(max(size, 1), align)
+            return RecordLayout(size, align, fields)
+        bit = 0  # running offset in *bits* from the start of the struct
         align = 1
         for m in defn.members:
+            if m.bit_width is not None:
+                unit_bits = self.sizeof(m.qty.ty, tags) * 8
+                if m.bit_width == 0:
+                    # §6.7.2.1p12: close the current allocation unit.
+                    bit = _round_up(bit, unit_bits)
+                    continue
+                if bit // unit_bits != \
+                        (bit + m.bit_width - 1) // unit_bits:
+                    # Would straddle a storage-unit boundary of the
+                    # declared type: start a fresh unit.
+                    bit = _round_up(bit, unit_bits)
+                if m.name is not None:
+                    fields.append(FieldLayout(m.name, bit // 8, m.qty,
+                                              bit_offset=bit % 8,
+                                              bit_width=m.bit_width))
+                align = max(align, self.alignof(m.qty.ty, tags))
+                bit += m.bit_width
+                continue
             malign = self.alignof(m.qty.ty, tags)
             msize = self.sizeof(m.qty.ty, tags)
-            off = _round_up(off, malign)
-            offsets.append((m.name, off, m.qty))
-            off += msize
+            off = _round_up(_round_up(bit, 8) // 8, malign)
+            fields.append(FieldLayout(m.name, off, m.qty))
+            bit = (off + msize) * 8
             align = max(align, malign)
-        size = _round_up(max(off, 1), align)
-        return RecordLayout(size, align, offsets)
+        size = _round_up(max((bit + 7) // 8, 1), align)
+        return RecordLayout(size, align, fields)
 
     def offsetof(self, ty: CType, member: str, tags: TagEnv) -> int:
+        """Byte offset of a member.  For a bit-field this is the offset
+        of the first byte its bits occupy (the target of
+        ``member_shift``; user-level ``offsetof`` of a bit-field is
+        rejected by the type checker, §7.19p3)."""
         lay = self.layout(ty, tags)
-        for name, off, _ in lay.fields:
-            if name == member:
-                return off
+        for f in lay.fields:
+            if f.name == member:
+                return f.offset
         raise InternalError(f"offsetof: no member {member} in {ty}")
 
+    def field_layout(self, tag: str, member: str,
+                     tags: TagEnv) -> "FieldLayout":
+        """The full layout record of one member of a tagged type."""
+        defn = tags.require(tag)
+        ref: CType = UnionRef(tag) if defn.is_union else StructRef(tag)
+        for f in self.layout(ref, tags).fields:
+            if f.name == member:
+                return f
+        raise InternalError(f"no member {member} in {ref}")
+
     def padding_bytes(self, ty: CType, tags: TagEnv) -> List[int]:
-        """Offsets (within the record) of bytes that are padding — used by
-        the padding-semantics experiments (paper §2.5, Q37-Q49)."""
-        lay = self.layout(ty, tags)
-        covered = [False] * lay.size
-        for _, off, qty in lay.fields:
-            msize = self.sizeof(qty.ty, tags)
-            for i in range(off, off + msize):
-                covered[i] = True
+        """Offsets (within the record) of bytes that are entirely
+        padding — used by the padding-semantics experiments (paper
+        §2.5, Q37-Q49).  Recurses into nested structs/unions and array
+        elements so interior and trailing padding of nested records is
+        reported at its element offsets, and treats the bytes of
+        bit-field storage units as covered when any member's bits touch
+        them."""
+        size = self.sizeof(ty, tags)
+        covered = [False] * size
+        self._mark_covered(ty, 0, covered, tags)
         return [i for i, c in enumerate(covered) if not c]
+
+    def _mark_covered(self, ty: CType, base: int, covered: List[bool],
+                      tags: TagEnv) -> None:
+        if isinstance(ty, Array):
+            assert ty.size is not None
+            esize = self.sizeof(ty.of.ty, tags)
+            for i in range(ty.size):
+                self._mark_covered(ty.of.ty, base + i * esize, covered,
+                                   tags)
+            return
+        if isinstance(ty, (StructRef, UnionRef)):
+            for f in self.layout(ty, tags).fields:
+                if f.bit_width is not None:
+                    first = base + f.offset
+                    last = base + f.offset + \
+                        (f.bit_offset + f.bit_width - 1) // 8
+                    for i in range(first, last + 1):
+                        covered[i] = True
+                    continue
+                self._mark_covered(f.qty.ty, base + f.offset, covered,
+                                   tags)
+            return
+        for i in range(base, base + self.sizeof(ty, tags)):
+            covered[i] = True
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Layout of one member.  Ordinary members have ``bit_offset is
+    None``; a bit-field member occupies ``bit_width`` bits starting
+    ``bit_offset`` bits (0-7) into the byte at ``offset``.  Iterating
+    yields the historical ``(name, offset, qty)`` triple so existing
+    ``for name, off, qty in lay.fields`` loops keep working."""
+
+    name: str
+    offset: int
+    qty: QualType
+    bit_offset: Optional[int] = None
+    bit_width: Optional[int] = None
+
+    def __iter__(self):
+        return iter((self.name, self.offset, self.qty))
 
 
 @dataclass(frozen=True)
 class RecordLayout:
     size: int
     align: int
-    fields: List[Tuple[str, int, QualType]]
+    fields: List[FieldLayout]
 
 
 def _round_up(n: int, align: int) -> int:

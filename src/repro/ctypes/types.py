@@ -175,6 +175,27 @@ class Array(CType):
 
 
 @dataclass(frozen=True)
+class VarArray(CType):
+    """A variable length array type (§6.7.6.2p4): element type plus the
+    desugarer-introduced *hidden size variable* holding the runtime
+    element count.  ``size_sym`` is the Ail symbol of that variable
+    (an ``A.Symbol``; typed as ``object`` to avoid a circular import) —
+    the elaboration loads it wherever the size is needed (the
+    declaration's ``create``, ``sizeof``).  Only the outermost array
+    dimension of a declarator may be variable in this fragment."""
+
+    of: QualType
+    size_sym: object  # repro.ail.ast.Symbol (hashable, picklable)
+
+    def __str__(self) -> str:
+        return f"{self.of}[{self.size_sym}]"
+
+    def is_complete(self, tags: "TagEnv") -> bool:
+        # Complete in the variable sense: the size exists at runtime.
+        return True
+
+
+@dataclass(frozen=True)
 class Function(CType):
     ret: QualType
     params: Tuple[QualType, ...]
@@ -217,8 +238,20 @@ class UnionRef(CType):
 
 @dataclass
 class Member:
-    name: str
+    """One struct/union member.  ``bit_width`` is None for ordinary
+    members; a bit-field member carries its declared width in bits.
+    Anonymous bit-fields (``int : 4``, ``int : 0``) have ``name is
+    None`` — they participate in layout but are not accessible, are
+    skipped by positional initialisation (§6.7.9p9), and never match a
+    member lookup."""
+
+    name: Optional[str]
     qty: QualType
+    bit_width: Optional[int] = None
+
+    @property
+    def is_bitfield(self) -> bool:
+        return self.bit_width is not None
 
 
 @dataclass

@@ -18,9 +18,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import ast as K
-from ..ctypes.types import Integer, IntKind, Pointer, QualType, Void
+from ..ctypes.types import Array, Integer, IntKind, Pointer, QualType, Void
 from ..errors import CerberusError, InternalError, StaticError
-from ..memory.base import Footprint, MemoryError_, MemoryModel
+from ..memory.base import (
+    Footprint, MemoryError_, MemoryModel, VLA_CAP_BYTES,
+)
 from ..memory.values import (
     AByte, IntegerValue, MemValue, PointerValue, PROV_EMPTY,
 )
@@ -370,6 +372,53 @@ class Driver:
                 record = self._record("create", None, False, polarity,
                                       loc)
                 return VPointer(ptr), record
+            if action_kind == "create_vla":
+                align, cty, count, prefix = args
+                n = count.ival.value
+                elem = cty.ty
+                esize = self.program.impl.sizeof(elem,
+                                                 self.program.tags)
+                # Explicit checks (never bare asserts: they must
+                # survive ``python -O``) backing the elaborated Core's
+                # undef tests.
+                if n <= 0:
+                    raise MemoryError_(
+                        UB.VLA_SIZE_NOT_POSITIVE,
+                        f"VLA '{prefix}' size {n} is not positive")
+                if n * esize > VLA_CAP_BYTES:
+                    raise MemoryError_(
+                        UB.VLA_SIZE_TOO_LARGE,
+                        f"VLA '{prefix}' needs {n * esize} bytes "
+                        f"(bound {VLA_CAP_BYTES})")
+                arr = Array(QualType(elem), n)
+                ptr = model.create(arr, align.ival.value, prefix,
+                                   "automatic")
+                record = self._record("create", None, False, polarity,
+                                      loc)
+                return VPointer(ptr), record
+            if action_kind == "loadbf":
+                cty, target, boff, bwidth = args
+                ptr = self.evaluator._as_pointer(target, loc)
+                footprint, mv = model.load_bits(
+                    cty.ty, ptr,
+                    self.evaluator._as_integer(boff, loc).value,
+                    self.evaluator._as_integer(bwidth, loc).value)
+                record = self._record("load", footprint, False,
+                                      polarity, loc)
+                self._race_check(footprint, False, order, thread, loc)
+                return mem_to_core(mv), record
+            if action_kind == "storebf":
+                cty, target, boff, bwidth, value = args
+                ptr = self.evaluator._as_pointer(target, loc)
+                mv = core_to_mem(cty.ty, value)
+                footprint = model.store_bits(
+                    cty.ty, ptr,
+                    self.evaluator._as_integer(boff, loc).value,
+                    self.evaluator._as_integer(bwidth, loc).value, mv)
+                record = self._record("store", footprint, True,
+                                      polarity, loc)
+                self._race_check(footprint, True, order, thread, loc)
+                return UNIT, record
             if action_kind == "alloc":
                 align, size = args
                 n = self.evaluator._as_integer(size, loc).value
@@ -527,10 +576,14 @@ class Driver:
                                  True, "na", thread, loc)
                 return None
             if method == "cstring":
-                ptr, = args
+                # Optional second element: a byte limit — read at most
+                # that many bytes and do not require a terminator
+                # (printf %s with an explicit precision, §7.21.6.1p8).
+                ptr = args[0]
+                limit = args[1] if len(args) > 1 else None
                 out = bytearray()
                 addr = ptr.addr
-                for i in range(1 << 20):
+                for i in range(1 << 20 if limit is None else limit):
                     byte = model.load_bytes(ptr.with_addr(addr + i), 1)[0]
                     if byte.is_unspecified:
                         return None  # caller decides how to react

@@ -40,9 +40,13 @@ from ..ub import UndefinedBehaviour
 from .actions import ActionSummary, find_unsequenced_race
 from .values import (
     FALSE, TRUE, UNIT, Value, VBool, VCtype, VFloating, VFunction,
-    VInteger, VList, VPointer, VSpecified, VTuple, VUnit, VUnspecified,
-    match_pattern, truthy,
+    VInteger, VList, VPointer, VScopeList, VSpecified, VTuple, VUnit,
+    VUnspecified, match_pattern, truthy,
 )
+
+# The Core-environment key under which the innermost EScope exposes its
+# created-object list (VLA creates register for scope-exit kills).
+_SCOPE_CREATED = "__scope.created__"
 
 _region_counter = itertools.count(1)
 
@@ -367,6 +371,23 @@ class Evaluator:
                 return v
             return VFloating(FloatingValue(
                 float(self._as_integer(v, pe.loc).value)))
+        if name == "conv_bits":
+            # The value a bit-field holds after a store: truncate the
+            # loaded value to the field width, sign-extending when the
+            # declared type is signed (GCC/Clang semantics for the
+            # implementation-defined signed case, §6.3.1.3p3).
+            ty = self._as_ctype(args[0], pe.loc)
+            assert isinstance(ty, Integer)
+            width = self._as_integer(args[1], pe.loc).value
+            loaded = args[2]
+            if isinstance(loaded, VUnspecified):
+                return loaded
+            iv = self._as_integer(loaded, pe.loc)
+            raw = iv.value & ((1 << width) - 1)
+            if impl.is_signed(ty.kind) and ty.kind is not IntKind.BOOL \
+                    and (raw >> (width - 1)) & 1:
+                raw -= 1 << width
+            return VSpecified(VInteger(IntegerValue(raw, iv.prov)))
         if name == "not_bool":
             return VBool(not truthy(args[0]))
         if name == "ptr_nonnull":
@@ -473,6 +494,8 @@ class Evaluator:
             raise ProcReturn(self.eval_pure(e.pe, env))
         if isinstance(e, K.EScope):
             return (yield from self._scope(e, env))
+        if isinstance(e, K.EVlaCreate):
+            return (yield from self._vla_create(e, env))
         if isinstance(e, K.EPar):
             return (yield from self._par(e, env))
         if isinstance(e, K.EWait):
@@ -671,9 +694,26 @@ class Evaluator:
 
     # ---- scoped lifetimes ----------------------------------------------------------------
 
+    def _vla_create(self, e: K.EVlaCreate, env: Dict[str, Value]) -> \
+            EffGen:
+        """Create a runtime-sized array object (the VLA declaration
+        point) and register it with the innermost scope's kill set."""
+        n = self._as_integer(self.eval_pure(e.size, env), e.loc)
+        align = self.impl.alignof(e.elem_ty, self.tags)
+        value, record = yield ("action", "create_vla",
+                               [VInteger(IntegerValue(align)),
+                                VCtype(e.elem_ty), VInteger(n),
+                                e.prefix],
+                               "pos", "na", e.loc)
+        holder = env.get(_SCOPE_CREATED)
+        if isinstance(holder, VScopeList):
+            holder.items.append(value)
+        return value, ActionSummary.single(record)
+
     def _scope(self, e: K.EScope, env: Dict[str, Value]) -> EffGen:
         env2 = dict(env)
         created: List[Value] = []
+        env2[_SCOPE_CREATED] = VScopeList(created)
         summary = ActionSummary.empty()
         for sc in e.creates:
             align = self.impl.alignof(sc.ty, self.tags)

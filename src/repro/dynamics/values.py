@@ -120,6 +120,16 @@ class VMemStruct(Value):
     mv: MemValue
 
 
+@dataclass
+class VScopeList(Value):
+    """The mutable list of objects created in the dynamically innermost
+    ``EScope`` — VLA creates append their pointers so every scope exit
+    path kills them (the list object is shared with the scope's kill
+    set, not copied)."""
+
+    items: List[Value]
+
+
 # --------------------------------------------------------------------------
 # memory value <-> Core value conversion
 # --------------------------------------------------------------------------

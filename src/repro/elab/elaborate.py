@@ -29,10 +29,12 @@ from ..core.ast import (
 )
 from ..ctypes import convert
 from ..ctypes.implementation import Implementation
+from ..ctypes.implementation import FieldLayout
 from ..ctypes.types import (
     Array, CType, Floating, Function, Integer, IntKind, Pointer, QualType,
-    StructRef, UnionRef, Void, is_character, is_integer,
+    StructRef, UnionRef, VarArray, Void, is_character, is_integer,
 )
+from ..memory.base import VLA_CAP_BYTES
 from ..errors import ElabError, InternalError, UnsupportedError
 from ..memory.values import (
     FloatingValue, IntegerValue, MemValue, MVArray, MVInteger, NULL_POINTER,
@@ -282,11 +284,17 @@ class Elaborator:
             K.Expr:
         """Elaborate a block-item sequence; object declarations
         contribute creates (at block entry, §6.2.4p5) and initialising
-        stores (at declaration position)."""
+        stores (at declaration position).  A VLA declaration instead
+        creates its object *at the declaration point* (§6.2.4p7) and
+        scopes the rest of the sequence under the pointer binding."""
         exprs: List[K.Expr] = []
-        for item in items:
+        for idx, item in enumerate(items):
             self._pending_compounds = decls
             if isinstance(item, A.SDecl):
+                if isinstance(item.qty.ty, VarArray):
+                    rest = self._stmt_seq(items[idx + 1:], decls)
+                    exprs.append(self._vla_decl(item, rest))
+                    break
                 decls.append(K.ScopedCreate(str(item.sym), item.qty.ty,
                                             item.sym.name, loc=item.loc))
                 if item.init is not None:
@@ -301,6 +309,42 @@ class Elaborator:
         if not exprs:
             return K.ESkip()
         return _seq_all(exprs[:-1], exprs[-1])
+
+    def _vla_decl(self, item: A.SDecl, rest: K.Expr) -> K.Expr:
+        """Elaborate ``T a[n];``: load the hidden size variable (stored
+        just before by the desugarer's hidden declaration), test the
+        §6.7.6.2p5 constraints as explicit ``undef``s in the generated
+        Core (paper §5.4), create the runtime-sized object, and bind
+        its pointer over the rest of the block."""
+        vty = item.qty.ty
+        assert isinstance(vty, VarArray)
+        fn = self._fn
+        if fn is not None and fn.goto_label is not None:
+            raise UnsupportedError(
+                "variable length array in a function with labels "
+                "(goto may not jump into the scope of a VLA, "
+                "§6.8.6.1p1; see ROADMAP.md 'Fragment gaps')", item.loc)
+        esize = self.impl.sizeof(vty.of.ty, self.tags)
+        max_elems = max(VLA_CAP_BYTES // esize, 1)
+        nv = fresh_name("vla.n")
+        n = nv + ".v"
+        create = K.EVlaCreate(vty.of.ty, K.PSym(n), item.sym.name,
+                              loc=item.loc)
+        checked = K.EIf(
+            K.PBinop("<", _pv(VInteger(IntegerValue(0))), K.PSym(n)),
+            K.EIf(K.PBinop("<=", K.PSym(n),
+                           _pv(VInteger(IntegerValue(max_elems)))),
+                  _sseq(PatSym(str(item.sym)), create, rest,
+                        loc=item.loc),
+                  _pure(K.PUndef(UB.VLA_SIZE_TOO_LARGE, loc=item.loc))),
+            _pure(K.PUndef(UB.VLA_SIZE_NOT_POSITIVE, loc=item.loc)))
+        size_load = self.act_load(Integer(IntKind.LONG),
+                                  K.PSym(str(vty.size_sym)), item.loc)
+        return _sseq(PatSym(nv), size_load, K.ECase(K.PSym(nv), [
+            (PatCtor("Unspecified", (PatWild(),)),
+             _pure(K.PUndef(UB.EXCEPTIONAL_CONDITION, loc=item.loc))),
+            (PatCtor("Specified", (PatSym(n),)), checked),
+        ], loc=item.loc), loc=item.loc)
 
     def _if(self, s: A.SIf) -> K.Expr:
         cond = self.rv(s.cond)
@@ -402,6 +446,17 @@ class Elaborator:
         fn.break_label = brk
         seg_exprs = []
         for i, (_, stmts) in enumerate(segments):
+            for sub in stmts:
+                if isinstance(sub, A.SDecl) and \
+                        isinstance(sub.qty.ty, VarArray):
+                    # A case label may not jump into the scope of a
+                    # VLA (§6.8.4.2p2); a VLA inside a nested block
+                    # wholly within one case is fine.
+                    raise UnsupportedError(
+                        "variable length array declared among switch "
+                        "case labels (a case label may not jump into "
+                        "a VLA's scope, §6.8.4.2p2; wrap it in a "
+                        "braced block)", sub.loc)
             seg_body = self._stmt_seq(stmts, decls)
             guard = K.PBinop("<=", K.PSym("sw.target"),
                              _pv(VInteger(IntegerValue(i))))
@@ -517,6 +572,10 @@ class Elaborator:
                 member = defn.member(name)
                 assert member is not None
                 mptr = K.PMemberShift(ptr, ty.tag, name, loc=sub.loc)
+                if member.bit_width is not None:
+                    out.append(self._init_store_bits(ty.tag, name, mptr,
+                                                     sub))
+                    continue
                 out.extend(self._init_stores_inner(mptr, member.qty,
                                                    sub))
             return out
@@ -526,9 +585,23 @@ class Elaborator:
             member = defn.member(init.member)
             assert member is not None
             mptr = K.PMemberShift(ptr, ty.tag, init.member, loc=init.loc)
+            if member.bit_width is not None:
+                return [self._init_store_bits(ty.tag, init.member, mptr,
+                                              init.init)]
             return self._init_stores_inner(mptr, member.qty, init.init)
         raise InternalError(f"unhandled init {type(init).__name__}",
                             init.loc)
+
+    def _init_store_bits(self, tag: str, name: str, mptr: K.Pexpr,
+                         sub: A.Init) -> K.Expr:
+        if not isinstance(sub, A.InitScalar):
+            raise InternalError("non-scalar bit-field initialiser",
+                                sub.loc)
+        f = self.impl.field_layout(tag, name, self.tags)
+        v = fresh_name("init.bf")
+        return _sseq(PatSym(v), self.rv(sub.expr),
+                     self.act_store_bits(f, mptr, K.PSym(v), sub.loc),
+                     loc=sub.loc)
 
     # ================== actions ================================================
 
@@ -540,6 +613,52 @@ class Elaborator:
     def act_load(self, ty: CType, ptr: K.Pexpr, loc: Loc) -> K.Expr:
         return K.EAction(K.Action("load", [_ctype(ty), ptr], "pos",
                                   "na", loc), loc=loc)
+
+    # ---- bit-field member actions -------------------------------------------
+
+    def _member_bitfield(self, e: A.Expr) -> Optional[FieldLayout]:
+        """When ``e`` designates a bit-field member lvalue, its layout
+        record (declared type, bit offset within the byte the member
+        shift addresses, width) under this implementation environment."""
+        if not isinstance(e, A.EMember) or e.base.ty is None:
+            return None
+        bty = e.base.ty.ty
+        rec = bty.to.ty if e.arrow and isinstance(bty, Pointer) else bty
+        if not isinstance(rec, (StructRef, UnionRef)):
+            return None
+        member = self.tags.require(rec.tag).member(e.member)
+        if member is None or member.bit_width is None:
+            return None
+        return self.impl.field_layout(rec.tag, e.member, self.tags)
+
+    def _bf_action(self, kind: str, f: FieldLayout, ptr: K.Pexpr,
+                   loc: Loc, value: Optional[K.Pexpr] = None,
+                   polarity: str = "pos") -> K.Action:
+        args: List[K.Pexpr] = [
+            _ctype(f.qty.ty), ptr,
+            _pv(VInteger(IntegerValue(f.bit_offset))),
+            _pv(VInteger(IntegerValue(f.bit_width)))]
+        if value is not None:
+            args.append(value)
+        return K.Action(kind, args, polarity, "na", loc)
+
+    def act_load_bits(self, f: FieldLayout, ptr: K.Pexpr,
+                      loc: Loc) -> K.Expr:
+        return K.EAction(self._bf_action("loadbf", f, ptr, loc),
+                         loc=loc)
+
+    def act_store_bits(self, f: FieldLayout, ptr: K.Pexpr,
+                       value: K.Pexpr, loc: Loc) -> K.Expr:
+        return K.EAction(self._bf_action("storebf", f, ptr, loc, value),
+                         loc=loc)
+
+    def _conv_bits(self, f: FieldLayout, loaded: K.Pexpr) -> K.Pexpr:
+        """The value a bit-field holds after a store of ``loaded``:
+        truncated to the field width (sign-extended when the declared
+        type is signed) — the value of ``s.f = x`` (§6.5.16p3)."""
+        return K.PCall("conv_bits", [
+            _ctype(f.qty.ty),
+            _pv(VInteger(IntegerValue(f.bit_width))), loaded])
 
     # ================== expressions: rvalues ====================================
 
@@ -556,6 +675,11 @@ class Elaborator:
         if e.kind == "lvalue":
             p = fresh_name("lv")
             assert e.operand.ty is not None
+            bf = self._member_bitfield(e.operand)
+            if bf is not None:
+                return _wseq(PatSym(p), self.lv(e.operand),
+                             self.act_load_bits(bf, K.PSym(p), e.loc),
+                             loc=e.loc)
             return _wseq(PatSym(p), self.lv(e.operand),
                          self.act_load(e.operand.ty.ty, K.PSym(p),
                                        e.loc), loc=e.loc)
@@ -616,7 +740,21 @@ class Elaborator:
                                 e.loc)
         if e.op == "sizeof":
             assert e.operand.ty is not None
-            size = self.impl.sizeof(e.operand.ty.ty, self.tags)
+            oty = e.operand.ty.ty
+            if isinstance(oty, VarArray):
+                # §6.5.3.4p2: sizeof of a VLA is a runtime value — the
+                # element count lives in the hidden size variable.
+                esize = self.impl.sizeof(oty.of.ty, self.tags)
+                v = fresh_name("vla.sz")
+                load = self.act_load(Integer(IntKind.LONG),
+                                     K.PSym(str(oty.size_sym)), e.loc)
+                return _sseq(PatSym(v), load, self._case_specified(
+                    K.PSym(v), _SIZE_T,
+                    lambda pv: K.PCtor("Specified", [
+                        K.PBinop("*", pv, _pv(VInteger(
+                            IntegerValue(esize))))]),
+                    unspec_is_ub=True, loc=e.loc), loc=e.loc)
+            size = self.impl.sizeof(oty, self.tags)
             return _pure(_specified_int(size), e.loc)
         assert e.ty is not None and e.operand.ty is not None
         oty = e.operand.ty.ty
@@ -963,9 +1101,20 @@ class Elaborator:
     def _rv_EAssign(self, e: A.EAssign) -> K.Expr:
         assert e.lhs.ty is not None
         lty = e.lhs.ty
+        bf = self._member_bitfield(e.lhs)
         if e.op == "=":
             p, v = fresh_name("ap"), fresh_name("av")
             pair = K.EUnseq([self.lv(e.lhs), self.rv(e.rhs)], loc=e.loc)
+            if bf is not None:
+                # The assignment's value is the value *stored in* the
+                # bit-field: truncated to the field width (§6.5.16p3).
+                return _wseq(
+                    PatCtor("Tuple", (PatSym(p), PatSym(v))), pair,
+                    _sseq(PatWild(),
+                          self.act_store_bits(bf, K.PSym(p), K.PSym(v),
+                                              e.loc),
+                          _pure(self._conv_bits(bf, K.PSym(v)), e.loc)),
+                    loc=e.loc)
             return _wseq(
                 PatCtor("Tuple", (PatSym(p), PatSym(v))), pair,
                 _sseq(PatWild(),
@@ -996,6 +1145,20 @@ class Elaborator:
         conv_back = self.conv(body, res_qty, e.lhs.ty.unqualified(),
                               e.loc)
         rhs = self.rv(e.rhs)
+        if bf is not None:
+            return _wseq(
+                PatCtor("Tuple", (PatSym(p), PatSym("crhs"))),
+                K.EUnseq([self.lv(e.lhs), rhs], loc=e.loc),
+                _sseq(PatSym(old),
+                      self.act_load_bits(bf, K.PSym(p), e.loc),
+                      _sseq(PatSym(new), conv_back,
+                            _sseq(PatWild(),
+                                  self.act_store_bits(bf, K.PSym(p),
+                                                      K.PSym(new),
+                                                      e.loc),
+                                  _pure(self._conv_bits(bf,
+                                                        K.PSym(new)),
+                                        e.loc)))), loc=e.loc)
         return _wseq(
             PatCtor("Tuple", (PatSym(p), PatSym("crhs"))),
             K.EUnseq([self.lv(e.lhs), rhs], loc=e.loc),
@@ -1046,17 +1209,39 @@ class Elaborator:
                  if self.impl.is_signed(ty.kind)
                  else K.PCtor("Unspecified", [_ctype(ty)])),
             ])
+        bf = self._member_bitfield(e.base)
         if e.is_postfix:
             # let atomic: the load/store pair is indivisible (§5.6) and
             # the store is *negative* — not part of the value
             # computation (§6.5.2.4).
-            load_act = K.Action("load", [_ctype(ty), K.PSym(p)], "pos",
-                                "na", e.loc)
-            store_act = K.Action("store", [_ctype(ty), K.PSym(p),
-                                           new_pe], "neg", "na", e.loc)
+            if bf is not None:
+                load_act = self._bf_action("loadbf", bf, K.PSym(p),
+                                           e.loc)
+                store_act = self._bf_action("storebf", bf, K.PSym(p),
+                                            e.loc, value=new_pe,
+                                            polarity="neg")
+            else:
+                load_act = K.Action("load", [_ctype(ty), K.PSym(p)],
+                                    "pos", "na", e.loc)
+                store_act = K.Action("store", [_ctype(ty), K.PSym(p),
+                                               new_pe], "neg", "na",
+                                     e.loc)
             atomic = K.EAtomicSeq(old, load_act, store_act, loc=e.loc)
             return _wseq(PatSym(p), self.lv(e.base), atomic, loc=e.loc)
         new = fresh_name("inew")
+        if bf is not None:
+            return _wseq(
+                PatSym(p), self.lv(e.base),
+                _sseq(PatSym(old),
+                      self.act_load_bits(bf, K.PSym(p), e.loc),
+                      _sseq(PatSym(new), _pure(new_pe, e.loc),
+                            _sseq(PatWild(),
+                                  self.act_store_bits(bf, K.PSym(p),
+                                                      K.PSym(new),
+                                                      e.loc),
+                                  _pure(self._conv_bits(bf,
+                                                        K.PSym(new)),
+                                        e.loc)))), loc=e.loc)
         return _wseq(
             PatSym(p), self.lv(e.base),
             _sseq(PatSym(old), self.act_load(ty, K.PSym(p), e.loc),

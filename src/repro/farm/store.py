@@ -32,13 +32,18 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
 # Bump when CompiledProgram / the AST layout changes incompatibly: the
 # version is folded into the content address, so old entries simply
 # stop matching (and age out via LRU eviction).
-STORE_SCHEMA_VERSION = 1
+#
+# 2: bit-field members (Member.bit_width), variable length arrays
+#    (VarArray ctype, EVlaCreate Core node, loadbf/storebf actions) —
+#    artifacts pickled under version 1 predate these layouts.
+STORE_SCHEMA_VERSION = 2
 
 _MAGIC = "cerberus-farm-artifact"
 
@@ -72,6 +77,13 @@ class ArtifactStore:
         # drift below reality when other processes write the same
         # store; the scan resynchronises it on every eviction pass.
         self._approx_bytes: Optional[int] = None
+        # LRU recency is recorded in entry mtimes.  Wall-clock alone is
+        # not enough: a put and a hit within one filesystem timestamp
+        # tick would tie, and the name tiebreak could evict the entry
+        # that was just touched.  This per-process monotonic clock
+        # makes every recency stamp strictly newer than the last one
+        # this process assigned.
+        self._last_stamp = 0.0
 
     # -- content addressing ---------------------------------------------------
 
@@ -119,13 +131,34 @@ class ArtifactStore:
             except OSError:
                 pass
             return None
-        try:
-            # Refresh recency for LRU eviction.
-            os.utime(path, None)
-        except OSError:
-            pass
+        # Refresh recency for LRU eviction.
+        self._stamp_recency(path)
         self._counters["hits"] += 1
         return program
+
+    def touch(self, source: str, impl, name: str = "<string>",
+              check_core: bool = True) -> None:
+        """Refresh an entry's LRU recency without deserialising it.
+
+        The pipeline's in-memory cache absorbs repeated ``compile_c``
+        calls, so a *hot* artifact would otherwise never have its
+        on-disk mtime refreshed after the first read — it looks cold to
+        eviction while genuinely cold entries written later survive.
+        ``compile_c`` calls this on every in-memory hit."""
+        self._stamp_recency(self._path(self.key(source, impl, name,
+                                                check_core)))
+
+    def _stamp_recency(self, path: Path) -> None:
+        """Mark ``path`` as the most recently used entry: a timestamp
+        strictly newer than any this process has assigned before (plain
+        ``os.utime(path, None)`` can tie with a put in the same
+        filesystem timestamp tick)."""
+        stamp = max(time.time(), self._last_stamp + 1e-4)
+        self._last_stamp = stamp
+        try:
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass
 
     # -- write side -----------------------------------------------------------
 
@@ -151,6 +184,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        self._stamp_recency(path)
         self._counters["stores"] += 1
         if self._approx_bytes is None:
             self._approx_bytes = self.size_bytes()

@@ -18,7 +18,7 @@ from ..dynamics.values import (
 )
 from ..dynamics.evaluator import ProgramExit
 from ..errors import InternalError
-from .printf import format_string
+from .printf import format_string, string_argument_specs
 
 _INT = Integer(IntKind.INT)
 
@@ -60,16 +60,41 @@ def _do_printf(evaluator, args, loc, out_sink):
     if fmt is None:
         raise InternalError("printf format string is unspecified", loc)
     strings = {}
-    # Pre-fetch %s arguments (they need driver requests).
-    for a in args[1:]:
-        inner = a.value if isinstance(a, VSpecified) else a
+    # Pre-fetch the C strings of the arguments %s conversions actually
+    # consume (they need driver requests).  Only those: reading through
+    # every pointer argument would trip the memory model's checks on
+    # valid non-%s pointers — e.g. %p of a one-past-the-end pointer.
+    # An explicit precision bounds the read (§7.21.6.1p8: the array
+    # need not be null-terminated then).
+    rest = list(args[1:])
+    # One fetch per distinct pointer, under the *weakest* constraint
+    # any of its %s conversions imposes: an unbounded conversion needs
+    # the terminator anyway; otherwise the largest precision suffices
+    # and each conversion truncates its own view.
+    bounds = {}
+    for i, bound in string_argument_specs(fmt):
+        if i >= len(rest):
+            continue
+        if isinstance(bound, tuple):  # ("arg", k): dynamic .* value
+            k = bound[1]
+            bound = None
+            if k < len(rest):
+                prec = rest[k].value if isinstance(rest[k], VSpecified) \
+                    else rest[k]
+                if isinstance(prec, VInteger) and prec.ival.value >= 0:
+                    bound = prec.ival.value
+        inner = rest[i].value if isinstance(rest[i], VSpecified) \
+            else rest[i]
         if isinstance(inner, VPointer) and inner.ptr.addr != 0:
-            try:
-                strings[inner.ptr] = yield ("raw", "cstring",
-                                            (inner.ptr,), loc)
-            except Exception:
-                strings[inner.ptr] = None
-    text, _ = format_string(fmt, list(args[1:]),
+            if inner.ptr in bounds and (bounds[inner.ptr] is None
+                                        or bound is None):
+                bounds[inner.ptr] = None
+            else:
+                bounds[inner.ptr] = bound if inner.ptr not in bounds \
+                    else max(bounds[inner.ptr], bound)
+    for ptr, bound in bounds.items():
+        strings[ptr] = yield ("raw", "cstring", (ptr, bound), loc)
+    text, _ = format_string(fmt, rest,
                             lambda p: strings.get(p),
                             impl=evaluator.impl, loc=loc)
     yield from out_sink(text)

@@ -63,6 +63,65 @@ def _mismatch(conv: str, arg: Optional[Value], loc) -> None:
         f"%{conv} conversion applied to incompatible argument {arg!r}")
 
 
+def string_argument_specs(fmt: bytes) -> List[Tuple[int, object]]:
+    """``(argument index, precision bound)`` for each ``%s`` conversion
+    in ``fmt``.  The printf builtin pre-fetches C strings only for
+    these arguments: fetching through *every* pointer argument would
+    trip the memory model's bounds checks for perfectly valid non-%s
+    pointers (e.g. ``%p`` of a one-past-the-end pointer).
+
+    The bound is ``None`` (no precision: the array must be
+    null-terminated), an ``int`` (an explicit precision: at most that
+    many bytes are read, §7.21.6.1p8 — the array need *not* be
+    null-terminated), or ``("arg", k)`` for a ``.*`` precision whose
+    value is the k-th argument."""
+    out: List[Tuple[int, object]] = []
+    text = fmt.decode("latin-1")
+    i = 0
+    argi = 0
+    n = len(text)
+    while i < n:
+        if text[i] != "%":
+            i += 1
+            continue
+        i += 1
+        if i < n and text[i] == "%":
+            i += 1
+            continue
+        while i < n and text[i] in "-+ #0":
+            i += 1
+        if i < n and text[i] == "*":
+            argi += 1  # * width consumes an int argument
+            i += 1
+        else:
+            while i < n and text[i].isdigit():
+                i += 1
+        bound: object = None
+        if i < n and text[i] == ".":
+            i += 1
+            bound = 0
+            if i < n and text[i] == "*":
+                bound = ("arg", argi)
+                argi += 1  # .* precision consumes an int argument
+                i += 1
+            else:
+                while i < n and text[i].isdigit():
+                    bound = bound * 10 + int(text[i])  # type: ignore
+                    i += 1
+        while i < n and text[i] in "hlqjzt":
+            i += 1
+        if i >= n:
+            break
+        conv = text[i]
+        i += 1
+        if conv == "%":
+            continue
+        if conv == "s":
+            out.append((argi, bound))
+        argi += 1
+    return out
+
+
 def format_string(fmt: bytes, args: List[Value], fetch_string,
                   impl=None, loc=None) -> Tuple[str, int]:
     """Render ``fmt`` with ``args``; ``fetch_string(ptr) -> bytes|None``

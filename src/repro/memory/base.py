@@ -28,6 +28,13 @@ from .values import (
 )
 
 
+# The model's allocation bound for one variable length array object:
+# a VLA whose byte size exceeds this is reported as the dedicated
+# VLA_size_too_large undefined behaviour (the de facto stack-overflow
+# outcome) rather than materialising an absurd byte store.
+VLA_CAP_BYTES = 1 << 26
+
+
 class MemoryError_(Exception):
     """An undefined behaviour detected by the memory model; the driver
     re-raises it as :class:`repro.ub.UndefinedBehaviour` with the C
@@ -461,6 +468,82 @@ class MemoryModel:
                                 for q in range(end, p + 1)):
                 alloc.data[p] = UNSPEC_BYTE if mode == "unspec" \
                     else AByte(0)
+
+    # -- bit-granular access (bit-field members, §6.7.2.1) ---------------------------
+
+    def _locate_bits(self, ptr: PointerValue, bit_offset: int,
+                     width: int, writing: bool) -> Tuple[Allocation, int,
+                                                         int]:
+        """Locate the byte range a bit-field access touches.  Bit-field
+        accesses skip the alignment and effective-type checks: the
+        access is by construction through the declared member, and the
+        C11 memory-location granularity treats the whole allocation
+        unit as one location (§3.14p2)."""
+        if not self.impl.little_endian:
+            raise InternalError("bit-field access on a big-endian "
+                                "environment is not modelled")
+        nbytes = (bit_offset + width + 7) // 8
+        alloc = self._locate(ptr, nbytes, writing=writing)
+        return alloc, ptr.addr - alloc.base, nbytes
+
+    def load_bits(self, ty: CType, ptr: PointerValue, bit_offset: int,
+                  width: int) -> Tuple[Footprint, MemValue]:
+        """Load a bit-field member: ``width`` bits starting
+        ``bit_offset`` bits into the byte ``ptr`` addresses, decoded at
+        the declared type ``ty`` (sign-extended for signed fields)."""
+        assert isinstance(ty, Integer)
+        alloc, off, nbytes = self._locate_bits(ptr, bit_offset, width,
+                                               writing=False)
+        data = alloc.data[off:off + nbytes]
+        footprint = Footprint(ptr.addr, nbytes)
+        if any(b.is_unspecified for b in data):
+            mode = self.options.uninit_read
+            if mode == "ub":
+                raise MemoryError_(
+                    ub.READ_UNINITIALISED,
+                    f"read of uninitialised bit-field in "
+                    f"'{alloc.name}'")
+            if mode == "stable":
+                pattern = self._stable_seed & 0xFF
+                for i in range(nbytes):
+                    if alloc.data[off + i].is_unspecified:
+                        alloc.data[off + i] = AByte(pattern)
+                data = alloc.data[off:off + nbytes]
+            else:
+                return footprint, MVUnspecified(ty)
+        from .values import _extract_bits
+        raw = _extract_bits(data, bit_offset, width)
+        assert raw is not None
+        if self.impl.is_signed(ty.kind) and ty.kind is not IntKind.BOOL \
+                and (raw >> (width - 1)) & 1:
+            raw -= 1 << width
+        return footprint, MVInteger(ty, IntegerValue(raw))
+
+    def store_bits(self, ty: CType, ptr: PointerValue, bit_offset: int,
+                   width: int, value: MemValue) -> Footprint:
+        """Store to a bit-field member, preserving every adjacent bit
+        of the storage unit (read-modify-write of the touched bytes).
+        Storing an unspecified value makes the touched bytes
+        unspecified — the byte-granular representation cannot keep the
+        member's bits alone indeterminate."""
+        assert isinstance(ty, Integer)
+        alloc, off, nbytes = self._locate_bits(ptr, bit_offset, width,
+                                               writing=True)
+        if alloc.readonly:
+            raise MemoryError_(
+                ub.MODIFYING_CONST,
+                f"store to read-only object '{alloc.name}'")
+        footprint = Footprint(ptr.addr, nbytes)
+        if isinstance(value, MVUnspecified):
+            for i in range(nbytes):
+                alloc.data[off + i] = UNSPEC_BYTE
+            return footprint
+        assert isinstance(value, MVInteger)
+        from .values import _insert_bits
+        window = alloc.data[off:off + nbytes]
+        _insert_bits(window, bit_offset, width, value.ival.value)
+        alloc.data[off:off + nbytes] = window
+        return footprint
 
     # -- raw byte access (memcpy/memcmp/printf %s etc.) ------------------------------
 

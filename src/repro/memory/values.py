@@ -18,8 +18,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..ctypes.implementation import Implementation
 from ..ctypes.types import (
-    Array, CType, Floating, Integer, Pointer, QualType, StructRef, TagEnv,
-    UnionRef,
+    Array, CType, Floating, Integer, IntKind, Pointer, QualType, StructRef,
+    TagEnv, UnionRef,
 )
 from ..errors import InternalError
 
@@ -250,11 +250,18 @@ class ValueCodec:
             lay = self.impl.layout(ty, self.tags)
             out = [UNSPEC_BYTE] * size  # padding bytes unspecified
             values = dict(value.members)
-            for name, off, qty in lay.fields:
-                if name not in values:
+            for f in lay.fields:
+                if f.name not in values:
                     continue
-                enc = self.repify(qty.ty, values[name])
-                out[off:off + len(enc)] = enc
+                mv = values[f.name]
+                if f.bit_width is not None:
+                    if not isinstance(mv, MVInteger):
+                        continue  # unspecified bit-field: bytes stay so
+                    _insert_bits(out, f.offset * 8 + f.bit_offset,
+                                 f.bit_width, mv.ival.value)
+                    continue
+                enc = self.repify(f.qty.ty, mv)
+                out[f.offset:f.offset + len(enc)] = enc
             return out
         if isinstance(value, MVUnion):
             assert isinstance(ty, UnionRef)
@@ -262,6 +269,12 @@ class ValueCodec:
             member = defn.member(value.member)
             if member is None:
                 raise InternalError(f"union member {value.member} missing")
+            if member.bit_width is not None:
+                out = [UNSPEC_BYTE] * size
+                if isinstance(value.value, MVInteger):
+                    _insert_bits(out, 0, member.bit_width,
+                                 value.value.ival.value)
+                return out
             enc = self.repify(member.qty.ty, value.value)
             return enc + [UNSPEC_BYTE] * (size - len(enc))
         raise InternalError(f"repify: unhandled {type(value).__name__}")
@@ -322,20 +335,41 @@ class ValueCodec:
         if isinstance(ty, StructRef):
             lay = self.impl.layout(ty, self.tags)
             members = []
-            for name, off, qty in lay.fields:
-                msize = self.impl.sizeof(qty.ty, self.tags)
-                members.append((name, self.abstify(
-                    qty.ty, data[off:off + msize])))
+            for f in lay.fields:
+                if f.bit_width is not None:
+                    members.append((f.name, self._abst_bits(
+                        f.qty.ty, data,
+                        f.offset * 8 + f.bit_offset, f.bit_width)))
+                    continue
+                msize = self.impl.sizeof(f.qty.ty, self.tags)
+                members.append((f.name, self.abstify(
+                    f.qty.ty, data[f.offset:f.offset + msize])))
             return MVStruct(ty.tag, tuple(members))
         if isinstance(ty, UnionRef):
             defn = self.tags.require(ty.tag)
-            if not defn.members:
+            member = next((m for m in defn.members
+                           if m.name is not None), None)
+            if member is None:
                 return MVUnspecified(ty)
-            member = defn.members[0]
+            if member.bit_width is not None:
+                return MVUnion(ty.tag, member.name, self._abst_bits(
+                    member.qty.ty, data, 0, member.bit_width))
             msize = self.impl.sizeof(member.qty.ty, self.tags)
             return MVUnion(ty.tag, member.name,
                            self.abstify(member.qty.ty, data[:msize]))
         raise InternalError(f"abstify: unhandled type {ty}")
+
+    def _abst_bits(self, ty: CType, data: List[AByte], bit_pos: int,
+                   width: int) -> MemValue:
+        """Decode one bit-field from representation bytes."""
+        assert isinstance(ty, Integer)
+        raw = _extract_bits(data, bit_pos, width)
+        if raw is None:
+            return MVUnspecified(ty)
+        if self.impl.is_signed(ty.kind) and \
+                ty.kind is not IntKind.BOOL and (raw >> (width - 1)) & 1:
+            raw -= 1 << width
+        return MVInteger(ty, IntegerValue(raw))
 
     def _abst_integer(self, ty: Integer, data: List[AByte]) -> MemValue:
         if any(b.is_unspecified for b in data):
@@ -385,6 +419,40 @@ class ValueCodec:
         return MVPointer(ty.to, PointerValue(addr, prov))
 
 
+def _insert_bits(out: List[AByte], bit_pos: int, width: int,
+                 value: int) -> None:
+    """Read-modify-write ``width`` bits of ``value`` into the byte list
+    at absolute (little-endian) bit position ``bit_pos``, preserving
+    every other bit.  An unspecified target byte materialises with its
+    non-field bits zero (the byte-granular representation cannot keep
+    individual bits indeterminate)."""
+    field = value & ((1 << width) - 1)
+    first = bit_pos // 8
+    last = (bit_pos + width - 1) // 8
+    for i in range(first, last + 1):
+        lo = max(bit_pos, i * 8)
+        hi = min(bit_pos + width, (i + 1) * 8)
+        byte_mask = ((1 << (hi - i * 8)) - 1) ^ ((1 << (lo - i * 8)) - 1)
+        cur = out[i]
+        base = 0 if cur.is_unspecified else cur.value
+        chunk = ((field >> (lo - bit_pos)) << (lo - i * 8)) & byte_mask
+        out[i] = AByte((base & ~byte_mask) | chunk)
+
+
+def _extract_bits(data: List[AByte], bit_pos: int,
+                  width: int) -> Optional[int]:
+    """Read ``width`` bits at ``bit_pos`` from representation bytes;
+    None when any byte the field's bits touch is unspecified."""
+    first = bit_pos // 8
+    last = (bit_pos + width - 1) // 8
+    if any(b.is_unspecified for b in data[first:last + 1]):
+        return None
+    raw = 0
+    for i in range(first, last + 1):
+        raw |= data[i].value << ((i - first) * 8)  # type: ignore[operator]
+    return (raw >> (bit_pos - first * 8)) & ((1 << width) - 1)
+
+
 def _combined_byte_provenance(data: List[AByte]) -> Provenance:
     """All bytes agreeing on one allocation id -> that id; any mixture ->
     empty (the access-time check will then fail in provenance models)."""
@@ -429,11 +497,11 @@ def zero_value(ty: CType, impl: Implementation, tags: TagEnv) -> MemValue:
         defn = tags.require(ty.tag)
         return MVStruct(ty.tag, tuple(
             (m.name, zero_value(m.qty.ty, impl, tags))
-            for m in defn.members))
+            for m in defn.members if m.name is not None))
     if isinstance(ty, UnionRef):
         defn = tags.require(ty.tag)
-        if not defn.members:
+        m = next((m for m in defn.members if m.name is not None), None)
+        if m is None:
             return MVUnspecified(ty)
-        m = defn.members[0]
         return MVUnion(ty.tag, m.name, zero_value(m.qty.ty, impl, tags))
     raise InternalError(f"zero_value: unhandled type {ty}")

@@ -190,8 +190,17 @@ def compile_c(source: str, impl: Implementation = LP64,
             if cached is not None:
                 _compile_cache.move_to_end(key)
                 _cache_stats["hits"] += 1
-                return cached
-            _cache_stats["misses"] += 1
+            else:
+                _cache_stats["misses"] += 1
+        if cached is not None:
+            store = _artifact_store
+            touch = getattr(store, "touch", None)
+            if touch is not None:
+                # Keep the persistent entry's LRU recency in step with
+                # in-memory hits, or a hot artifact is evicted from
+                # disk while cold ones survive.
+                touch(source, impl, name, check_core)
+            return cached
         store = _artifact_store
         if store is not None:
             program = store.get(source, impl, name, check_core)

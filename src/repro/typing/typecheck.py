@@ -22,7 +22,7 @@ from ..ctypes import convert
 from ..ctypes.implementation import Implementation
 from ..ctypes.types import (
     Array, CType, Floating, FloatKind, Function, Integer, IntKind, Pointer,
-    QualType, StructRef, UnionRef, Void, NO_QUALS,
+    QualType, StructRef, UnionRef, VarArray, Void, NO_QUALS,
     is_arithmetic, is_integer, is_scalar,
 )
 from ..errors import TypeCheckError, UnsupportedError
@@ -76,7 +76,7 @@ class TypeChecker:
         """Apply lvalue conversion / decay (§6.3.2.1), wrapping in EConv."""
         assert e.ty is not None
         ty = e.ty.ty
-        if isinstance(ty, Array):
+        if isinstance(ty, (Array, VarArray)):
             conv = A.EConv("decay", _qt(Pointer(ty.of)), e, loc=e.loc)
             conv.ty = conv.to
             return conv
@@ -98,7 +98,7 @@ class TypeChecker:
         if e.ty.quals.const:
             raise self.error(
                 f"{what} of const-qualified object", e.loc, iso="6.5.16p2")
-        if isinstance(e.ty.ty, Array):
+        if isinstance(e.ty.ty, (Array, VarArray)):
             raise self.error(f"{what} of array", e.loc, iso="6.5.16p2")
         if not e.ty.ty.is_complete(self.tags) and \
                 not isinstance(e.ty.ty, Pointer) and \
@@ -241,6 +241,20 @@ class TypeChecker:
         e.is_lvalue = e.arrow or e.base.is_lvalue
         return e
 
+    def _bitfield_member(self, e: A.Expr):
+        """The :class:`Member` when ``e`` designates a bit-field
+        (§6.5.3.2p1, §6.5.3.4p1 forbid ``&`` and ``sizeof`` on them)."""
+        if not isinstance(e, A.EMember) or e.base.ty is None:
+            return None
+        bty = e.base.ty.ty
+        rec = bty.to.ty if e.arrow and isinstance(bty, Pointer) else bty
+        if not isinstance(rec, (StructRef, UnionRef)):
+            return None
+        member = self.tags.require(rec.tag).member(e.member)
+        if member is not None and member.bit_width is not None:
+            return member
+        return None
+
     def _e_EUnary(self, e: A.EUnary) -> A.Expr:
         if e.op == "&":
             e.operand = self.expr(e.operand)
@@ -251,6 +265,13 @@ class TypeChecker:
             if not e.operand.is_lvalue:
                 raise self.error("& requires an lvalue", e.loc,
                                  iso="6.5.3.2p1")
+            if self._bitfield_member(e.operand) is not None:
+                raise self.error("& applied to a bit-field", e.loc,
+                                 iso="6.5.3.2p1")
+            if isinstance(oty.ty, VarArray):
+                raise UnsupportedError(
+                    "address of a variable length array (pointers to "
+                    "VLA types are outside the fragment)", e.loc)
             e.ty = _qt(Pointer(oty))
             return e
         if e.op == "sizeof":
@@ -261,6 +282,9 @@ class TypeChecker:
             if not e.operand.ty.ty.is_complete(self.tags):
                 raise self.error("sizeof incomplete type", e.loc,
                                  iso="6.5.3.4p1")
+            if self._bitfield_member(e.operand) is not None:
+                raise self.error("sizeof applied to a bit-field",
+                                 e.loc, iso="6.5.3.4p1")
             e.ty = _qt(_SIZE_T)
             return e
         e.operand = self.rvalue(self.expr(e.operand))
@@ -476,6 +500,10 @@ class TypeChecker:
     def _e_EOffsetof(self, e: A.EOffsetof) -> A.Expr:
         if not isinstance(e.record.ty, (StructRef, UnionRef)):
             raise self.error("offsetof on non-record type", e.loc,
+                             iso="7.19p3")
+        member = self.tags.require(e.record.ty.tag).member(e.member)
+        if member is not None and member.bit_width is not None:
+            raise self.error("offsetof of a bit-field member", e.loc,
                              iso="7.19p3")
         e.ty = _qt(_SIZE_T)
         return e

@@ -130,6 +130,18 @@ TRAP_REPRESENTATION = _ub(
     "Trap_representation", "6.2.6.1p5",
     "reading a trap representation")
 
+# --- variable length arrays -----------------------------------------------
+
+VLA_SIZE_NOT_POSITIVE = _ub(
+    "VLA_size_not_positive", "6.7.6.2p5",
+    "a variable length array size expression evaluated to a value "
+    "that is not greater than zero")
+VLA_SIZE_TOO_LARGE = _ub(
+    "VLA_size_too_large", "6.5.3.4p2",
+    "a variable length array size whose byte count is not "
+    "representable within the model's allocation bound (the de facto "
+    "stack-overflow outcome of an absurd VLA size)")
+
 # --- sequencing and concurrency -------------------------------------------
 
 UNSEQUENCED_RACE = _ub(

@@ -1,0 +1,253 @@
+"""Bit-field layout and semantics (§6.7.2.1) across the memory object
+models.
+
+Layout golden tables are pinned per implementation environment
+(sizeof / member positions / padding bytes for packing, straddling and
+zero-width cases); the dynamic tests check that member stores preserve
+adjacent bits of the storage unit, that signed fields truncate and
+sign-extend like GCC/Clang, and that verdicts agree across all five
+registered models where they must.
+"""
+
+import pytest
+
+from repro.ctypes.implementation import CHERI128, ILP32, LP64
+from repro.ctypes.types import StructRef
+from repro.errors import DesugarError
+from repro.pipeline import MODELS, compile_c, run_c, run_many
+
+
+def _layout(src, impl, tag_name):
+    """Compile a struct definition and return (layout, tags)."""
+    program = compile_c(src + "\nint main(void) { return 0; }", impl)
+    tags = program.ail.tags
+    tag = next(t for t in tags.all_tags() if t.startswith(tag_name + "#"))
+    return impl.layout(StructRef(tag), tags), tags, tag
+
+
+def _fields(lay):
+    return {f.name: (f.offset, f.bit_offset, f.bit_width)
+            for f in lay.fields}
+
+
+class TestLayoutGoldenTables:
+    """sizeof / member positions per implementation environment."""
+
+    def test_char_then_packed_int_bitfields(self):
+        src = "struct s { char c; int f : 3; int g : 5; };"
+        for impl in (LP64, ILP32, CHERI128):
+            lay, _, _ = _layout(src, impl, "s")
+            assert lay.size == 4, impl.name
+            assert lay.align == 4, impl.name
+            assert _fields(lay) == {"c": (0, None, None),
+                                    "f": (1, 0, 3),
+                                    "g": (1, 3, 5)}, impl.name
+
+    def test_straddling_field_starts_a_new_unit(self):
+        src = "struct s { int a : 30; int b : 4; };"
+        for impl in (LP64, ILP32, CHERI128):
+            lay, _, _ = _layout(src, impl, "s")
+            assert lay.size == 8, impl.name
+            assert _fields(lay) == {"a": (0, 0, 30),
+                                    "b": (4, 0, 4)}, impl.name
+
+    def test_zero_width_closes_the_unit(self):
+        src = "struct s { unsigned a : 3; unsigned : 0; " \
+              "unsigned b : 3; };"
+        for impl in (LP64, ILP32, CHERI128):
+            lay, _, _ = _layout(src, impl, "s")
+            assert lay.size == 8, impl.name
+            assert _fields(lay) == {"a": (0, 0, 3),
+                                    "b": (4, 0, 3)}, impl.name
+
+    def test_short_allocation_unit(self):
+        src = "struct s { char c; short f : 10; };"
+        for impl in (LP64, ILP32, CHERI128):
+            lay, _, _ = _layout(src, impl, "s")
+            assert lay.size == 4, impl.name
+            assert lay.align == 2, impl.name
+            assert _fields(lay) == {"c": (0, None, None),
+                                    "f": (2, 0, 10)}, impl.name
+
+    def test_anonymous_bitfield_reserves_bits(self):
+        src = "struct s { unsigned a : 4; unsigned : 4; " \
+              "unsigned b : 4; };"
+        lay, _, _ = _layout(src, LP64, "s")
+        assert lay.size == 4
+        assert _fields(lay) == {"a": (0, 0, 4), "b": (1, 0, 4)}
+
+    def test_long_bitfield_diverges_per_environment(self):
+        # unsigned long is 8 bytes under LP64/CHERI128 but 4 under
+        # ILP32: a 40-bit field fits the former and is a constraint
+        # violation under the latter.
+        src = "struct s { unsigned long l : 40; char c; };"
+        for impl in (LP64, CHERI128):
+            lay, _, _ = _layout(src, impl, "s")
+            assert lay.size == 8, impl.name
+            assert _fields(lay) == {"l": (0, 0, 40),
+                                    "c": (5, None, None)}, impl.name
+        with pytest.raises(DesugarError, match="exceeds the width"):
+            _layout(src, ILP32, "s")
+
+    def test_bool_bitfield(self):
+        src = "struct s { _Bool f : 1; _Bool g : 1; };"
+        lay, _, _ = _layout(src, LP64, "s")
+        assert lay.size == 1
+        assert _fields(lay) == {"f": (0, 0, 1), "g": (0, 1, 1)}
+
+    def test_union_bitfield_layout(self):
+        src = "union u { unsigned word; unsigned lo : 4; };"
+        program = compile_c(src + "\nint main(void) { return 0; }",
+                            LP64)
+        tags = program.ail.tags
+        tag = next(t for t in tags.all_tags() if t.startswith("u#"))
+        from repro.ctypes.types import UnionRef
+        lay = LP64.layout(UnionRef(tag), tags)
+        assert lay.size == 4
+        assert _fields(lay) == {"word": (0, None, None),
+                                "lo": (0, 0, 4)}
+
+    def test_padding_bytes_cover_partial_units(self):
+        src = "struct s { char c; int f : 3; int g : 5; };"
+        lay, tags, tag = _layout(src, LP64, "s")
+        # Bytes 0 (c) and 1 (f,g bits) are used; 2 and 3 are padding.
+        assert LP64.padding_bytes(StructRef(tag), tags) == [2, 3]
+
+
+class TestBitfieldSemantics:
+    def test_stores_preserve_adjacent_bits(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct s { unsigned a : 4; unsigned b : 4; };
+int main(void) {
+    struct s s;
+    s.a = 0xF; s.b = 0x3;
+    unsigned char *p = (unsigned char *)&s;
+    printf("%x %u %u\n", p[0], s.a, s.b);
+    s.a = 0;                       /* must leave b alone */
+    printf("%x %u %u\n", p[0], s.a, s.b);
+    return 0;
+}''')
+        assert out.stdout == "3f 15 3\n30 0 3\n"
+
+    def test_signed_field_truncates_and_sign_extends(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct s { int f : 3; };
+int main(void) {
+    struct s s;
+    s.f = 7;                       /* 3-bit signed: 111 -> -1 */
+    printf("%d ", s.f);
+    s.f = -4;                      /* representable: 100 */
+    printf("%d ", s.f);
+    printf("%d\n", s.f = 9);       /* value of assignment: 9 -> 1 */
+    return 0;
+}''')
+        assert out.stdout == "-1 -4 1\n"
+
+    def test_compound_assignment_and_increment(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct s { unsigned f : 3; int g : 4; };
+int main(void) {
+    struct s s;
+    s.f = 6; s.g = 0;
+    s.f += 3;                      /* 9 -> 1 mod 8 */
+    printf("%u ", s.f);
+    s.f++; s.f++;
+    printf("%u ", s.f);
+    printf("%u ", s.f--);          /* postfix: old value */
+    printf("%u ", ++s.f);
+    s.g = 7; s.g++;                /* signed 4-bit: 8 -> -8 */
+    printf("%d\n", s.g);
+    return 0;
+}''')
+        assert out.stdout == "1 3 3 3 -8\n"
+
+    def test_whole_struct_copy_carries_bitfields(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct s { unsigned a : 5; unsigned b : 11; int c; };
+int main(void) {
+    struct s x, y;
+    x.a = 21; x.b = 1234; x.c = -9;
+    y = x;
+    printf("%u %u %d\n", y.a, y.b, y.c);
+    return 0;
+}''')
+        assert out.stdout == "21 1234 -9\n"
+
+    def test_initialisers_and_statics(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct s { unsigned a : 4; unsigned : 4; unsigned b : 4; };
+static struct s g = { 5, 9 };      /* unnamed field is skipped */
+int main(void) {
+    struct s l = { .b = 7 };
+    printf("%u %u %u %u\n", g.a, g.b, l.a, l.b);
+    return 0;
+}''')
+        assert out.stdout == "5 9 0 7\n"
+
+    def test_union_bitfield_views_word(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+union u { unsigned word; unsigned lo : 4; };
+int main(void) {
+    union u u;
+    u.word = 0xABu;
+    printf("%u ", u.lo);
+    u.lo = 0x5;                    /* RMW: upper bits preserved */
+    printf("%x\n", u.word);
+    return 0;
+}''')
+        assert out.stdout == "11 a5\n"
+
+    def test_bool_bitfield_normalises(self, run_ok):
+        out = run_ok(r'''
+#include <stdio.h>
+struct s { _Bool f : 1; };
+int main(void) {
+    struct s s;
+    s.f = 2;                       /* _Bool conversion -> 1 */
+    printf("%d\n", s.f);
+    return 0;
+}''')
+        assert out.stdout == "1\n"
+
+    def test_uninitialised_bitfield_read_is_ub_under_strict(
+            self, expect_ub):
+        expect_ub(r'''
+struct s { int f : 3; };
+int main(void) { struct s s; return s.f; }''',
+                  "Read_uninitialised", model="strict")
+
+
+class TestFiveModelAgreement:
+    SRC = r'''
+#include <stdio.h>
+struct s { char tag; unsigned lo : 4; unsigned hi : 12; int n : 9; };
+int main(void) {
+    struct s s;
+    s.tag = 'x'; s.lo = 9; s.hi = 3000; s.n = -200;
+    s.hi += 100;
+    unsigned char *p = (unsigned char *)&s;
+    printf("%c %u %u %d %x %x\n",
+           s.tag, s.lo, s.hi, s.n, p[1], p[2]);
+    return (int)sizeof(struct s);
+}'''
+
+    def test_run_many_agrees_on_bitfield_program(self):
+        outcomes = run_many(self.SRC)
+        assert set(outcomes) == set(MODELS)
+        stdouts = {m: o.stdout for m, o in outcomes.items()}
+        exits = {m: o.exit_code for m, o in outcomes.items()}
+        statuses = {m: o.status for m, o in outcomes.items()}
+        assert set(statuses.values()) == {"done"}, statuses
+        assert len(set(stdouts.values())) == 1, stdouts
+        assert len(set(exits.values())) == 1, exits
+        # and the shared verdict matches the hand-computed golden run:
+        # lo|hi pack after the tag byte (0xc9, 0xc1), the straddling
+        # 9-bit n opens a fresh unit, so sizeof grows to 8.
+        assert outcomes["concrete"].exit_code == 8
+        assert outcomes["concrete"].stdout == "x 9 3100 -200 c9 c1\n"

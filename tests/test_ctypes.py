@@ -150,6 +150,35 @@ class TestLayout:
         assert lay.size == 8  # padded to align 4
         assert LP64.padding_bytes(ref, tags) == [5, 6, 7]
 
+    def test_nested_struct_padding_reported_at_element_offsets(self):
+        # struct inner { int i; char c; }  -> tail padding [5, 6, 7]
+        tags = TagEnv()
+        inner = tags.fresh_tag("inner", is_union=False)
+        tags.define(inner, [Member("i", QualType(Integer(IntKind.INT))),
+                            Member("c", QualType(Integer(IntKind.CHAR)))])
+        # struct outer { struct inner a; struct inner b; }
+        outer = tags.fresh_tag("outer", is_union=False)
+        tags.define(outer, [Member("a", QualType(StructRef(inner))),
+                            Member("b", QualType(StructRef(inner)))])
+        # The inner tail padding must appear at both element offsets —
+        # consistent with offsetof(outer, b) == sizeof(inner) == 8.
+        assert LP64.offsetof(StructRef(outer), "b", tags) == 8
+        assert LP64.padding_bytes(StructRef(outer), tags) == \
+            [5, 6, 7, 13, 14, 15]
+
+    def test_array_of_structs_padding_at_every_element(self):
+        tags = TagEnv()
+        inner = tags.fresh_tag("inner", is_union=False)
+        tags.define(inner, [Member("i", QualType(Integer(IntKind.INT))),
+                            Member("c", QualType(Integer(IntKind.CHAR)))])
+        outer = tags.fresh_tag("outer", is_union=False)
+        tags.define(outer, [
+            Member("arr", QualType(Array(QualType(StructRef(inner)), 2))),
+            Member("tail", QualType(Integer(IntKind.CHAR)))])
+        # 2 * inner (each with [5..7] padding) + char + outer tail pad.
+        assert LP64.padding_bytes(StructRef(outer), tags) == \
+            [5, 6, 7, 13, 14, 15, 17, 18, 19]
+
     def test_union_layout(self):
         tags = TagEnv()
         tag = tags.fresh_tag("u", is_union=True)

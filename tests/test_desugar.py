@@ -97,11 +97,13 @@ class TestTypes:
              if s.name == "f"][0]
         assert isinstance(f.qty.ty.params[0].ty, Pointer)
 
-    def test_bitfields_unsupported(self):
-        with pytest.raises(UnsupportedError):
-            ds("struct s { int x : 3; };")
+    def test_bitfields_desugar_to_members_with_widths(self):
+        prog = ds("struct s { int x : 3; unsigned : 2; int : 0; };")
+        defn = next(iter(prog.tags.all_tags().values()))
+        widths = [(m.name, m.bit_width) for m in defn.members]
+        assert widths == [("x", 3), (None, 2), (None, 0)]
 
-    def test_vla_unsupported(self):
+    def test_unspecified_size_vla_unsupported(self):
         with pytest.raises(UnsupportedError):
             ds("void f(int n) { int a[*]; }")
 

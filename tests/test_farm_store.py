@@ -191,6 +191,68 @@ class TestEviction:
         assert s.get(src, LP64) is not None      # kept despite bound
 
 
+class TestHitRecency:
+    """LRU recency must refresh on cache *hit*, not only on put — a hot
+    artifact served from the in-memory cache since the process started
+    must not be evicted from disk while cold entries survive."""
+
+    def test_in_memory_hit_touches_store_entry(self, store):
+        compile_c(SRC)                           # translate + put
+        [path] = _entry_paths(store)
+        os.utime(path, (1, 1))                   # age to the epoch
+        program = compile_c(SRC)                 # in-memory hit
+        assert program is not None
+        assert compile_cache_stats()["hits"] == 1
+        assert path.stat().st_mtime > 1          # recency refreshed
+
+    def test_hot_entry_survives_eviction_despite_in_memory_hits(
+            self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        previous = set_artifact_store(probe)
+        try:
+            clear_compile_cache()
+            hot = "int main(void){ return 1; }"
+            compile_c(hot)
+            entry_size = probe.size_bytes()
+            s = ArtifactStore(tmp_path / "hot",
+                              max_bytes=int(entry_size * 2.5))
+            set_artifact_store(s)
+            clear_compile_cache()
+            compile_c(hot)                       # translate + put
+            cold = "int main(void){ return 2; }"
+            compile_c(cold)                      # put (newer than hot)
+            for _ in range(3):
+                compile_c(hot)                   # in-memory hits: touch
+            filler = "int main(void){ return 3; }"
+            compile_c(filler)                    # put -> evicts one
+            assert s.stats()["evictions"] >= 1
+            clear_compile_cache()
+            # Without touch-on-hit, `hot` would be the oldest entry on
+            # disk and be evicted while the colder `cold` survives.
+            assert s.get(hot, LP64) is not None
+        finally:
+            set_artifact_store(previous)
+            clear_compile_cache()
+
+    def test_recency_stamps_are_strictly_ordered(self, tmp_path):
+        """A put and a hit inside one filesystem-timestamp tick must
+        not tie (a tie lets the name tiebreak evict the touched
+        entry)."""
+        s = ArtifactStore(tmp_path / "ticks")
+        a = "int main(void){ return 10; }"
+        b = "int main(void){ return 11; }"
+        s.put(a, LP64, "<string>", True,
+              compile_c(a, use_cache=False))
+        s.put(b, LP64, "<string>", True,
+              compile_c(b, use_cache=False))
+        s.get(a, LP64)                           # immediately after
+        mtimes = {p.name: p.stat().st_mtime for p in _entry_paths(s)}
+        assert len(set(mtimes.values())) == 2    # no tie
+        key_a = s.key(a, LP64)
+        key_b = s.key(b, LP64)
+        assert mtimes[f"{key_a}.pkl"] > mtimes[f"{key_b}.pkl"]
+
+
 class TestSchemaVersion:
     def test_schema_bump_invalidates_old_entries(self, tmp_path):
         root = tmp_path / "versioned"

@@ -181,6 +181,77 @@ int main(void) {
         assert _fmt("100%% sure") == "100% sure"
         assert _fmt("%5%|%i", 3) == "%|3"
 
+    def test_negative_char_c_conversion_table(self, run_ok):
+        """%c converts the (promoted) argument to unsigned char
+        (§7.21.6.1p8): a negative ``char`` prints as its
+        representation byte, width padding included."""
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char c = -1;
+    signed char s = -128;
+    printf("[%c][%3c][%-3c]", c, c, c);
+    printf("[%c][%c]\n", s, 321);
+    return 0;
+}''')
+        assert out.stdout == "[\xff][  \xff][\xff  ][\x80][A]\n"
+
+    def test_p_of_one_past_the_end_pointer(self):
+        """%p of a one-past-the-end pointer is valid under every model
+        — the %s pre-fetch must not read through non-%s pointer
+        arguments (it used to walk past the array and trip the bounds
+        check)."""
+        from repro.pipeline import run_many
+        src = r'''
+#include <stdio.h>
+int main(void) {
+    char a[4];
+    void *base = a;
+    void *past = a + 4;
+    printf("%p %p\n", base, past);
+    return 0;
+}'''
+        for model, out in run_many(src).items():
+            assert out.status in ("done", "exit"), \
+                f"{model}: {out.summary()}"
+            lo, hi = out.stdout.split()
+            assert int(hi, 16) - int(lo, 16) == 4
+
+    def test_precision_bounded_s_needs_no_terminator(self, run_ok):
+        """§7.21.6.1p8: with an explicit precision, %s reads at most
+        that many bytes — the array need not be null-terminated, and
+        the pre-fetch must not walk past it looking for one."""
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char a[2];
+    a[0] = 'h'; a[1] = 'i';
+    printf("[%.2s][%.1s][%.0s]", a, a, a);
+    printf("[%.*s]\n", 2, a);
+    return 0;
+}''', model="strict")
+        assert out.stdout == "[hi][h][][hi]\n"
+
+    def test_s_through_invalid_pointer_stays_ub(self, expect_ub):
+        # The pre-fetch narrowing must not weaken %s checking.
+        expect_ub(r'''
+#include <stdio.h>
+int main(void) { printf("%s\n", (char*)5); return 0; }''',
+                  "Access_out_of_bounds")
+
+    def test_star_width_argument_order_with_s_and_p(self, run_ok):
+        # * width arguments shift the %s argument index; the pre-fetch
+        # must account for them.
+        out = run_ok(r'''
+#include <stdio.h>
+int main(void) {
+    char a[2];
+    printf("[%*s]%d", 4, "hi", (int)sizeof(a));
+    printf("[%.*s]\n", 1, "hi");
+    return 0;
+}''')
+        assert out.stdout == "[  hi]2[h]\n"
+
     def test_format_string_length_table(self):
         # Direct golden table over the length-modifier widths (no
         # Implementation supplied -> LP64 defaults).

@@ -44,6 +44,31 @@ many = run_many(OK_SRC, models=["concrete", "strict"])
 if any(o.stdout != "4294967295 65535\n" for o in many.values()):
     sys.exit("run_many diverged under -O")
 
+# The widened fragment's UB paths must not lean on bare asserts: the
+# VLA size checks live in explicit Core undef tests plus explicit
+# driver checks, and bit-field semantics must be identical under -O.
+VLA_NEG = "int main(void){ int n = -1; int a[n]; return 0; }"
+neg = run_c(VLA_NEG)
+if neg.status != "ub" or neg.ub is None or \
+        neg.ub.name != "VLA_size_not_positive":
+    sys.exit(f"negative VLA size must stay UB under -O, got "
+             f"{neg.summary()}")
+
+VLA_BIG = "int main(void){ long n = 1L << 40; int a[n]; return 0; }"
+big = run_c(VLA_BIG)
+if big.status != "ub" or big.ub is None or \
+        big.ub.name != "VLA_size_too_large":
+    sys.exit(f"overflowing VLA size must stay UB under -O, got "
+             f"{big.summary()}")
+
+BF_SRC = """#include <stdio.h>
+struct s { unsigned a : 4; unsigned b : 4; };
+int main(void){ struct s s; s.a = 15; s.b = 3;
+    printf("%x\\n", ((unsigned char *)&s)[0]); return 0; }"""
+bf = run_many(BF_SRC, models=["concrete", "strict"])
+if any(o.stdout != "3f\n" for o in bf.values()):
+    sys.exit("bit-field packing diverged under -O")
+
 report = run_suite_many(["concrete", "provenance"])
 for r in report.results:
     print(f"{r.name}\t{r.model}\t{r.verdict!r}")
