@@ -1,11 +1,20 @@
 """Command-line interface: ``cerberus-py file.c`` and ``cerberus-py
 farm ...``.
 
-Modes mirror the paper's tool: run one path, exhaustively explore all
-allowed behaviours, or pretty-print the elaborated Core. ``--models``
-compiles once and executes the shared artifact under a whole list of
-memory object models, printing one verdict per model (the paper's
-cross-model comparison).
+Modes mirror the paper's tool: run one path, explore all allowed
+behaviours, or pretty-print the elaborated Core. ``--models`` compiles
+once and executes the shared artifact under a whole list of memory
+object models, printing one verdict per model (the paper's cross-model
+comparison).
+
+Exploration flags (see :mod:`repro.dynamics.explore`):
+
+* ``--strategy dfs|bfs|random|coverage`` — the search strategy over
+  the oracle-path frontier (``--seed`` seeds random/coverage);
+* ``--por`` — sleep-set partial-order reduction at unseq scheduling
+  points: identical behaviour sets, several-fold fewer paths;
+* ``--explore-jobs N`` — shard one program's exploration frontier
+  across N farm workers and merge the results.
 
 Farm flags (see :mod:`repro.farm`):
 
@@ -30,6 +39,7 @@ from typing import Optional, Tuple
 
 from .core.pretty import pretty_program
 from .ctypes.implementation import ILP32, LP64
+from .dynamics.explore import STRATEGIES
 from .errors import CerberusError
 from .pipeline import (
     MODELS, compile_c, explore_many, run_many, set_artifact_store,
@@ -99,12 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exhaustive", action="store_true",
                    help="explore all allowed executions (test oracle "
                         "mode)")
+    p.add_argument("--strategy", choices=sorted(STRATEGIES),
+                   default="dfs",
+                   help="exploration search strategy (default: dfs, "
+                        "the exhaustive oracle-of-record; bfs, "
+                        "random and coverage reorder the frontier)")
+    p.add_argument("--por", action="store_true",
+                   help="sleep-set partial-order reduction: skip "
+                        "unseq interleavings whose next actions "
+                        "commute (same behaviours, fewer paths)")
+    p.add_argument("--explore-jobs", type=int, default=1, metavar="N",
+                   help="shard the exploration frontier across N farm "
+                        "workers (single-model --exhaustive only)")
     p.add_argument("--pp-core", action="store_true",
                    help="pretty-print the elaborated Core and exit")
     p.add_argument("--max-steps", type=int, default=2_000_000)
     p.add_argument("--max-paths", type=int, default=500)
     p.add_argument("--seed", type=int, default=None,
-                   help="pseudorandom single-path exploration seed")
+                   help="single-path mode: pseudorandom oracle seed; "
+                        "exploration: random/coverage strategy seed")
     _add_farm_flags(p)
     return p
 
@@ -137,10 +160,25 @@ def main(argv=None) -> int:
         print(pretty_program(pipeline.core))
         return 0
     if args.exhaustive:
-        result = pipeline.explore(args.model, max_paths=args.max_paths,
-                                  max_steps=args.max_steps)
+        if args.explore_jobs > 1:
+            from .farm.frontier import explore_farm
+            result = explore_farm(source, model=args.model, impl=impl,
+                                  max_paths=args.max_paths,
+                                  max_steps=args.max_steps,
+                                  strategy=args.strategy,
+                                  por=args.por, seed=args.seed,
+                                  jobs=args.explore_jobs,
+                                  store=args.store, name=args.file)
+        else:
+            result = pipeline.explore(args.model,
+                                      max_paths=args.max_paths,
+                                      max_steps=args.max_steps,
+                                      strategy=args.strategy,
+                                      por=args.por, seed=args.seed)
+        pruned = f", {result.pruned} pruned" if result.pruned else ""
         print(f"executions explored: {result.paths_run} "
-              f"({'complete' if result.exhausted else 'budget hit'})")
+              f"({'complete' if result.exhausted else 'budget hit'}"
+              f"{pruned})")
         for outcome in result.distinct():
             print(f"  {outcome.summary()}")
         return 1 if result.has_ub() else 0
@@ -185,6 +223,14 @@ def _run_batch(args, source: str, impl) -> int:
     if not models:
         print("cerberus-py: shard selected no models", file=sys.stderr)
         return 2
+    if args.explore_jobs > 1:
+        # Two fan-out axes at once is not supported; refusing beats
+        # silently running an unsharded per-model exploration.
+        print("cerberus-py: --explore-jobs shards a single-model "
+              "exploration; it cannot be combined with --models "
+              "(use --jobs to fan the models out instead)",
+              file=sys.stderr)
+        return 2
     if args.jobs > 1:
         return _run_batch_farm(args, source, impl, models)
     try:
@@ -192,7 +238,9 @@ def _run_batch(args, source: str, impl) -> int:
             results = explore_many(source, models=models, impl=impl,
                                    max_paths=args.max_paths,
                                    max_steps=args.max_steps,
-                                   name=args.file)
+                                   name=args.file,
+                                   strategy=args.strategy,
+                                   por=args.por, seed=args.seed)
             for model, res in results.items():
                 behaviours = " | ".join(o.summary()
                                         for o in res.distinct())
@@ -220,7 +268,8 @@ def _run_batch_farm(args, source: str, impl, models) -> int:
     tasks = [SweepTask(index=i, name=args.file, kind=mode,
                        source=source, models=(model,), impl=impl,
                        max_steps=args.max_steps,
-                       max_paths=args.max_paths, seed=args.seed)
+                       max_paths=args.max_paths, seed=args.seed,
+                       strategy=args.strategy, por=args.por)
              for i, model in enumerate(models)]
     results = run_tasks(tasks, jobs=args.jobs, store=args.store)
     statuses, any_ub = set(), False
@@ -278,6 +327,14 @@ def build_farm_parser() -> argparse.ArgumentParser:
     sweep.add_argument("files", nargs="+", help="C source files")
     sweep.add_argument("--models", default="all", metavar="M1,M2,...")
     sweep.add_argument("--exhaustive", action="store_true")
+    sweep.add_argument("--strategy", choices=sorted(STRATEGIES),
+                       default="dfs",
+                       help="exploration search strategy")
+    sweep.add_argument("--por", action="store_true",
+                       help="sleep-set partial-order reduction")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="random/coverage strategy seed "
+                            "(reproducible sampled campaigns)")
     sweep.add_argument("--max-steps", type=int, default=2_000_000)
     sweep.add_argument("--max-paths", type=int, default=500)
 
@@ -365,6 +422,7 @@ def farm_main(argv) -> int:
         mode="explore" if args.exhaustive else "run",
         store=args.store, shard=args.shard,
         max_steps=args.max_steps, max_paths=args.max_paths,
+        strategy=args.strategy, por=args.por, seed=args.seed,
         task_timeout=args.task_timeout)
     for entry in campaign.results:
         for model, verdict in entry.get("verdicts", {}).items():

@@ -1,17 +1,32 @@
 """The Core operational semantics (paper §5.2, §5.6): a small-step,
-oracle-driven evaluator with exhaustive and pseudorandom drivers."""
+oracle-driven evaluator plus a state-space explorer.
+
+The evaluator yields every memory action, nondeterministic choice and
+I/O as a request to the :class:`Driver`, which owns the memory model
+and the :class:`~repro.dynamics.driver.Oracle` — a replayable choice
+sequence recording a unified choice/action event log.  On top of that
+seam, :mod:`repro.dynamics.explore` implements the paper's §5.1 search
+modes as a real engine: pluggable frontier strategies (``dfs`` — the
+oracle-of-record replay-DFS — ``bfs``, seeded ``random``, and
+coverage-guided search), sleep-set partial-order reduction at
+``unseq`` scheduling points, and frontiers that can be handed off
+mid-flight for farm sharding (:mod:`repro.farm.frontier`)."""
 
 from .values import (
     Value, VUnit, VBool, VCtype, VTuple, VList, VInteger, VFloating,
     VPointer, VFunction, VSpecified, VUnspecified, VMemStruct,
 )
-from .driver import Driver, Outcome, run_program
-from .exhaustive import explore_all, explore_program
+from .driver import Driver, Oracle, Outcome, PathPruned, run_program
+from .explore import (
+    ExplorationResult, Explorer, PathNode, STRATEGIES, explore_all,
+    explore_program,
+)
 
 __all__ = [
     "Value", "VUnit", "VBool", "VCtype", "VTuple", "VList", "VInteger",
     "VFloating", "VPointer", "VFunction", "VSpecified", "VUnspecified",
     "VMemStruct",
-    "Driver", "Outcome", "run_program", "explore_all",
-    "explore_program",
+    "Driver", "Oracle", "Outcome", "PathPruned", "run_program",
+    "ExplorationResult", "Explorer", "PathNode", "STRATEGIES",
+    "explore_all", "explore_program",
 ]

@@ -72,6 +72,24 @@ class ActionSummary:
         return ActionSummary([r.tagged(region) for r in self.records])
 
 
+def footprints_conflict(a_addr: int, a_size: int, a_write: bool,
+                        b_addr: int, b_size: int, b_write: bool) -> bool:
+    """Overlapping byte ranges with at least one write: order matters.
+    Zero-size footprints (pure completions) conflict with nothing.
+
+    This is the *single* conflict definition partial-order reduction
+    uses — both the in-run sleep-set wake-ups
+    (:meth:`repro.dynamics.driver.Oracle.note_action`) and the
+    explorer's post-hoc walk
+    (:mod:`repro.dynamics.explore.por`) call it, so the two views of
+    the live sleep set stay in lockstep."""
+    if a_size <= 0 or b_size <= 0:
+        return False
+    if not (a_write or b_write):
+        return False
+    return a_addr < b_addr + b_size and b_addr < a_addr + a_size
+
+
 def conflicting(a: ActionRecord, b: ActionRecord) -> bool:
     """Two actions conflict if they overlap and at least one writes."""
     if a.footprint is None or b.footprint is None:

@@ -6,14 +6,22 @@ I/O; turns a Core program plus an oracle choice path into an
 select whether to perform an exhaustive search for all allowed executions
 or pseudorandomly explore single execution paths" (paper §5.1): here the
 monad is reified as the :class:`Oracle` — a replayable sequence of
-choices. The exhaustive driver (:mod:`repro.dynamics.exhaustive`)
-enumerates oracle paths; the random driver draws them from a seed.
+choices.  The state-space explorer (:mod:`repro.dynamics.explore`)
+enumerates oracle paths under a pluggable search strategy; the random
+driver draws them from a seed.  Beyond the choice trace, the oracle
+records a unified *event log* — scheduling choices with their unseq
+frame metadata, and performed actions with footprints and scheduling
+chains — which the explorer's sleep-set partial-order reduction feeds
+on, and it hosts the live sleep set the POR scheduler consults
+(:exc:`PathPruned` aborts a path whose remaining interleavings are
+re-orderings of executions already covered).
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -29,7 +37,7 @@ from ..memory.values import (
 from .. import ub as UB
 from ..ub import UndefinedBehaviour
 from ..source import Loc
-from .actions import ActionRecord
+from .actions import ActionRecord, footprints_conflict
 from .evaluator import (
     Evaluator, ProcReturn, ProgramExit, RunSignal,
 )
@@ -39,31 +47,110 @@ from .values import (
 )
 
 
+def format_ub(name, site: str) -> str:
+    """The one printable form of a UB behaviour — shared by
+    :meth:`Outcome.summary` and the farm's IPC-stripped
+    :meth:`repro.farm.pool.Verdict.summary` so serial and farm reports
+    never drift apart."""
+    return f"UB[{name} @ {site}]" if site else f"UB[{name}]"
+
+
+class PathPruned(Exception):
+    """Raised by the sleep-set scheduler when every unseq candidate is
+    asleep: the whole subtree from here is a re-ordering of already
+    covered executions (partial-order reduction, §5.6)."""
+
+
 class Oracle:
     """A replayable nondeterminism source.
 
     ``path`` is the prefix of choices to replay; once exhausted, further
     choices take ``default`` (0) or, in random mode, a seeded draw. The
-    full trace (with arity) is recorded so the exhaustive driver can
-    enumerate successor paths.
+    full trace (with arity) is recorded so the explorer can enumerate
+    successor paths; a unified event log (choices with unseq metadata,
+    actions with footprints and scheduling chains) feeds partial-order
+    reduction.
+
+    A replayed choice whose recorded value no longer fits the current
+    arity marks the oracle ``diverged`` — the choice is clamped as
+    before, but the explorer can now detect and discard the stale path
+    instead of silently mis-replaying it.
+
+    ``sleep`` seeds the live sleep set: beyond the replay prefix, unseq
+    scheduling avoids sleeping candidates and raises :exc:`PathPruned`
+    when none remain; conflicting (or barrier) actions wake entries.
+
+    ``record_events`` turns the event log on — only the explorer reads
+    it, so plain single-run oracles skip the per-action bookkeeping
+    (and the unbounded list) entirely.
     """
 
     def __init__(self, path: Optional[List[int]] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 sleep: Tuple = (),
+                 record_events: bool = False):
         self.path = list(path or [])
         self.rng = rng
         self.trace: List[Tuple[str, int, int]] = []
+        self.events: Optional[List[tuple]] = \
+            [] if record_events else None
+        self.diverged = False
+        # live entries: (frame, child, addr, size, is_write)
+        self.sleep: List[Tuple[int, int, int, int, bool]] = \
+            [tuple(e) for e in sleep]
 
-    def choose(self, tag: str, n: int) -> int:
+    def choose(self, tag: str, n: int, meta=None) -> int:
         pos = len(self.trace)
         if pos < len(self.path):
-            choice = min(self.path[pos], n - 1)
-        elif self.rng is not None:
-            choice = self.rng.randrange(n)
+            wanted = self.path[pos]
+            if 0 <= wanted < n:
+                choice = wanted
+            else:
+                self.diverged = True
+                choice = min(max(wanted, 0), n - 1)
         else:
-            choice = 0
+            avail = None
+            if self.sleep and tag == "unseq" and meta is not None:
+                frame, cands = meta
+                asleep = {c for (f, c, _a, _s, _w) in self.sleep
+                          if f == frame}
+                avail = [a for a in range(n)
+                         if cands[a] not in asleep]
+                if not avail:
+                    raise PathPruned(
+                        f"all {n} unseq candidates asleep")
+                if len(avail) == n:
+                    avail = None
+            if self.rng is not None:
+                choice = self.rng.randrange(n) if avail is None \
+                    else avail[self.rng.randrange(len(avail))]
+            else:
+                choice = 0 if avail is None else avail[0]
         self.trace.append((tag, n, choice))
+        if self.events is not None:
+            self.events.append(("choose", tag, n, choice, meta))
         return choice
+
+    def note_action(self, kind: str, footprint, is_write: bool,
+                    chain: tuple, barrier: bool) -> None:
+        """Log a performed action and run sleep-set wake-ups (only
+        beyond the replay prefix: replayed events pre-date every
+        entry the explorer attached at the branch point).  The wake
+        rule is the same ``footprints_conflict`` the explorer's
+        post-hoc walk uses, keeping both views of the sleep set in
+        lockstep."""
+        if self.events is not None:
+            self.events.append(("act", kind, footprint, is_write,
+                                chain, barrier))
+        if self.sleep and len(self.trace) >= len(self.path):
+            if barrier or footprint is None:
+                self.sleep = []
+            else:
+                addr, size = footprint.addr, footprint.size
+                self.sleep = [
+                    z for z in self.sleep
+                    if not footprints_conflict(z[2], z[3], z[4],
+                                               addr, size, is_write)]
 
 
 @dataclass
@@ -71,7 +158,7 @@ class Outcome:
     """The observable result of one execution path."""
 
     status: str                       # "done"|"ub"|"exit"|"abort"|
-    #                                   "error"|"timeout"
+    #                                   "error"|"timeout"|"pruned"
     exit_code: Optional[int] = None
     stdout: str = ""
     ub: Optional[UB.UBName] = None
@@ -80,6 +167,7 @@ class Outcome:
     error: str = ""
     steps: int = 0
     trace: List[Tuple[str, int, int]] = field(default_factory=list)
+    diverged: bool = False            # stale replay prefix detected
 
     @property
     def is_ub(self) -> bool:
@@ -87,7 +175,11 @@ class Outcome:
 
     def summary(self) -> str:
         if self.status == "ub":
-            return f"UB[{self.ub}]"
+            # The site is part of the behaviour identity (distinct()
+            # keys on it): the same UB name at two program points must
+            # not print as one line.
+            return format_ub(self.ub,
+                             str(self.loc) if self.loc.line > 0 else "")
         if self.status in ("done", "exit"):
             return f"exit={self.exit_code} stdout={self.stdout!r}"
         if self.status == "abort":
@@ -114,13 +206,18 @@ class _Thread:
 class Driver:
     def __init__(self, program: K.Program, model: MemoryModel,
                  oracle: Optional[Oracle] = None,
-                 max_steps: int = 2_000_000):
+                 max_steps: int = 2_000_000,
+                 deadline: Optional[float] = None):
         self.program = program
         self.model = model
         self.oracle = oracle or Oracle()
         self.model.choose = self.oracle.choose
         self.evaluator = Evaluator(program, model)
         self.max_steps = max_steps
+        # Absolute time.monotonic() cut-off checked inside the step
+        # loop: one long path times out cooperatively at the deadline
+        # instead of blowing a whole farm task budget.
+        self.deadline = deadline
         self.stdout_chunks: List[str] = []
         self.steps = 0
         self._tid_counter = itertools.count(1)
@@ -200,13 +297,14 @@ class Driver:
             self._run_global_inits()
         except UndefinedBehaviour as u:
             return self._ub_outcome(u)
+        except PathPruned:
+            return self._outcome("pruned")
         except StaticError as s:
-            return Outcome("error", error=str(s),
-                           trace=self.oracle.trace)
+            return self._outcome("error", error=str(s))
         main_proc = self.program.procs.get(entry)
         if main_proc is None:
-            return Outcome("error", error=f"no procedure '{entry}'",
-                           trace=self.oracle.trace)
+            return self._outcome("error",
+                                 error=f"no procedure '{entry}'")
         gen = self.evaluator.call_proc(entry, args or [], Loc.unknown())
         main_thread = _Thread(0, gen, vc={0: 1})
         self.threads[0] = main_thread
@@ -214,21 +312,18 @@ class Driver:
             self._schedule()
         except UndefinedBehaviour as u:
             return self._ub_outcome(u)
+        except PathPruned:
+            return self._outcome("pruned")
         except ProgramExit as ex:
-            return Outcome("abort" if ex.aborted else "exit",
-                           exit_code=ex.code,
-                           stdout=self._stdout(), steps=self.steps,
-                           trace=self.oracle.trace)
+            return self._outcome("abort" if ex.aborted else "exit",
+                                 exit_code=ex.code)
         except StaticError as s:
-            return Outcome("error", error=str(s), stdout=self._stdout(),
-                           steps=self.steps, trace=self.oracle.trace)
+            return self._outcome("error", error=str(s))
         except _StepLimit:
-            return Outcome("timeout", stdout=self._stdout(),
-                           steps=self.steps, trace=self.oracle.trace)
+            return self._outcome("timeout")
         except (RunSignal, ProcReturn) as esc:
-            return Outcome("error", error=f"escaped control signal "
-                           f"{esc!r}", stdout=self._stdout(),
-                           trace=self.oracle.trace)
+            return self._outcome("error", error=f"escaped control "
+                                 f"signal {esc!r}")
         result = main_thread.result
         code = 0
         if isinstance(result, VSpecified):
@@ -237,16 +332,19 @@ class Driver:
             code = result.ival.value
         elif isinstance(result, (VUnspecified, VUnit)):
             code = 0
-        return Outcome("done", exit_code=code, stdout=self._stdout(),
-                       steps=self.steps, trace=self.oracle.trace)
+        return self._outcome("done", exit_code=code)
 
     def _stdout(self) -> str:
         return "".join(self.stdout_chunks)
 
+    def _outcome(self, status: str, **kw) -> Outcome:
+        return Outcome(status, stdout=self._stdout(), steps=self.steps,
+                       trace=self.oracle.trace,
+                       diverged=self.oracle.diverged, **kw)
+
     def _ub_outcome(self, u: UndefinedBehaviour) -> Outcome:
-        return Outcome("ub", ub=u.ub, ub_detail=u.detail, loc=u.loc,
-                       stdout=self._stdout(), steps=self.steps,
-                       trace=self.oracle.trace)
+        return self._outcome("ub", ub=u.ub, ub_detail=u.detail,
+                             loc=u.loc)
 
     # -- scheduler --------------------------------------------------------------------
 
@@ -288,6 +386,9 @@ class Driver:
         a scheduling point (action performed, thread blocked/done)."""
         self.steps += 1
         if self.steps > self.max_steps:
+            raise _StepLimit()
+        if self.deadline is not None and not (self.steps & 0xFF) and \
+                time.monotonic() >= self.deadline:
             raise _StepLimit()
         if t.waiting_on is not None:
             target = self.threads[t.waiting_on]
@@ -347,11 +448,18 @@ class Driver:
         if kind == "ptrop":
             return self._perform_ptrop(request)
         if kind == "choose":
-            return self.oracle.choose(request[1], request[2])
+            return self.oracle.choose(request[1], request[2],
+                                      request[3] if len(request) > 3
+                                      else None)
         if kind == "stdout":
             self.stdout_chunks.append(request[1])
+            # I/O is observably ordered: a barrier for POR purposes.
+            self.oracle.note_action("stdout", None, False, (), True)
             return None
         if kind == "raw":
+            # Raw byte services carry no scheduling chain and may read
+            # or change allocation metadata: conservatively a barrier.
+            self.oracle.note_action("raw", None, False, (), True)
             return self._perform_raw(request, thread)
         if kind == "lock":
             return None
@@ -362,7 +470,20 @@ class Driver:
     # -- memory actions ----------------------------------------------------------------------
 
     def _perform_action(self, request: tuple, thread: Optional[_Thread]):
-        _, action_kind, args, polarity, order, loc = request
+        value, record = self._do_action(request, thread)
+        # Feed the explorer's event log: the scheduling chain of unseq
+        # (frame, child) pairs the evaluator attached to the request,
+        # plus whether this action is a POR barrier (no byte footprint
+        # or an allocation lifetime change).
+        chain = request[6] if len(request) > 6 else ()
+        barrier = record.footprint is None or \
+            record.kind in ("create", "alloc", "kill")
+        self.oracle.note_action(record.kind, record.footprint,
+                                record.is_write, chain, barrier)
+        return value, record
+
+    def _do_action(self, request: tuple, thread: Optional[_Thread]):
+        _, action_kind, args, polarity, order, loc = request[:6]
         model = self.model
         try:
             if action_kind == "create":

@@ -90,6 +90,12 @@ class Evaluator:
         self.impl = program.impl
         self.tags = program.tags
         self.global_env: Dict[str, Value] = {}
+        # Unseq frames are numbered so scheduling choices and the
+        # actions they schedule can be attributed to (frame, child)
+        # pairs — the metadata channel partial-order reduction feeds
+        # on.  The counter is per-evaluator (not global) so that a
+        # deterministic replay reproduces identical frame ids.
+        self._unseq_counter = itertools.count(1)
         from ..libc.builtins import NATIVE_PROCS
         self.native_procs = dict(NATIVE_PROCS)
 
@@ -510,8 +516,11 @@ class Evaluator:
 
     def _action(self, action: K.Action, env: Dict[str, Value]):
         args = [self.eval_pure(a, env) for a in action.args]
+        # The trailing () is the scheduling chain: each enclosing unseq
+        # frame appends its (frame, child) pair as the request bubbles
+        # up, so the driver can attribute the action for POR.
         result = yield ("action", action.kind, args, action.polarity,
-                        action.order, action.loc)
+                        action.order, action.loc, ())
         return result  # (value, ActionRecord)
 
     def _ptrop(self, e: K.EPtrOp, env: Dict[str, Value]) -> EffGen:
@@ -584,9 +593,17 @@ class Evaluator:
         other requests (nested choices, locks, raw services) commute,
         so re-choosing after each of them would multiply choice points
         exponentially in nested unseqs without adding behaviours.
+
+        Every scheduling choice (even arity-1, which the sleep-set
+        scheduler may still need to veto) is yielded with a metadata
+        channel ``(frame, candidates)``, and every action request is
+        annotated with this frame's ``(frame, child)`` pair on its way
+        up — together they let the explorer recover each candidate's
+        pending action footprint for partial-order reduction.
         """
         gens = [self.eval_expr(c, env) for c in e.exprs]
         n = len(gens)
+        frame = next(self._unseq_counter)
         done: List[bool] = [False] * n
         started: List[bool] = [False] * n
         results: List[Optional[Value]] = [None] * n
@@ -602,11 +619,9 @@ class Evaluator:
                 candidates = [i for i in range(n) if not done[i]]
             if current is None or done[current] or \
                     current not in candidates:
-                if len(candidates) > 1:
-                    pick = yield ("choose", "unseq", len(candidates))
-                    current = candidates[pick]
-                else:
-                    current = candidates[0]
+                pick = yield ("choose", "unseq", len(candidates),
+                              (frame, tuple(candidates)))
+                current = candidates[pick]
             idx = current
             gen = gens[idx]
             try:
@@ -624,6 +639,9 @@ class Evaluator:
                 continue
             if request[0] == "lock":
                 locks[idx] += request[1]
+            elif request[0] == "action":
+                chain = request[6] if len(request) > 6 else ()
+                request = request[:6] + (chain + ((frame, idx),),)
             responses[idx] = yield request
             if request[0] in ("action", "raw", "stdout") and \
                     locks[idx] == 0:
@@ -704,7 +722,7 @@ class Evaluator:
                                [VInteger(IntegerValue(align)),
                                 VCtype(e.elem_ty), VInteger(n),
                                 e.prefix],
-                               "pos", "na", e.loc)
+                               "pos", "na", e.loc, ())
         holder = env.get(_SCOPE_CREATED)
         if isinstance(holder, VScopeList):
             holder.items.append(value)
@@ -721,7 +739,7 @@ class Evaluator:
                                    [VInteger(IntegerValue(align)),
                                     VCtype(sc.ty),
                                     sc.prefix, sc.readonly],
-                                   "pos", "na", sc.loc)
+                                   "pos", "na", sc.loc, ())
             env2[sc.sym] = value
             created.append(value)
             summary = summary.union(ActionSummary.single(record))
@@ -737,7 +755,7 @@ class Evaluator:
         summary = ActionSummary.empty()
         for v in reversed(created):
             _, record = yield ("action", "kill", [v, VBool(False)],
-                               "pos", "na", e.loc)
+                               "pos", "na", e.loc, ())
             summary = summary.union(ActionSummary.single(record))
         return summary
 

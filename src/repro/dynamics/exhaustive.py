@@ -1,111 +1,23 @@
-"""Exhaustive exploration of all allowed executions (paper §5.1).
+"""Back-compat shim: the exhaustive driver grew into the
+:mod:`repro.dynamics.explore` subsystem (pluggable search strategies,
+sleep-set partial-order reduction, farm-shardable frontiers).
 
-The driver reifies every source of semantic looseness — evaluation-order
-interleavings, ``nd`` choices, provenance-sensitive comparisons, thread
-schedules — as oracle choices. This module enumerates oracle choice
-paths depth-first (stateless search with replay): after a run, every
-choice point that was taken at its default along the new suffix spawns
-sibling paths for its untried alternatives.
+``explore_all`` / ``explore_program`` with default arguments behave
+exactly like the historical stateless-replay DFS this module used to
+implement; import from :mod:`repro.dynamics.explore` for the full
+engine (:class:`~repro.dynamics.explore.Explorer`, strategies, POR).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from .explore import (
+    ExplorationResult, Explorer, PathNode, explore_all, explore_program,
+)
 
-from .driver import Driver, Oracle, Outcome
-
-
-@dataclass
-class ExplorationResult:
-    """All executions found within the budget."""
-
-    outcomes: List[Outcome] = field(default_factory=list)
-    exhausted: bool = True      # False if the path budget was hit
-    paths_run: int = 0
-
-    def distinct(self) -> List[Outcome]:
-        """Deduplicate by observable behaviour."""
-        seen = {}
-        for o in self.outcomes:
-            key = (o.status, o.exit_code, o.stdout,
-                   o.ub.name if o.ub else None)
-            if key not in seen:
-                seen[key] = o
-        return list(seen.values())
-
-    def has_ub(self) -> bool:
-        return any(o.is_ub for o in self.outcomes)
-
-    def ub_names(self) -> List[str]:
-        return sorted({o.ub.name for o in self.outcomes if o.ub})
-
-    def behaviours(self) -> List[str]:
-        return sorted({o.summary() for o in self.outcomes})
-
-
-def explore_program(program, make_model: Callable[[], object],
-                    max_paths: int = 500,
-                    max_steps: int = 500_000,
-                    entry: str = "main",
-                    deadline_s: Optional[float] = None
-                    ) -> ExplorationResult:
-    """Enumerate every oracle path of a *pre-compiled* Core program.
-
-    ``program`` is an elaborated :class:`repro.core.ast.Program` and
-    ``make_model()`` builds a fresh memory model per path — so path
-    enumeration replays execution only; the front end never re-runs.
-    """
-
-    def make_driver(oracle: Oracle) -> Driver:
-        return Driver(program, make_model(), oracle, max_steps)
-
-    return explore_all(make_driver, max_paths=max_paths, entry=entry,
-                       deadline_s=deadline_s)
-
-
-def explore_all(make_driver: Callable[[Oracle], Driver],
-                max_paths: int = 2000,
-                entry: str = "main",
-                deadline_s: Optional[float] = None) -> ExplorationResult:
-    """Run ``make_driver`` over every oracle path (up to ``max_paths``).
-
-    ``make_driver`` must build a *fresh* driver (and fresh memory model)
-    for the given oracle — runs are independent replays.
-
-    ``deadline_s`` is a cooperative wall-clock budget for the whole
-    enumeration (the farm's per-task timeout): when it expires, the
-    paths explored so far are returned with ``exhausted=False`` —
-    partial evidence instead of a killed worker.
-    """
-    result = ExplorationResult()
-    deadline = (time.monotonic() + deadline_s
-                if deadline_s is not None else None)
-    stack: List[List[int]] = [[]]
-    while stack:
-        if result.paths_run >= max_paths or \
-                (deadline is not None and
-                 time.monotonic() >= deadline):
-            result.exhausted = False
-            break
-        prefix = stack.pop()
-        oracle = Oracle(list(prefix))
-        driver = make_driver(oracle)
-        outcome = driver.run(entry)
-        result.paths_run += 1
-        result.outcomes.append(outcome)
-        trace = outcome.trace
-        # Branch at every *new* choice point (beyond the replayed
-        # prefix) that has untried alternatives. Push deepest-first so
-        # the DFS pops the *earliest* flip next: early choices (thread
-        # spawn order, first interleaving) reach distinct behaviours
-        # fastest when the path budget is limited.
-        for i in reversed(range(len(prefix), len(trace))):
-            n = trace[i][1]
-            chosen = trace[i][2]
-            base = [t[2] for t in trace[:i]]
-            for alt in range(n):
-                if alt != chosen:
-                    stack.append(base + [alt])
-    return result
+__all__ = [
+    "ExplorationResult",
+    "Explorer",
+    "PathNode",
+    "explore_all",
+    "explore_program",
+]

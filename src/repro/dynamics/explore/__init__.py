@@ -1,0 +1,58 @@
+"""The state-space explorer (paper §5.1).
+
+The paper frames execution as a sequencing monad that can "perform an
+exhaustive search for all allowed executions or pseudorandomly explore
+single execution paths".  This package reifies that search as a real
+state-space engine over oracle choice prefixes:
+
+:mod:`~repro.dynamics.explore.strategies`
+    A :class:`SearchStrategy` frontier policy — ``dfs`` (the historical
+    replay-DFS, kept as the default and the oracle-of-record), ``bfs``
+    (shortest prefix first), ``random`` (seeded frontier sampling) and
+    ``coverage`` (prioritise flipping never-before-flipped choice
+    tags).
+
+:mod:`~repro.dynamics.explore.por`
+    Sleep-set partial-order reduction at ``unseq`` scheduling points:
+    the evaluator tags each scheduling choice with its unseq frame and
+    candidate children, each performed action with the frame chain
+    that scheduled it, and the explorer prunes sibling orders whose
+    next actions do not conflict (no overlapping
+    :class:`~repro.memory.base.Footprint` with a write), provably
+    preserving the set of distinct behaviours.
+
+:mod:`~repro.dynamics.explore.engine`
+    The replay loop — each popped path prefix is re-run on a fresh
+    driver, sibling prefixes are generated from the recorded
+    choice/action event log, and the frontier can be handed off
+    mid-flight for farm sharding (:mod:`repro.farm.frontier`).
+
+:mod:`~repro.dynamics.explore.result`
+    :class:`ExplorationResult` — outcome accounting, behaviour
+    deduplication (UB name *and* location), shard merging.
+"""
+
+from __future__ import annotations
+
+from .engine import Explorer, explore_all, explore_program
+from .por import PathNode
+from .result import ExplorationResult
+from .strategies import (
+    STRATEGIES, BfsStrategy, CoverageStrategy, DfsStrategy,
+    RandomStrategy, SearchStrategy, make_strategy,
+)
+
+__all__ = [
+    "Explorer",
+    "explore_all",
+    "explore_program",
+    "PathNode",
+    "ExplorationResult",
+    "STRATEGIES",
+    "SearchStrategy",
+    "DfsStrategy",
+    "BfsStrategy",
+    "RandomStrategy",
+    "CoverageStrategy",
+    "make_strategy",
+]

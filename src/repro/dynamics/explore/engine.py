@@ -1,0 +1,164 @@
+"""The exploration engine: stateless replay over a strategy-ordered
+frontier of oracle choice prefixes.
+
+Each popped :class:`~repro.dynamics.explore.por.PathNode` is re-run on
+a fresh driver (and fresh memory model) with an
+:class:`~repro.dynamics.driver.Oracle` replaying its prefix; sibling
+prefixes are generated from the run's recorded choice/action event log
+(:func:`~repro.dynamics.explore.por.generate_branches`).  The engine
+adds, on top of the historical replay-DFS:
+
+* pluggable :class:`~repro.dynamics.explore.strategies.SearchStrategy`
+  frontier orderings (``dfs``/``bfs``/``random``/``coverage``);
+* optional sleep-set partial-order reduction (``por=True``) — runs the
+  sleep-aware scheduler aborts are counted as ``pruned``;
+* replay-divergence discarding — a run whose replayed prefix no longer
+  matches the choice-point arities is counted ``diverged`` and its
+  outcome dropped instead of silently mis-replayed;
+* a cooperative wall-clock deadline threaded *into* the driver step
+  loop, so one long path returns ``status="timeout"`` at the deadline
+  instead of blowing a farm task budget;
+* mid-flight frontier handoff (``frontier_target``) — the seeding
+  phase of farm-sharded exploration stops once the frontier is wide
+  enough and exposes the remaining nodes via :attr:`Explorer.pending`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from ..driver import Driver, Oracle
+from .por import PathNode, generate_branches
+from .result import ExplorationResult
+from .strategies import make_strategy
+
+
+class Explorer:
+    """One exploration campaign over a single program + model."""
+
+    def __init__(self, make_driver: Callable[[Oracle], Driver],
+                 max_paths: int = 2000,
+                 entry: str = "main",
+                 deadline_s: Optional[float] = None,
+                 strategy="dfs",
+                 por: bool = False,
+                 seed: Optional[int] = None,
+                 initial: Optional[Sequence[PathNode]] = None,
+                 frontier_target: Optional[int] = None):
+        self.make_driver = make_driver
+        self.max_paths = max_paths
+        self.entry = entry
+        self.deadline_s = deadline_s
+        self.strategy = make_strategy(strategy, seed)
+        self.por = por
+        self.initial = list(initial) if initial is not None else None
+        self.frontier_target = frontier_target
+        #: Nodes left unexplored after :meth:`run` — empty unless a
+        #: budget/deadline was hit or ``frontier_target`` stopped the
+        #: loop for a farm handoff.
+        self.pending: List[PathNode] = []
+
+    def run(self) -> ExplorationResult:
+        result = ExplorationResult()
+        deadline = (time.monotonic() + self.deadline_s
+                    if self.deadline_s is not None else None)
+        roots = self.initial if self.initial is not None \
+            else [PathNode()]
+        for node in roots:
+            if not isinstance(node, PathNode):
+                node = PathNode(tuple(node))
+            self.strategy.push(node)
+        while len(self.strategy):
+            if result.paths_run >= self.max_paths or \
+                    (deadline is not None and
+                     time.monotonic() >= deadline):
+                result.exhausted = False
+                break
+            if self.frontier_target is not None and \
+                    result.paths_run > 0 and \
+                    len(self.strategy) >= self.frontier_target:
+                # Wide enough: hand the rest to the caller (the farm
+                # dispatches it across shards), exhausted untouched.
+                break
+            node = self.strategy.pop()
+            oracle = Oracle(list(node.choices),
+                            sleep=node.sleep if self.por else (),
+                            record_events=True)
+            driver = self.make_driver(oracle)
+            if deadline is not None:
+                driver.deadline = deadline   # cooperative in-path stop
+            outcome = driver.run(self.entry)
+            result.paths_run += 1
+            if outcome.diverged:
+                # The replayed prefix no longer matches the program's
+                # choice arities: the path is stale, not a behaviour —
+                # and its subtree is abandoned, so the exploration is
+                # no longer complete.
+                result.diverged += 1
+                result.exhausted = False
+                continue
+            if outcome.status == "pruned":
+                result.pruned += 1
+            else:
+                result.outcomes.append(outcome)
+            # Deepest point first, alternatives in order: under the
+            # LIFO dfs strategy the earliest flip pops next — exactly
+            # the historical DFS order.
+            completed = outcome.status in ("done", "exit")
+            for point in reversed(generate_branches(node, oracle.events,
+                                                    self.por,
+                                                    completed)):
+                for child in point:
+                    self.strategy.push(child)
+        self.pending = self.strategy.drain()
+        return result
+
+
+def explore_all(make_driver: Callable[[Oracle], Driver],
+                max_paths: int = 2000,
+                entry: str = "main",
+                deadline_s: Optional[float] = None,
+                strategy="dfs",
+                por: bool = False,
+                seed: Optional[int] = None,
+                initial: Optional[Sequence[PathNode]] = None
+                ) -> ExplorationResult:
+    """Run ``make_driver`` over every oracle path (up to ``max_paths``).
+
+    ``make_driver`` must build a *fresh* driver (and fresh memory
+    model) for the given oracle — runs are independent replays.
+    ``deadline_s`` is a cooperative wall-clock budget for the whole
+    enumeration *and* for each path inside it.  ``strategy`` picks the
+    frontier order (see :data:`~.strategies.STRATEGIES`), ``seed``
+    seeds the random/coverage strategies, ``por`` enables sleep-set
+    partial-order reduction, and ``initial`` restricts the search to
+    the subtrees rooted at the given prefixes (farm shards)."""
+    return Explorer(make_driver, max_paths=max_paths, entry=entry,
+                    deadline_s=deadline_s, strategy=strategy, por=por,
+                    seed=seed, initial=initial).run()
+
+
+def explore_program(program, make_model: Callable[[], object],
+                    max_paths: int = 500,
+                    max_steps: int = 500_000,
+                    entry: str = "main",
+                    deadline_s: Optional[float] = None,
+                    strategy="dfs",
+                    por: bool = False,
+                    seed: Optional[int] = None,
+                    initial: Optional[Sequence[PathNode]] = None
+                    ) -> ExplorationResult:
+    """Enumerate oracle paths of a *pre-compiled* Core program.
+
+    ``program`` is an elaborated :class:`repro.core.ast.Program` and
+    ``make_model()`` builds a fresh memory model per path — so path
+    enumeration replays execution only; the front end never re-runs.
+    """
+
+    def make_driver(oracle: Oracle) -> Driver:
+        return Driver(program, make_model(), oracle, max_steps)
+
+    return explore_all(make_driver, max_paths=max_paths, entry=entry,
+                       deadline_s=deadline_s, strategy=strategy,
+                       por=por, seed=seed, initial=initial)

@@ -1,0 +1,76 @@
+"""Exploration accounting: every execution found within the budget.
+
+The behaviour key deduplicates on *observable* behaviour — status,
+exit code, stdout, and for undefined behaviour both the UB name and
+its source location (the same UB name at two different program points
+is two behaviours, not one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from ..driver import Outcome
+
+
+@dataclass
+class ExplorationResult:
+    """All executions found within the budget.
+
+    ``paths_run`` counts every driver run launched, including runs the
+    sleep-set scheduler aborted as redundant re-orderings (``pruned``)
+    and runs whose replay prefix no longer matched the choice-point
+    arities (``diverged``, discarded from ``outcomes``).
+    """
+
+    outcomes: List[Outcome] = field(default_factory=list)
+    exhausted: bool = True      # False if a budget or deadline was hit
+    paths_run: int = 0
+    pruned: int = 0             # sleep-set-blocked redundant orders
+    diverged: int = 0           # stale replays, detected and discarded
+
+    @staticmethod
+    def behaviour_key(o: Outcome) -> Tuple:
+        """The observable-behaviour identity of one outcome."""
+        return (o.status, o.exit_code, o.stdout,
+                o.ub.name if o.ub else None,
+                str(o.loc) if o.ub else None)
+
+    def distinct(self) -> List[Outcome]:
+        """Deduplicate by observable behaviour (UB site included)."""
+        seen = {}
+        for o in self.outcomes:
+            key = self.behaviour_key(o)
+            if key not in seen:
+                seen[key] = o
+        return list(seen.values())
+
+    def behaviour_keys(self) -> List[Tuple]:
+        """The sorted set of behaviour keys — the canonical form used
+        to assert POR soundness (pruned == unpruned, byte for byte)."""
+        return sorted({self.behaviour_key(o) for o in self.outcomes},
+                      key=repr)
+
+    def has_ub(self) -> bool:
+        return any(o.is_ub for o in self.outcomes)
+
+    def ub_names(self) -> List[str]:
+        return sorted({o.ub.name for o in self.outcomes if o.ub})
+
+    def behaviours(self) -> List[str]:
+        return sorted({o.summary() for o in self.outcomes})
+
+    @classmethod
+    def merge(cls, parts: Iterable["ExplorationResult"]
+              ) -> "ExplorationResult":
+        """Combine shard results: outcomes concatenate, counters sum,
+        and the merge is exhausted only if every part was."""
+        merged = cls()
+        for p in parts:
+            merged.outcomes.extend(p.outcomes)
+            merged.paths_run += p.paths_run
+            merged.pruned += p.pruned
+            merged.diverged += p.diverged
+            merged.exhausted = merged.exhausted and p.exhausted
+        return merged

@@ -34,6 +34,17 @@ Layers
     ``jobs=1`` degrades to a serial in-process loop, so every caller
     has one code path.
 
+:mod:`repro.farm.frontier` — farm-sharded state-space exploration
+    :func:`~repro.farm.frontier.explore_farm` splits one program's
+    exploration frontier (oracle choice prefixes from a breadth-first
+    seeding phase) into subtree shards dispatched across the worker
+    pool, and merges the shard results into a single
+    :class:`~repro.dynamics.explore.ExplorationResult` with correct
+    ``exhausted``/``paths_run`` accounting.  Strategy and sleep-set
+    partial-order reduction settings travel with each shard (prefixes
+    and sleep sets are plain picklable tuples).  CLI:
+    ``cerberus-py file.c --exhaustive --explore-jobs N``.
+
 :mod:`repro.farm.campaign` — campaign drivers and JSON reports
     Drivers that re-back the repo's batch consumers:
     :func:`~repro.farm.campaign.suite_campaign` behind
@@ -70,6 +81,7 @@ from .pool import SweepTask, TaskResult, Verdict, shard_select, sweep
 from .campaign import (
     CampaignReport, csmith_campaign, suite_campaign, sweep_campaign,
 )
+from .frontier import explore_farm
 
 __all__ = [
     "ArtifactStore",
@@ -83,4 +95,5 @@ __all__ = [
     "suite_campaign",
     "csmith_campaign",
     "sweep_campaign",
+    "explore_farm",
 ]

@@ -230,15 +230,22 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                    shard: Tuple[int, int] = (0, 1),
                    max_steps: int = 2_000_000,
                    max_paths: int = 500,
+                   strategy: str = "dfs",
+                   por: bool = False,
+                   seed: Optional[int] = None,
                    task_timeout: Optional[float] = None):
     """Sweep an ad-hoc ``(name, source)`` corpus; returns
-    ``(task_results, CampaignReport)``."""
+    ``(task_results, CampaignReport)``.  ``strategy``/``por``/``seed``
+    select the search strategy, partial-order reduction, and the
+    random/coverage strategy seed for ``mode="explore"`` tasks (the
+    seed makes random-strategy campaigns reproducible)."""
     model_list = list(models) if models is not None else list(MODELS)
     start = time.perf_counter()
     task_results = sweep(programs, models=model_list, jobs=jobs,
                          mode=mode, store=store,
                          shard_index=shard[0], shard_count=shard[1],
                          max_steps=max_steps, max_paths=max_paths,
+                         seed=seed, strategy=strategy, por=por,
                          task_timeout=task_timeout)
     wall = time.perf_counter() - start
 
@@ -259,7 +266,7 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
         if "explorations" in r.data:
             entry["explorations"] = {
                 m: {"paths": e.paths_run, "exhausted": e.exhausted,
-                    "behaviours": e.behaviours}
+                    "behaviours": e.behaviours, "pruned": e.pruned}
                 for m, e in r.data["explorations"].items()}
             for e in r.data["explorations"].values():
                 if e.has_ub:

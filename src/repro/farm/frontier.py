@@ -1,0 +1,131 @@
+"""Farm-sharded frontier exploration: one program's state space split
+across worker processes.
+
+Exploration is a tree of oracle choice prefixes, and every subtree is
+independent — a prefix fully determines its replay.  So the frontier
+parallelises the same way corpora do:
+
+1. a *seeding* phase runs the explorer in-process with the ``bfs``
+   strategy until the frontier is wide enough (``jobs *
+   frontier_factor`` pending prefixes), producing balanced, shallow
+   subtrees;
+2. each pending :class:`~repro.dynamics.explore.PathNode` (prefix +
+   POR sleep set — plain picklable tuples) becomes an
+   ``"explore_shard"`` :class:`~repro.farm.pool.SweepTask` dispatched
+   through :func:`~repro.farm.pool.run_tasks`, sharing the artifact
+   store so workers skip the front end;
+3. shard results merge into one
+   :class:`~repro.dynamics.explore.ExplorationResult`:
+   outcomes concatenate (each shard pre-deduplicates and strips
+   traces), ``paths_run``/``pruned``/``diverged`` sum — seeding plus
+   shards pop exactly the nodes a serial run would, so when no budget
+   is hit the totals equal a serial exploration's — and the merge is
+   ``exhausted`` only when the seed phase and every shard were, with
+   no worker failures.
+
+The global ``max_paths`` budget is split evenly across shards
+(ceiling), which bounds the merged total near the serial budget but
+makes the split a *per-shard* budget: one unbalanced subtree can hit
+its slice (marking the merge non-exhausted) while sibling shards
+leave theirs unused — unlike a serial run, which would have spent the
+idle budget on the deep subtree.  When an exploration comes back
+non-exhausted with ``paths_run`` well under ``max_paths``, re-run
+with a larger budget (or more ``frontier_factor`` subtrees, which
+shrinks and rebalances the slices).  ``deadline_s`` is likewise one
+wall-clock budget: shards receive only what the seeding phase left.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..ctypes.implementation import Implementation, LP64
+from ..dynamics.driver import Driver
+from ..dynamics.explore import ExplorationResult, Explorer
+from ..pipeline import compile_for_model
+from .pool import SweepTask, run_tasks
+
+
+def explore_farm(source: str,
+                 model: str = "provenance",
+                 impl: Implementation = LP64,
+                 max_paths: int = 500,
+                 max_steps: int = 500_000,
+                 strategy: str = "dfs",
+                 por: bool = False,
+                 seed: Optional[int] = None,
+                 jobs: int = 1,
+                 store=None,
+                 deadline_s: Optional[float] = None,
+                 frontier_factor: int = 4,
+                 name: str = "<string>",
+                 entry: str = "main",
+                 task_timeout: Optional[float] = None
+                 ) -> ExplorationResult:
+    """Explore one program's state space across ``jobs`` farm workers.
+
+    ``jobs <= 1`` degrades to a plain in-process exploration with the
+    requested strategy — one code path for every caller.  Otherwise
+    the frontier is seeded breadth-first, split into per-prefix shard
+    tasks (each running ``strategy``/``por`` on its subtree), and the
+    shard results merged with correct ``exhausted``/``paths_run``
+    accounting."""
+    program = compile_for_model(source, model, impl, name=name)
+
+    def make_model():
+        return program.make_model(model)
+
+    def make_driver(oracle):
+        return Driver(program.core, make_model(), oracle, max_steps)
+
+    if jobs <= 1:
+        return Explorer(make_driver, max_paths=max_paths, entry=entry,
+                        deadline_s=deadline_s, strategy=strategy,
+                        por=por, seed=seed).run()
+
+    target = max(2, jobs * frontier_factor)
+    seed_start = time.monotonic()
+    seeder = Explorer(make_driver, max_paths=max_paths, entry=entry,
+                      deadline_s=deadline_s, strategy="bfs", por=por,
+                      frontier_target=target)
+    seed_result = seeder.run()
+    frontier = seeder.pending
+    if not frontier:
+        return seed_result      # seeding already finished the space
+    remaining = max_paths - seed_result.paths_run
+    if remaining <= 0:
+        seed_result.exhausted = False
+        return seed_result
+    # deadline_s is one wall-clock budget for the whole exploration:
+    # shards only get what the seeding phase left of it.
+    shard_deadline = deadline_s
+    if deadline_s is not None:
+        shard_deadline = deadline_s - (time.monotonic() - seed_start)
+        if shard_deadline <= 0:
+            seed_result.exhausted = False
+            return seed_result
+    per_shard = -(-remaining // len(frontier))      # ceiling split
+    tasks = [SweepTask(index=i, name=f"{name}#shard{i}",
+                       kind="explore_shard", source=source,
+                       models=(model,), impl=impl,
+                       max_steps=max_steps, max_paths=per_shard,
+                       deadline_s=shard_deadline, strategy=strategy,
+                       por=por, seed=seed, entry=entry,
+                       prefix=tuple(node.choices),
+                       sleep=tuple(node.sleep))
+             for i, node in enumerate(frontier)]
+    results = run_tasks(tasks, jobs=jobs, store=store,
+                        task_timeout=task_timeout)
+    parts: List[ExplorationResult] = [seed_result]
+    all_ok = True
+    for r in results:
+        shard = r.data.get("shard")
+        if shard is None or not r.ok:
+            all_ok = False      # worker died / timed out: incomplete
+            continue
+        parts.append(shard)
+    merged = ExplorationResult.merge(parts)
+    if not all_ok:
+        merged.exhausted = False
+    return merged

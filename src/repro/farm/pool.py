@@ -56,15 +56,18 @@ class Verdict:
     ub: Optional[str] = None
     ub_detail: str = ""
     error: str = ""
+    ub_loc: str = ""
 
     @classmethod
     def from_outcome(cls, o) -> "Verdict":
         return cls(o.status, o.exit_code, o.stdout,
-                   o.ub.name if o.ub else None, o.ub_detail, o.error)
+                   o.ub.name if o.ub else None, o.ub_detail, o.error,
+                   str(o.loc) if o.ub and o.loc.line > 0 else "")
 
     def summary(self) -> str:
         if self.status == "ub":
-            return f"UB[{self.ub}]"
+            from ..dynamics.driver import format_ub
+            return format_ub(self.ub, self.ub_loc)
         if self.status in ("done", "exit"):
             return f"exit={self.exit_code} stdout={self.stdout!r}"
         if self.status == "error":
@@ -74,13 +77,15 @@ class Verdict:
 
 @dataclass
 class ExploreSummary:
-    """An :class:`~repro.dynamics.exhaustive.ExplorationResult`
+    """An :class:`~repro.dynamics.explore.ExplorationResult`
     stripped for IPC: distinct behaviours only, no traces."""
 
     paths_run: int
     exhausted: bool
     behaviours: List[str]
     has_ub: bool
+    pruned: int = 0
+    diverged: int = 0
 
 
 @dataclass
@@ -88,7 +93,14 @@ class SweepTask:
     """One unit of farm work.  ``kind`` selects the worker recipe:
 
     * ``"run"`` — run ``source`` once per model (:func:`run_many`);
-    * ``"explore"`` — exhaustively explore per model;
+    * ``"explore"`` — explore per model (``strategy``/``por`` select
+      the search strategy and partial-order reduction);
+    * ``"explore_shard"`` — explore only the subtree rooted at the
+      oracle choice ``prefix`` (with its POR ``sleep`` set) under
+      ``models[0]`` — one shard of a farm-split frontier, returning a
+      slimmed :class:`~repro.dynamics.explore.ExplorationResult` in
+      ``data["shard"]`` for :func:`~repro.farm.frontier.explore_farm`
+      to merge;
     * ``"suite"`` — the named de facto test-suite entry across models;
     * ``"csmith"`` — generate the seeded program, run it across
       models, classify against the generator's expected output.
@@ -106,6 +118,11 @@ class SweepTask:
     csmith_seed: int = 0                # "csmith": generator seed
     csmith_size: int = 12
     deadline_s: Optional[float] = None  # cooperative in-task deadline
+    strategy: str = "dfs"               # explore*: search strategy
+    por: bool = False                   # explore*: partial-order red.
+    prefix: Tuple[int, ...] = ()        # explore_shard: subtree root
+    sleep: Tuple = ()                   # explore_shard: POR sleep set
+    entry: str = "main"                 # explore_shard: entry proc
 
 
 @dataclass
@@ -190,11 +207,16 @@ def execute_task(task: SweepTask) -> TaskResult:
                                         max_paths=task.max_paths,
                                         max_steps=task.max_steps,
                                         name=task.name,
-                                        deadline_s=task.deadline_s)
+                                        deadline_s=task.deadline_s,
+                                        strategy=task.strategy,
+                                        por=task.por, seed=task.seed)
             result.data["explorations"] = {
                 m: ExploreSummary(r.paths_run, r.exhausted,
-                                  r.behaviours(), r.has_ub())
+                                  r.behaviours(), r.has_ub(),
+                                  r.pruned, r.diverged)
                 for m, r in explorations.items()}
+        elif task.kind == "explore_shard":
+            result.data["shard"] = _explore_shard(task)
         elif task.kind == "suite":
             from ..testsuite.programs import TESTS
             from ..testsuite.runner import run_test_many
@@ -229,6 +251,33 @@ def execute_task(task: SweepTask) -> TaskResult:
     result.wall_s = time.perf_counter() - start
     result.stats = _delta(before, _snapshot())
     return result
+
+
+def _explore_shard(task: SweepTask):
+    """Worker recipe for one frontier shard: compile (store-warm),
+    explore the subtree rooted at the task's prefix, and slim the
+    result for IPC (distinct outcomes only, traces stripped)."""
+    from dataclasses import replace
+    from ..dynamics.explore import (
+        ExplorationResult, PathNode, explore_program,
+    )
+    from ..pipeline import compile_for_model
+    model = task.models[0]
+    program = compile_for_model(task.source, model, task.impl,
+                                name=task.name)
+    node = PathNode(tuple(task.prefix), tuple(task.sleep))
+    r = explore_program(program.core,
+                        lambda: program.make_model(model),
+                        max_paths=task.max_paths,
+                        max_steps=task.max_steps,
+                        entry=task.entry,
+                        deadline_s=task.deadline_s,
+                        strategy=task.strategy, por=task.por,
+                        seed=task.seed, initial=[node])
+    slim = [replace(o, trace=[]) for o in r.distinct()]
+    return ExplorationResult(outcomes=slim, exhausted=r.exhausted,
+                             paths_run=r.paths_run, pruned=r.pruned,
+                             diverged=r.diverged)
 
 
 def _resolve_store(store):
@@ -374,6 +423,7 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
           shard_index: int = 0, shard_count: int = 1,
           max_steps: int = 2_000_000, max_paths: int = 500,
           seed: Optional[int] = None,
+          strategy: str = "dfs", por: bool = False,
           task_timeout: Optional[float] = None) -> List[TaskResult]:
     """Sweep a corpus of C programs across memory object models.
 
@@ -392,7 +442,7 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
     tasks = [SweepTask(index=i, name=name, kind=mode, source=source,
                        models=model_list, impl=impl,
                        max_steps=max_steps, max_paths=max_paths,
-                       seed=seed)
+                       seed=seed, strategy=strategy, por=por)
              for i, (name, source) in enumerate(named)]
     return run_tasks(tasks, jobs=jobs, store=store,
                      task_timeout=task_timeout)

@@ -44,7 +44,7 @@ from .core.typecheck import typecheck_program
 from .cparser import parse_text
 from .ctypes.implementation import Implementation, LP64, CHERI128
 from .dynamics.driver import Oracle, Outcome, run_program
-from .dynamics.exhaustive import ExplorationResult, explore_program
+from .dynamics.explore import ExplorationResult, explore_program
 from .elab import elaborate
 from .errors import CoreTypeError
 from .memory.base import MemoryModel, MemoryOptions
@@ -101,15 +101,22 @@ class CompiledProgram:
                 max_paths: int = 500,
                 max_steps: int = 500_000,
                 deadline_s: Optional[float] = None,
+                strategy: str = "dfs",
+                por: bool = False,
+                seed: Optional[int] = None,
                 **model_kwargs) -> ExplorationResult:
-        """Exhaustively explore all allowed executions (the paper's
-        test-oracle mode, §5.1).  ``deadline_s`` bounds the whole
-        enumeration by wall-clock (farm per-task timeouts)."""
+        """Explore the allowed executions (the paper's test-oracle
+        mode, §5.1).  ``deadline_s`` bounds the whole enumeration by
+        wall-clock (farm per-task timeouts); ``strategy`` picks the
+        frontier order (``dfs``/``bfs``/``random``/``coverage``,
+        ``seed`` seeding the latter two) and ``por`` enables sleep-set
+        partial-order reduction at unseq scheduling points."""
         return explore_program(
             self.core,
             lambda: self.make_model(model, options, **model_kwargs),
             max_paths=max_paths, max_steps=max_steps,
-            deadline_s=deadline_s)
+            deadline_s=deadline_s, strategy=strategy, por=por,
+            seed=seed)
 
 
 # Historical name for the compiled artifact.
@@ -282,12 +289,15 @@ def explore_c(source: str, model: str = "provenance",
               options: Optional[MemoryOptions] = None,
               max_paths: int = 500,
               max_steps: int = 500_000,
+              strategy: str = "dfs",
+              por: bool = False,
+              seed: Optional[int] = None,
               **model_kwargs) -> ExplorationResult:
-    """One-shot: compile (memoised) and exhaustively explore a C
-    program."""
+    """One-shot: compile (memoised) and explore a C program under the
+    chosen search strategy, optionally with partial-order reduction."""
     return compile_for_model(source, model, impl).explore(
         model, options, max_paths=max_paths, max_steps=max_steps,
-        **model_kwargs)
+        strategy=strategy, por=por, seed=seed, **model_kwargs)
 
 
 def _compile_per_impl(source: str, models: Iterable[str],
@@ -335,11 +345,15 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                  name: str = "<string>",
                  use_cache: bool = True,
                  deadline_s: Optional[float] = None,
+                 strategy: str = "dfs",
+                 por: bool = False,
+                 seed: Optional[int] = None,
                  **model_kwargs) -> Dict[str, ExplorationResult]:
-    """Exhaustively explore one program under many memory object models
-    (default: all registered), compiling once per distinct
-    implementation environment.  ``deadline_s`` is a per-model
-    wall-clock budget for the enumeration."""
+    """Explore one program under many memory object models (default:
+    all registered), compiling once per distinct implementation
+    environment.  ``deadline_s`` is a per-model wall-clock budget for
+    the enumeration; ``strategy``/``por``/``seed`` select the search
+    strategy and partial-order reduction per model."""
     programs = _compile_per_impl(source,
                                  tuple(MODELS) if models is None
                                  else tuple(models),
@@ -347,5 +361,6 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
     return {model: program.explore(model, options, max_paths=max_paths,
                                    max_steps=max_steps,
                                    deadline_s=deadline_s,
-                                   **model_kwargs)
+                                   strategy=strategy, por=por,
+                                   seed=seed, **model_kwargs)
             for model, program in programs.items()}

@@ -1,5 +1,7 @@
-"""The exhaustive driver: oracle replay, full behaviour enumeration
-(paper §5.1 "exhaustive search for all allowed executions")."""
+"""The default (DFS, no-POR) explorer: oracle replay, full behaviour
+enumeration (paper §5.1 "exhaustive search for all allowed
+executions").  This is the oracle-of-record configuration the other
+strategies and partial-order reduction are tested against."""
 
 from repro.dynamics.driver import Oracle
 
@@ -11,15 +13,33 @@ class TestOracle:
         assert o.choose("b", 2) == 0
         assert o.choose("c", 4) == 2
         assert o.choose("d", 5) == 0  # beyond prefix: default
+        assert not o.diverged
 
-    def test_choice_clamped(self):
+    def test_stale_choice_clamped_and_flagged(self):
+        # A replayed choice beyond the current arity is clamped (old
+        # behaviour) but now flags divergence so the explorer can
+        # discard the path instead of silently mis-replaying it.
         o = Oracle([7])
         assert o.choose("a", 2) == 1
+        assert o.diverged
 
     def test_trace_records_arity(self):
         o = Oracle()
         o.choose("x", 3)
         assert o.trace == [("x", 3, 0)]
+
+    def test_events_record_choice_metadata(self):
+        o = Oracle(record_events=True)
+        o.choose("unseq", 2, (4, (0, 1)))
+        assert o.events == [("choose", "unseq", 2, 0, (4, (0, 1)))]
+
+    def test_plain_oracle_skips_event_log(self):
+        # Single-run oracles must not accumulate an unbounded event
+        # list nothing reads; only the explorer turns recording on.
+        o = Oracle()
+        o.choose("nd", 2)
+        o.note_action("store", None, True, (), True)
+        assert o.events is None
 
 
 class TestExploration:

@@ -229,6 +229,49 @@ int main(void) { pr('a') + pr('b'); return 0; }''')
         assert "executions explored" in out
         assert "ab" in out and "ba" in out
 
+    def test_exhaustive_strategy_flag(self, tmp_path, capsys):
+        path = self._write(tmp_path, r'''
+#include <stdio.h>
+int pr(int c) { putchar(c); return 0; }
+int main(void) { pr('a') + pr('b'); return 0; }''')
+        for strategy in ("dfs", "bfs", "random", "coverage"):
+            code = cli_main([path, "--exhaustive", "--max-paths",
+                             "300", "--strategy", strategy,
+                             "--seed", "3"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "ab" in out and "ba" in out, strategy
+
+    def test_exhaustive_por_flag(self, tmp_path, capsys):
+        path = self._write(tmp_path,
+                           "int a, b; int main(void)"
+                           "{ (a=1)+(b=2); return a+b-3; }")
+        assert cli_main([path, "--exhaustive"]) == 0
+        base = capsys.readouterr().out
+        assert cli_main([path, "--exhaustive", "--por"]) == 0
+        por = capsys.readouterr().out
+        assert "pruned" in por and "pruned" not in base
+        assert "exit=0" in por
+
+    def test_exhaustive_explore_jobs(self, tmp_path, capsys):
+        path = self._write(tmp_path,
+                           "int a, b; int main(void)"
+                           "{ (a=1)+(b=2); return a+b-3; }")
+        code = cli_main([path, "--exhaustive", "--explore-jobs", "2",
+                         "--max-paths", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executions explored: 576 (complete)" in out
+
+    def test_explore_jobs_rejected_with_models(self, tmp_path, capsys):
+        # Two fan-out axes at once: refuse loudly, don't silently run
+        # an unsharded per-model exploration.
+        path = self._write(tmp_path, "int main(void){ return 0; }")
+        code = cli_main([path, "--models", "all", "--exhaustive",
+                         "--explore-jobs", "4"])
+        assert code == 2
+        assert "--explore-jobs" in capsys.readouterr().err
+
     def test_model_flag(self, tmp_path):
         path = self._write(tmp_path, r'''
 int main(void) {
