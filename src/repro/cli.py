@@ -14,7 +14,11 @@ Exploration flags (see :mod:`repro.dynamics.explore`):
 * ``--por`` — sleep-set partial-order reduction at unseq scheduling
   points: identical behaviour sets, several-fold fewer paths;
 * ``--explore-jobs N`` — shard one program's exploration frontier
-  across N farm workers and merge the results.
+  across N farm workers and merge the results;
+* ``--explore-store DIR`` — persist exploration results as records
+  (:mod:`repro.farm.explorestore`): an unchanged program is never
+  re-explored, and an interrupted exploration resumes from its
+  persisted frontier (``farm sweep --resume``).
 
 Farm flags (see :mod:`repro.farm`):
 
@@ -121,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explore-jobs", type=int, default=1, metavar="N",
                    help="shard the exploration frontier across N farm "
                         "workers (single-model --exhaustive only)")
+    p.add_argument("--explore-store", default=None, metavar="DIR",
+                   help="persist exploration results as records in "
+                        "this artifact store: an unchanged program is "
+                        "never re-explored (zero paths re-run on a "
+                        "warm hit) and an interrupted exploration "
+                        "resumes from its persisted frontier")
     p.add_argument("--pp-core", action="store_true",
                    help="pretty-print the elaborated Core and exit")
     p.add_argument("--max-steps", type=int, default=2_000_000)
@@ -160,6 +170,10 @@ def main(argv=None) -> int:
         print(pretty_program(pipeline.core))
         return 0
     if args.exhaustive:
+        explore_store = None
+        if args.explore_store:
+            from .farm.explorestore import ExploreStore
+            explore_store = ExploreStore(args.explore_store)
         if args.explore_jobs > 1:
             from .farm.frontier import explore_farm
             result = explore_farm(source, model=args.model, impl=impl,
@@ -168,17 +182,26 @@ def main(argv=None) -> int:
                                   strategy=args.strategy,
                                   por=args.por, seed=args.seed,
                                   jobs=args.explore_jobs,
-                                  store=args.store, name=args.file)
+                                  store=args.store,
+                                  explore_store=explore_store,
+                                  name=args.file)
         else:
             result = pipeline.explore(args.model,
                                       max_paths=args.max_paths,
                                       max_steps=args.max_steps,
                                       strategy=args.strategy,
-                                      por=args.por, seed=args.seed)
+                                      por=args.por, seed=args.seed,
+                                      store=explore_store,
+                                      name=args.file)
         pruned = f", {result.pruned} pruned" if result.pruned else ""
         print(f"executions explored: {result.paths_run} "
               f"({'complete' if result.exhausted else 'budget hit'}"
               f"{pruned})")
+        if explore_store is not None:
+            es = explore_store.stats()
+            print(f"explore store: hits={es['hits']} "
+                  f"resumes={es['resumes']} "
+                  f"live paths={es['live_paths']}")
         for outcome in result.distinct():
             print(f"  {outcome.summary()}")
         return 1 if result.has_ub() else 0
@@ -240,7 +263,8 @@ def _run_batch(args, source: str, impl) -> int:
                                    max_steps=args.max_steps,
                                    name=args.file,
                                    strategy=args.strategy,
-                                   por=args.por, seed=args.seed)
+                                   por=args.por, seed=args.seed,
+                                   store=args.explore_store)
             for model, res in results.items():
                 behaviours = " | ".join(o.summary()
                                         for o in res.distinct())
@@ -269,7 +293,8 @@ def _run_batch_farm(args, source: str, impl, models) -> int:
                        source=source, models=(model,), impl=impl,
                        max_steps=args.max_steps,
                        max_paths=args.max_paths, seed=args.seed,
-                       strategy=args.strategy, por=args.por)
+                       strategy=args.strategy, por=args.por,
+                       explore_store=args.explore_store)
              for i, model in enumerate(models)]
     results = run_tasks(tasks, jobs=args.jobs, store=args.store)
     statuses, any_ub = set(), False
@@ -337,6 +362,14 @@ def build_farm_parser() -> argparse.ArgumentParser:
                             "(reproducible sampled campaigns)")
     sweep.add_argument("--max-steps", type=int, default=2_000_000)
     sweep.add_argument("--max-paths", type=int, default=500)
+    sweep.add_argument("--explore-store", default=None, metavar="DIR",
+                       help="persist --exhaustive results as "
+                            "exploration records: warm re-sweeps of "
+                            "unchanged programs re-run zero paths")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume interrupted explorations from "
+                            "frontiers persisted in --explore-store "
+                            "(complete records are always reused)")
 
     for sp in (suite, csmith, sweep):
         _add_farm_flags(sp)
@@ -355,6 +388,12 @@ def _finish_campaign(campaign, report_path: Optional[str]) -> None:
           f"translations={cache['translations']}  "
           f"store hits={cache['store_hits']}"
           + (f" (rate {rate})" if rate is not None else ""))
+    if cache.get("explore_hits") or cache.get("explore_misses"):
+        erate = cache.get("explore_hit_rate")
+        print(f"explore records: hits={cache['explore_hits']}  "
+              f"resumes={cache.get('explore_resumes', 0)}  "
+              f"live paths={cache.get('explore_live_paths', 0)}"
+              + (f" (rate {erate})" if erate is not None else ""))
     if report_path:
         campaign.write(report_path)
         print(f"campaign report: {report_path}")
@@ -423,6 +462,7 @@ def farm_main(argv) -> int:
         store=args.store, shard=args.shard,
         max_steps=args.max_steps, max_paths=args.max_paths,
         strategy=args.strategy, por=args.por, seed=args.seed,
+        explore_store=args.explore_store, resume=args.resume,
         task_timeout=args.task_timeout)
     for entry in campaign.results:
         for model, verdict in entry.get("verdicts", {}).items():

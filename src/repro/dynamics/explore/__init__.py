@@ -30,6 +30,26 @@ state-space engine over oracle choice prefixes:
 :mod:`~repro.dynamics.explore.result`
     :class:`ExplorationResult` — outcome accounting, behaviour
     deduplication (UB name *and* location), shard merging.
+
+The resume seam
+===============
+
+Because a :class:`PathNode` prefix fully determines its replay, a
+frontier is an exact, picklable cut through the exploration tree —
+so exploration persists and resumes like any other artifact.
+``explore_all``/``explore_program`` accept ``store=``/``resume=``/
+``cache_key=`` (implemented by :mod:`repro.farm.explorestore`): a
+completed exploration is served from its stored record with zero
+paths re-run, and an interrupted one — path budget, wall-clock
+deadline, process kill — persists its pending frontier plus the
+accounting so far.  ``Explorer(requeue_interrupted=True)`` makes the
+deadline cut exact: a path aborted mid-run goes back on the frontier
+uncounted, so the resumed run's merged behaviour set and
+``paths_run``/``pruned``/``diverged`` accounting equal an
+uninterrupted serial run's (pinned by ``tests/test_explore_resume.py``
+across every strategy × POR).  ``SearchStrategy.drain`` returns the
+frontier in a *restorable* order — re-pushing it reproduces the
+interrupted pop order.
 """
 
 from __future__ import annotations

@@ -20,7 +20,15 @@ adds, on top of the historical replay-DFS:
   instead of blowing a farm task budget;
 * mid-flight frontier handoff (``frontier_target``) — the seeding
   phase of farm-sharded exploration stops once the frontier is wide
-  enough and exposes the remaining nodes via :attr:`Explorer.pending`.
+  enough and exposes the remaining nodes via :attr:`Explorer.pending`;
+* incremental re-exploration (``store=``/``resume=``/``cache_key=`` on
+  :func:`explore_all`/:func:`explore_program`, implemented by
+  :mod:`repro.farm.explorestore`) — completed results and interrupted
+  frontiers persist in the artifact store, so an unchanged program is
+  never re-explored and an interrupted campaign resumes exactly where
+  it stopped (``requeue_interrupted`` puts a deadline-aborted path
+  back on the frontier uncounted, keeping resumed accounting equal to
+  an uninterrupted run's).
 """
 
 from __future__ import annotations
@@ -45,7 +53,8 @@ class Explorer:
                  por: bool = False,
                  seed: Optional[int] = None,
                  initial: Optional[Sequence[PathNode]] = None,
-                 frontier_target: Optional[int] = None):
+                 frontier_target: Optional[int] = None,
+                 requeue_interrupted: bool = False):
         self.make_driver = make_driver
         self.max_paths = max_paths
         self.entry = entry
@@ -54,6 +63,12 @@ class Explorer:
         self.por = por
         self.initial = list(initial) if initial is not None else None
         self.frontier_target = frontier_target
+        # Resumable-interruption mode: a path the wall-clock deadline
+        # aborted *mid-run* is put back on the frontier uncounted
+        # instead of surfacing as a "timeout" outcome, so a later run
+        # resuming from :attr:`pending` replays it in full and the
+        # merged accounting equals an uninterrupted run's.
+        self.requeue_interrupted = requeue_interrupted
         #: Nodes left unexplored after :meth:`run` — empty unless a
         #: budget/deadline was hit or ``frontier_target`` stopped the
         #: loop for a farm handoff.
@@ -89,6 +104,32 @@ class Explorer:
             if deadline is not None:
                 driver.deadline = deadline   # cooperative in-path stop
             outcome = driver.run(self.entry)
+            if (self.requeue_interrupted
+                    and outcome.status == "timeout"
+                    and deadline is not None
+                    and time.monotonic() >= deadline):
+                # The deadline fired inside this path: the aborted
+                # attempt is not a behaviour.  Normally the node is
+                # requeued uncounted so a resumed run replays it from
+                # scratch (a genuine max_steps timeout straddling the
+                # deadline is re-produced deterministically by the
+                # resume).  But when not even one path fit this
+                # invocation's deadline, requeueing would livelock
+                # every same-deadline resume on the node — instead
+                # the path is *abandoned*: counted (progress), no
+                # outcome recorded (a deadline-dependent "timeout" is
+                # not a behaviour of the program and must never enter
+                # a deadline-independent record), its subtree
+                # unexplored, the exploration permanently
+                # non-exhausted.
+                if result.paths_run > 0:
+                    result.exhausted = False
+                    self.pending = self.strategy.drain_interrupted(node)
+                    return result
+                result.paths_run += 1
+                result.abandoned += 1
+                result.exhausted = False
+                continue
             result.paths_run += 1
             if outcome.diverged:
                 # The replayed prefix no longer matches the program's
@@ -122,8 +163,10 @@ def explore_all(make_driver: Callable[[Oracle], Driver],
                 strategy="dfs",
                 por: bool = False,
                 seed: Optional[int] = None,
-                initial: Optional[Sequence[PathNode]] = None
-                ) -> ExplorationResult:
+                initial: Optional[Sequence[PathNode]] = None,
+                store=None,
+                resume: bool = True,
+                cache_key: Optional[str] = None) -> ExplorationResult:
     """Run ``make_driver`` over every oracle path (up to ``max_paths``).
 
     ``make_driver`` must build a *fresh* driver (and fresh memory
@@ -133,7 +176,26 @@ def explore_all(make_driver: Callable[[Oracle], Driver],
     frontier order (see :data:`~.strategies.STRATEGIES`), ``seed``
     seeds the random/coverage strategies, ``por`` enables sleep-set
     partial-order reduction, and ``initial`` restricts the search to
-    the subtrees rooted at the given prefixes (farm shards)."""
+    the subtrees rooted at the given prefixes (farm shards).
+
+    ``store`` (anything :func:`repro.farm.explorestore.ExploreStore`
+    wraps — an ``ExploreStore``, an ``ArtifactStore``, or a directory
+    path) plus a ``cache_key`` (see ``ExploreStore.key``) make the
+    enumeration *incremental*: a complete record for the key is
+    returned with zero paths re-run, an interrupted enumeration
+    persists its frontier, and — with ``resume=True`` — a later call
+    picks up exactly where it stopped."""
+    if store is not None and cache_key is not None:
+        if initial is not None:
+            raise ValueError("store-backed exploration owns the "
+                             "frontier; initial= cannot be combined "
+                             "with store=/cache_key=")
+        from ...farm.explorestore import ExploreStore, cached_explore
+        return cached_explore(make_driver, store=ExploreStore.wrap(store),
+                              key=cache_key, resume=resume,
+                              max_paths=max_paths, entry=entry,
+                              deadline_s=deadline_s, strategy=strategy,
+                              por=por, seed=seed)
     return Explorer(make_driver, max_paths=max_paths, entry=entry,
                     deadline_s=deadline_s, strategy=strategy, por=por,
                     seed=seed, initial=initial).run()
@@ -147,13 +209,20 @@ def explore_program(program, make_model: Callable[[], object],
                     strategy="dfs",
                     por: bool = False,
                     seed: Optional[int] = None,
-                    initial: Optional[Sequence[PathNode]] = None
+                    initial: Optional[Sequence[PathNode]] = None,
+                    store=None,
+                    resume: bool = True,
+                    cache_key: Optional[str] = None
                     ) -> ExplorationResult:
     """Enumerate oracle paths of a *pre-compiled* Core program.
 
     ``program`` is an elaborated :class:`repro.core.ast.Program` and
     ``make_model()`` builds a fresh memory model per path — so path
     enumeration replays execution only; the front end never re-runs.
+    ``store``/``resume``/``cache_key`` thread the incremental
+    re-exploration seam through (see :func:`explore_all`); the Core
+    program itself carries no content address, so the caller supplies
+    the key (:meth:`repro.pipeline.CompiledProgram.explore` does).
     """
 
     def make_driver(oracle: Oracle) -> Driver:
@@ -161,4 +230,5 @@ def explore_program(program, make_model: Callable[[], object],
 
     return explore_all(make_driver, max_paths=max_paths, entry=entry,
                        deadline_s=deadline_s, strategy=strategy,
-                       por=por, seed=seed, initial=initial)
+                       por=por, seed=seed, initial=initial,
+                       store=store, resume=resume, cache_key=cache_key)

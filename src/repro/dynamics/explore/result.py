@@ -19,9 +19,12 @@ class ExplorationResult:
     """All executions found within the budget.
 
     ``paths_run`` counts every driver run launched, including runs the
-    sleep-set scheduler aborted as redundant re-orderings (``pruned``)
-    and runs whose replay prefix no longer matched the choice-point
-    arities (``diverged``, discarded from ``outcomes``).
+    sleep-set scheduler aborted as redundant re-orderings (``pruned``),
+    runs whose replay prefix no longer matched the choice-point
+    arities (``diverged``, discarded from ``outcomes``), and paths a
+    wall-clock deadline cut mid-run that no later resume can finish
+    (``abandoned``: no behaviour recorded, subtree unexplored — the
+    exploration is permanently non-exhausted).
     """
 
     outcomes: List[Outcome] = field(default_factory=list)
@@ -29,6 +32,7 @@ class ExplorationResult:
     paths_run: int = 0
     pruned: int = 0             # sleep-set-blocked redundant orders
     diverged: int = 0           # stale replays, detected and discarded
+    abandoned: int = 0          # deadline-cut mid-run, unfinishable
 
     @staticmethod
     def behaviour_key(o: Outcome) -> Tuple:
@@ -72,5 +76,6 @@ class ExplorationResult:
             merged.paths_run += p.paths_run
             merged.pruned += p.pruned
             merged.diverged += p.diverged
+            merged.abandoned += p.abandoned
             merged.exhausted = merged.exhausted and p.exhausted
         return merged

@@ -49,11 +49,33 @@ class SearchStrategy:
         raise NotImplementedError
 
     def drain(self) -> List[PathNode]:
-        """Remove and return every pending node (frontier handoff)."""
+        """Remove and return every pending node (frontier handoff).
+
+        The order is *restorable* for the deterministic strategies:
+        pushing the returned nodes back into a fresh instance of the
+        same strategy, in sequence, reproduces the drained frontier's
+        pop order — so a persisted frontier
+        (:mod:`repro.farm.explorestore`) resumes where the
+        interrupted exploration stopped.  Queue-shaped strategies are
+        restorable as-is; LIFO ``dfs`` overrides this to return its
+        stack bottom-first.  ``random`` is inherently a frontier
+        *sample* — a fresh instance re-seeds its RNG, so only the
+        node *set* (which fully determines a run-to-completion
+        result) is preserved, not the pop order."""
         out = []
         while len(self):
             out.append(self.pop())
         return out
+
+    def drain_interrupted(self, node: PathNode) -> List[PathNode]:
+        """Drain plus the node whose run was aborted mid-path, in
+        restorable order: the aborted node was the *last pop*, so on
+        resume it must pop first again (modulo ``random``'s
+        re-seeded sampling — see :meth:`drain`).  Queue-shaped
+        strategies pop the earliest push among equals, so it goes in
+        front; LIFO ``dfs`` overrides to append it (last push pops
+        first)."""
+        return [node] + self.drain()
 
 
 class DfsStrategy(SearchStrategy):
@@ -73,6 +95,18 @@ class DfsStrategy(SearchStrategy):
 
     def __len__(self) -> int:
         return len(self._stack)
+
+    def drain(self) -> List[PathNode]:
+        # Bottom-first: re-pushing in this order rebuilds the stack,
+        # so the resumed pop order equals the uninterrupted one (the
+        # base pop-until-empty drain would hand back a reversed
+        # stack).
+        out = self._stack
+        self._stack = []
+        return out
+
+    def drain_interrupted(self, node: PathNode) -> List[PathNode]:
+        return self.drain() + [node]    # re-pushed last -> pops first
 
 
 class BfsStrategy(SearchStrategy):

@@ -34,6 +34,21 @@ Layers
     ``jobs=1`` degrades to a serial in-process loop, so every caller
     has one code path.
 
+:mod:`repro.farm.explorestore` — incremental re-exploration
+    :class:`~repro.farm.explorestore.ExplorationRecord` persists
+    completed exploration results *and* interrupted frontiers
+    (picklable :class:`~repro.dynamics.explore.PathNode` prefixes +
+    sleep sets) as kind-prefixed records in the same
+    :class:`~repro.farm.store.ArtifactStore`, keyed on the exploration
+    space — source, implementation, model, entry, step budget,
+    strategy, seed, POR, schema version.  A warm hit returns the
+    recorded result with **zero** paths re-run; a resumed interrupted
+    campaign merges to exactly what an uninterrupted serial run would
+    have produced.  Seams: ``CompiledProgram.explore(store=)``,
+    ``explore_many(store=)``, ``explore_farm(explore_store=)``,
+    ``sweep_campaign(explore_store=, resume=)``, CLI
+    ``--explore-store`` / ``farm sweep --resume``.
+
 :mod:`repro.farm.frontier` — farm-sharded state-space exploration
     :func:`~repro.farm.frontier.explore_farm` splits one program's
     exploration frontier (oracle choice prefixes from a breadth-first
@@ -77,6 +92,7 @@ CLI::
 from __future__ import annotations
 
 from .store import STORE_SCHEMA_VERSION, ArtifactStore
+from .explorestore import ExplorationRecord, ExploreStore
 from .pool import SweepTask, TaskResult, Verdict, shard_select, sweep
 from .campaign import (
     CampaignReport, csmith_campaign, suite_campaign, sweep_campaign,
@@ -86,6 +102,8 @@ from .frontier import explore_farm
 __all__ = [
     "ArtifactStore",
     "STORE_SCHEMA_VERSION",
+    "ExplorationRecord",
+    "ExploreStore",
     "SweepTask",
     "TaskResult",
     "Verdict",

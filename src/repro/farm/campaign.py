@@ -59,6 +59,10 @@ class CampaignReport:
                                              cache["memory_misses"])
         cache["store_hit_rate"] = _hit_rate(cache["store_hits"],
                                             cache["store_misses"])
+        # Exploration-record reuse (mode="explore" with an explore
+        # store): warm campaigns show hit rate 1.0 and zero live paths.
+        cache["explore_hit_rate"] = _hit_rate(cache["explore_hits"],
+                                              cache["explore_misses"])
         return cls(kind, list(models), jobs, tuple(shard),
                    len(task_results), round(wall_s, 4), cache,
                    summary, results)
@@ -233,12 +237,21 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                    strategy: str = "dfs",
                    por: bool = False,
                    seed: Optional[int] = None,
+                   explore_store=None,
+                   resume: bool = True,
                    task_timeout: Optional[float] = None):
     """Sweep an ad-hoc ``(name, source)`` corpus; returns
     ``(task_results, CampaignReport)``.  ``strategy``/``por``/``seed``
     select the search strategy, partial-order reduction, and the
     random/coverage strategy seed for ``mode="explore"`` tasks (the
-    seed makes random-strategy campaigns reproducible)."""
+    seed makes random-strategy campaigns reproducible).
+    ``explore_store`` (a directory, :class:`~repro.farm.store.
+    ArtifactStore`, or :class:`~repro.farm.explorestore.ExploreStore`)
+    persists per-program × per-model exploration records: shards
+    publish what they explore, warm re-sweeps re-run zero paths (the
+    report's ``explore_hit_rate``/``explore_live_paths`` counters show
+    it), and ``resume`` continues interrupted explorations from their
+    persisted frontier."""
     model_list = list(models) if models is not None else list(MODELS)
     start = time.perf_counter()
     task_results = sweep(programs, models=model_list, jobs=jobs,
@@ -246,6 +259,7 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                          shard_index=shard[0], shard_count=shard[1],
                          max_steps=max_steps, max_paths=max_paths,
                          seed=seed, strategy=strategy, por=por,
+                         explore_store=explore_store, resume=resume,
                          task_timeout=task_timeout)
     wall = time.perf_counter() - start
 

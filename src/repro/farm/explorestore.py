@@ -1,0 +1,269 @@
+"""Incremental re-exploration: persisted exploration results.
+
+The paper's method re-runs the same de facto test programs under many
+memory-object models and compares the resulting behaviour sets — and
+until now every campaign re-explored every program from scratch even
+when nothing changed.  This module makes exploration itself a cached,
+resumable artifact, the way PR 1/2 did for translation:
+
+* a **completed** :class:`~repro.dynamics.explore.ExplorationResult`
+  (distinct behaviour set, ``paths_run``/``pruned``/``diverged``
+  accounting) is persisted as an :class:`ExplorationRecord` in the
+  content-addressed :class:`~repro.farm.store.ArtifactStore`, keyed on
+  everything that determines the exploration — source text,
+  implementation environment, memory model, entry procedure, step
+  budget, search strategy, seed, partial-order reduction, and the
+  store schema version.  A warm hit returns the recorded result with
+  **zero** paths re-run;
+* an **interrupted** exploration (wall-clock deadline, path budget,
+  task kill) persists its live frontier — the picklable
+  :class:`~repro.dynamics.explore.PathNode` prefixes (+ sleep sets)
+  the engine had not yet expanded — together with the accounting so
+  far.  A later run under the same key *resumes* from that frontier:
+  the merged result's behaviour set and accounting equal an
+  uninterrupted serial run's, because exploration is a tree of
+  independent subtrees and the frontier is an exact cut through it.
+
+Keying deliberately excludes the wall-clock deadline and the path
+budget: they bound *how much* of the state space one invocation walks,
+not *which* state space it walks, so a campaign interrupted under one
+budget can be finished under another.
+
+Entry points: :meth:`repro.pipeline.CompiledProgram.explore(store=)`,
+``explore_many(store=)``, :func:`repro.farm.frontier.explore_farm`
+(``explore_store=``), ``sweep_campaign(explore_store=)``, and the CLI
+(``cerberus-py --explore-store DIR``, ``farm sweep --resume``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dynamics.explore import ExplorationResult, Explorer, PathNode
+from .store import ArtifactStore
+
+#: The record kind folded into every exploration content address.
+RECORD_KIND = "exploration"
+
+
+@dataclass
+class ExplorationRecord:
+    """One persisted exploration: either a finished result, or the
+    accounting-so-far of an interrupted one plus the frontier needed
+    to finish it.
+
+    ``outcomes`` are slimmed for storage exactly like farm-shard IPC:
+    deduplicated by observable behaviour (UB name *and* site) with
+    traces stripped — ``paths_run`` keeps the full count.  For a
+    partial record (``complete=False``, non-empty ``frontier``) the
+    stored ``exhausted`` flag is merge-neutral: ``True`` when the
+    only unexplored work is the frontier itself (exhaustion of the
+    merged exploration is then decided by the resumed remainder — a
+    partial returned *without* resuming is flagged not-exhausted by
+    the caller), but ``False`` when a diverged replay or a
+    deadline-abandoned path lost a subtree, because that loss is
+    permanent: no frontier node can re-mine it, so an uninterrupted
+    run would report not-exhausted too.
+
+    ``budget`` records the ``max_paths`` of the producing request:
+    farm-sharded runs can overshoot their budget by up to one path
+    per shard (ceiling split), so "is this record reusable under the
+    caller's budget" must compare against what the identical call
+    would have produced, not against ``paths_run`` alone (see
+    :func:`plan_cached`)."""
+
+    complete: bool
+    exhausted: bool
+    paths_run: int
+    pruned: int
+    diverged: int
+    outcomes: List
+    frontier: Tuple[PathNode, ...] = ()
+    abandoned: int = 0
+    budget: Optional[int] = None
+
+    @classmethod
+    def from_result(cls, result: ExplorationResult,
+                    frontier: Sequence[PathNode] = (),
+                    budget: Optional[int] = None
+                    ) -> "ExplorationRecord":
+        frontier = tuple(frontier)
+        slim = [replace(o, trace=[]) for o in result.distinct()]
+        return cls(complete=not frontier,
+                   exhausted=result.exhausted if not frontier
+                   else result.diverged == 0 and result.abandoned == 0,
+                   paths_run=result.paths_run,
+                   pruned=result.pruned,
+                   diverged=result.diverged,
+                   outcomes=slim,
+                   frontier=frontier,
+                   abandoned=result.abandoned,
+                   budget=budget)
+
+    def to_result(self) -> ExplorationResult:
+        return ExplorationResult(outcomes=list(self.outcomes),
+                                 exhausted=self.exhausted,
+                                 paths_run=self.paths_run,
+                                 pruned=self.pruned,
+                                 diverged=self.diverged,
+                                 abandoned=self.abandoned)
+
+
+class ExploreStore:
+    """Exploration records in (a view of) an :class:`ArtifactStore`.
+
+    Wraps an existing store, a store directory path, or another
+    ``ExploreStore`` (passed through), so every caller seam accepts
+    whatever the user already has.  Records share the backing store's
+    durability contract — atomic writes, corruption -> silent
+    re-explore, size-bounded LRU eviction (exploration bytes count),
+    and ``schema_version`` invalidation."""
+
+    def __init__(self, store):
+        self.store = store if hasattr(store, "get_record") \
+            else ArtifactStore(store)
+        # Per-handle counters beyond the backing store's record_*:
+        # how often a partial frontier was resumed, and how many paths
+        # were actually run live (warm hits add zero).
+        self._counters: Dict[str, int] = {"resumes": 0,
+                                          "live_paths": 0}
+
+    @classmethod
+    def wrap(cls, store) -> "ExploreStore":
+        return store if isinstance(store, cls) else cls(store)
+
+    # -- content addressing ---------------------------------------------------
+
+    def key(self, source: str, impl, model: str,
+            name: str = "<string>",
+            entry: str = "main",
+            max_steps: int = 500_000,
+            strategy="dfs",
+            seed: Optional[int] = None,
+            por: bool = False,
+            options=None,
+            model_kwargs: Optional[Dict] = None) -> str:
+        """The content address of one exploration *space*: everything
+        that determines which paths exist and what they do — the
+        memory-model ``options`` and extra model constructor kwargs
+        included (both are dataclass/plain values with deterministic
+        reprs), or explorations under different semantic knobs would
+        alias to one record.  Budgets (``max_paths``, ``deadline_s``)
+        are deliberately excluded — they decide how much of the space
+        one invocation walks, and live in the record as accounting
+        instead."""
+        strategy_name = strategy if isinstance(strategy, str) \
+            else getattr(strategy, "name", strategy.__class__.__name__)
+        return self.store.record_key(
+            RECORD_KIND, source, repr(impl), model, name, entry,
+            str(max_steps), str(strategy_name), str(seed), str(por),
+            repr(options),
+            repr(sorted((model_kwargs or {}).items())))
+
+    # -- record round-trip ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[ExplorationRecord]:
+        # A foreign object under our key is a (counted) miss and is
+        # dropped like any corrupt entry — the backing store does the
+        # type check so its hit/miss counters stay truthful.
+        return self.store.get_record(key, ExplorationRecord)
+
+    def put(self, key: str, record: ExplorationRecord) -> None:
+        self.store.put_record(key, record)
+
+    # -- observability --------------------------------------------------------
+
+    def note_resume(self) -> None:
+        self._counters["resumes"] += 1
+
+    def note_live(self, paths: int) -> None:
+        self._counters["live_paths"] += paths
+
+    def stats(self) -> Dict[str, int]:
+        """Hits/misses/stores of exploration records in the backing
+        store, plus this handle's resume and live-path counters."""
+        ss = self.store.stats()
+        return {"hits": ss["record_hits"],
+                "misses": ss["record_misses"],
+                "stores": ss["record_stores"],
+                "corrupt": ss["corrupt"],
+                **self._counters}
+
+
+def plan_cached(store: ExploreStore, key: str,
+                max_paths: int
+                ) -> Tuple[Optional[ExplorationRecord], bool]:
+    """The record-cache pre-flight shared by the serial
+    (:func:`cached_explore`) and farm
+    (:func:`repro.farm.frontier.explore_farm`) seams — one copy of
+    the reuse rule, so the two can never drift:
+
+    returns ``(record, publish)``.  ``record`` is the stored record
+    when it is reusable under the caller's ``max_paths`` — its
+    ``paths_run`` fits the budget, or it overshot only because its
+    own producing ``budget`` (<= the caller's) was ceiling-split
+    across farm shards, i.e. the identical call would have produced
+    it — and ``None`` otherwise.  ``publish`` says whether a live
+    run's result may overwrite the store entry: ``False`` exactly
+    when an unusable *fuller* record exists, which a smaller
+    re-exploration must not clobber."""
+    rec = store.get(key)
+    if rec is not None and rec.paths_run > max_paths and \
+            (rec.budget is None or rec.budget > max_paths):
+        return None, False
+    return rec, True
+
+
+def cached_explore(make_driver, *, store: ExploreStore, key: str,
+                   resume: bool = True,
+                   max_paths: int = 500,
+                   entry: str = "main",
+                   deadline_s: Optional[float] = None,
+                   strategy="dfs",
+                   por: bool = False,
+                   seed: Optional[int] = None) -> ExplorationResult:
+    """The incremental exploration loop behind every ``store=`` seam.
+
+    * complete record within the budget -> returned as-is, **zero**
+      paths re-run;
+    * record covering *more* paths than ``max_paths`` -> ignored (a
+      warm hit would return behaviours a cold bounded run cannot
+      see), the request is explored live, and the fuller record is
+      left intact — not clobbered by the smaller result;
+    * partial record + ``resume`` -> the engine restarts from the
+      persisted frontier with the budget that remains, and the merged
+      result (behaviour set *and* accounting) equals an uninterrupted
+      run's;
+    * partial record, budget exactly spent -> the accounting-so-far
+      is returned, flagged not-exhausted, exactly like the equivalent
+      cold budget-truncated run;
+    * no / unusable record -> a cold exploration, persisted afterwards
+      (complete, or partial with its frontier if interrupted).
+    """
+    rec, publish = plan_cached(store, key, max_paths)
+    if rec is not None and rec.complete:
+        return rec.to_result()
+    base = None
+    initial = None
+    budget = max_paths
+    if rec is not None and resume:
+        base = rec.to_result()
+        initial = list(rec.frontier)
+        budget = max_paths - base.paths_run
+        if budget <= 0:
+            base.exhausted = False
+            return base
+        store.note_resume()
+    explorer = Explorer(make_driver, max_paths=budget, entry=entry,
+                        deadline_s=deadline_s, strategy=strategy,
+                        por=por, seed=seed, initial=initial,
+                        requeue_interrupted=True)
+    fresh = explorer.run()
+    store.note_live(fresh.paths_run)
+    result = fresh if base is None \
+        else ExplorationResult.merge([base, fresh])
+    if publish:
+        store.put(key, ExplorationRecord.from_result(
+            result, explorer.pending, budget=max_paths))
+    return result

@@ -33,6 +33,16 @@ non-exhausted with ``paths_run`` well under ``max_paths``, re-run
 with a larger budget (or more ``frontier_factor`` subtrees, which
 shrinks and rebalances the slices).  ``deadline_s`` is likewise one
 wall-clock budget: shards receive only what the seeding phase left.
+
+``explore_store=`` makes the whole farm exploration incremental
+(:mod:`repro.farm.explorestore`): a complete record for the program's
+exploration space returns with **zero** paths re-run; an interrupted
+campaign — deadline, per-shard budget, worker timeout or kill —
+persists the surviving frontier (un-mined shard roots plus every
+shard's unexplored remainder) together with the accounting so far;
+and with ``resume=True`` a later call skips seeding entirely and
+dispatches the persisted frontier straight to the shards, merging to
+exactly what an uninterrupted serial run would have produced.
 """
 
 from __future__ import annotations
@@ -42,8 +52,11 @@ from typing import List, Optional
 
 from ..ctypes.implementation import Implementation, LP64
 from ..dynamics.driver import Driver
-from ..dynamics.explore import ExplorationResult, Explorer
+from ..dynamics.explore import ExplorationResult, Explorer, PathNode
 from ..pipeline import compile_for_model
+from .explorestore import (
+    ExplorationRecord, ExploreStore, plan_cached,
+)
 from .pool import SweepTask, run_tasks
 
 
@@ -57,6 +70,8 @@ def explore_farm(source: str,
                  seed: Optional[int] = None,
                  jobs: int = 1,
                  store=None,
+                 explore_store=None,
+                 resume: bool = True,
                  deadline_s: Optional[float] = None,
                  frontier_factor: int = 4,
                  name: str = "<string>",
@@ -70,7 +85,9 @@ def explore_farm(source: str,
     the frontier is seeded breadth-first, split into per-prefix shard
     tasks (each running ``strategy``/``por`` on its subtree), and the
     shard results merged with correct ``exhausted``/``paths_run``
-    accounting."""
+    accounting.  ``store`` is the compiled-artifact store workers
+    share; ``explore_store`` persists the exploration itself (warm
+    hit = zero paths re-run, interruption = resumable frontier)."""
     program = compile_for_model(source, model, impl, name=name)
 
     def make_model():
@@ -79,32 +96,81 @@ def explore_farm(source: str,
     def make_driver(oracle):
         return Driver(program.core, make_model(), oracle, max_steps)
 
+    es = None if explore_store is None \
+        else ExploreStore.wrap(explore_store)
+    key = None
+    if es is not None:
+        key = es.key(source, program.impl, model, name=name,
+                     entry=entry, max_steps=max_steps,
+                     strategy=strategy, seed=seed, por=por)
+
     if jobs <= 1:
+        if es is not None:
+            from .explorestore import cached_explore
+            return cached_explore(make_driver, store=es, key=key,
+                                  resume=resume, max_paths=max_paths,
+                                  entry=entry, deadline_s=deadline_s,
+                                  strategy=strategy, por=por,
+                                  seed=seed)
         return Explorer(make_driver, max_paths=max_paths, entry=entry,
                         deadline_s=deadline_s, strategy=strategy,
                         por=por, seed=seed).run()
 
-    target = max(2, jobs * frontier_factor)
-    seed_start = time.monotonic()
-    seeder = Explorer(make_driver, max_paths=max_paths, entry=entry,
-                      deadline_s=deadline_s, strategy="bfs", por=por,
-                      frontier_target=target)
-    seed_result = seeder.run()
-    frontier = seeder.pending
-    if not frontier:
-        return seed_result      # seeding already finished the space
-    remaining = max_paths - seed_result.paths_run
-    if remaining <= 0:
-        seed_result.exhausted = False
-        return seed_result
-    # deadline_s is one wall-clock budget for the whole exploration:
-    # shards only get what the seeding phase left of it.
+    start = time.monotonic()
+    base: Optional[ExplorationResult] = None
+    frontier: List[PathNode] = []
+    recorded_paths = 0      # paths served from the record, not run live
+    # One shared reuse rule with the serial seam: an unusable fuller
+    # record is neither served nor clobbered (publish=False).
+    rec, publish = plan_cached(es, key, max_paths) \
+        if es is not None else (None, True)
+    if rec is not None and rec.complete:
+        return rec.to_result()      # zero paths re-run
+    resumed = rec is not None and resume
+    if resumed:
+        # Skip seeding: the persisted frontier is already an exact cut
+        # through the exploration tree; dispatch it straight to shards.
+        base = rec.to_result()
+        recorded_paths = base.paths_run
+        frontier = list(rec.frontier)
+    else:
+        seeder = Explorer(make_driver, max_paths=max_paths,
+                          entry=entry, deadline_s=deadline_s,
+                          strategy="bfs", por=por,
+                          frontier_target=max(2, jobs * frontier_factor),
+                          requeue_interrupted=es is not None)
+        base = seeder.run()
+        frontier = seeder.pending
+        if not frontier:
+            # Seeding already finished (or truncated) the space.
+            if es is not None:
+                es.note_live(base.paths_run)
+                if publish:
+                    es.put(key, ExplorationRecord.from_result(
+                        base, budget=max_paths))
+            return base
+
+    remaining = max_paths - base.paths_run
     shard_deadline = deadline_s
     if deadline_s is not None:
-        shard_deadline = deadline_s - (time.monotonic() - seed_start)
-        if shard_deadline <= 0:
-            seed_result.exhausted = False
-            return seed_result
+        # deadline_s is one wall-clock budget for the whole
+        # exploration: shards only get what seeding left of it.
+        shard_deadline = deadline_s - (time.monotonic() - start)
+    if remaining <= 0 or \
+            (shard_deadline is not None and shard_deadline <= 0):
+        # Budget spent before any shard could run.  A fresh seeding
+        # phase persists its frontier (resumable) and counts its live
+        # paths; a resumed record that ran nothing is neither
+        # re-stored (byte-identical) nor counted as a resume.
+        if es is not None and not resumed:
+            es.note_live(base.paths_run)
+            if publish:
+                es.put(key, ExplorationRecord.from_result(
+                    base, frontier, budget=max_paths))
+        base.exhausted = False
+        return base
+    if resumed:
+        es.note_resume()
     per_shard = -(-remaining // len(frontier))      # ceiling split
     tasks = [SweepTask(index=i, name=f"{name}#shard{i}",
                        kind="explore_shard", source=source,
@@ -113,19 +179,33 @@ def explore_farm(source: str,
                        deadline_s=shard_deadline, strategy=strategy,
                        por=por, seed=seed, entry=entry,
                        prefix=tuple(node.choices),
-                       sleep=tuple(node.sleep))
+                       sleep=tuple(node.sleep),
+                       requeue_interrupted=es is not None)
              for i, node in enumerate(frontier)]
     results = run_tasks(tasks, jobs=jobs, store=store,
                         task_timeout=task_timeout)
-    parts: List[ExplorationResult] = [seed_result]
+    parts: List[ExplorationResult] = [base]
+    leftover: List[PathNode] = []
     all_ok = True
-    for r in results:
-        shard = r.data.get("shard")
-        if shard is None or not r.ok:
-            all_ok = False      # worker died / timed out: incomplete
+    for task, r in zip(tasks, results):
+        shard = r.data.get("shard") if r.ok else None
+        if shard is None:
+            # Worker died or timed out hard: its partial work is lost
+            # and uncounted, so the whole subtree root goes back on
+            # the frontier — a resume re-mines it from scratch.
+            all_ok = False
+            leftover.append(PathNode(tuple(task.prefix),
+                                     tuple(task.sleep)))
             continue
         parts.append(shard)
+        leftover.extend(PathNode(tuple(choices), tuple(sleep))
+                        for choices, sleep in r.data.get("pending", ()))
     merged = ExplorationResult.merge(parts)
     if not all_ok:
         merged.exhausted = False
+    if es is not None:
+        es.note_live(merged.paths_run - recorded_paths)
+        if publish:
+            es.put(key, ExplorationRecord.from_result(
+                merged, leftover, budget=max_paths))
     return merged

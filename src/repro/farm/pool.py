@@ -43,7 +43,9 @@ from ..pipeline import (
 from .store import ArtifactStore
 
 _STAT_KEYS = ("translations", "memory_hits", "memory_misses",
-              "store_hits", "store_misses", "store_puts")
+              "store_hits", "store_misses", "store_puts",
+              "explore_hits", "explore_misses", "explore_puts",
+              "explore_resumes", "explore_live_paths")
 
 
 @dataclass
@@ -86,6 +88,7 @@ class ExploreSummary:
     has_ub: bool
     pruned: int = 0
     diverged: int = 0
+    abandoned: int = 0
 
 
 @dataclass
@@ -94,13 +97,17 @@ class SweepTask:
 
     * ``"run"`` — run ``source`` once per model (:func:`run_many`);
     * ``"explore"`` — explore per model (``strategy``/``por`` select
-      the search strategy and partial-order reduction);
+      the search strategy and partial-order reduction;
+      ``explore_store`` — a record-store directory — publishes and
+      reuses per-model exploration records, ``resume`` continuing
+      interrupted ones from their persisted frontier);
     * ``"explore_shard"`` — explore only the subtree rooted at the
       oracle choice ``prefix`` (with its POR ``sleep`` set) under
       ``models[0]`` — one shard of a farm-split frontier, returning a
       slimmed :class:`~repro.dynamics.explore.ExplorationResult` in
-      ``data["shard"]`` for :func:`~repro.farm.frontier.explore_farm`
-      to merge;
+      ``data["shard"]`` (plus the unexplored remainder of the subtree
+      in ``data["pending"]``) for
+      :func:`~repro.farm.frontier.explore_farm` to merge;
     * ``"suite"`` — the named de facto test-suite entry across models;
     * ``"csmith"`` — generate the seeded program, run it across
       models, classify against the generator's expected output.
@@ -123,6 +130,12 @@ class SweepTask:
     prefix: Tuple[int, ...] = ()        # explore_shard: subtree root
     sleep: Tuple = ()                   # explore_shard: POR sleep set
     entry: str = "main"                 # explore_shard: entry proc
+    explore_store: Optional[str] = None  # explore: record store dir
+    resume: bool = True                 # explore: resume partials
+    # explore_shard: requeue deadline-aborted paths uncounted (set
+    # when the parent persists frontiers; off, the serial behaviour —
+    # the timeout outcome is counted — is preserved).
+    requeue_interrupted: bool = False
 
 
 @dataclass
@@ -173,7 +186,9 @@ def _snapshot() -> Dict[str, int]:
 
 
 def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
-    return {k: after[k] - before[k] for k in _STAT_KEYS}
+    # Exploration-record counters are per-task-handle (filled in by
+    # execute_task), not process-global, so snapshots omit them.
+    return {k: after.get(k, 0) - before.get(k, 0) for k in _STAT_KEYS}
 
 
 def merge_stats(results: Iterable[TaskResult]) -> Dict[str, int]:
@@ -193,6 +208,12 @@ def execute_task(task: SweepTask) -> TaskResult:
     before = _snapshot()
     start = time.perf_counter()
     result = TaskResult(task.index, task.name, task.kind)
+    explore_store = None
+    if task.explore_store is not None:
+        # A fresh per-task handle on the shared record store: its
+        # counters are this task's deltas by construction.
+        from .explorestore import ExploreStore
+        explore_store = ExploreStore(task.explore_store)
     try:
         if task.kind == "run":
             outcomes = run_many(task.source, models=task.models,
@@ -209,14 +230,18 @@ def execute_task(task: SweepTask) -> TaskResult:
                                         name=task.name,
                                         deadline_s=task.deadline_s,
                                         strategy=task.strategy,
-                                        por=task.por, seed=task.seed)
+                                        por=task.por, seed=task.seed,
+                                        store=explore_store,
+                                        resume=task.resume)
             result.data["explorations"] = {
                 m: ExploreSummary(r.paths_run, r.exhausted,
                                   r.behaviours(), r.has_ub(),
-                                  r.pruned, r.diverged)
+                                  r.pruned, r.diverged, r.abandoned)
                 for m, r in explorations.items()}
         elif task.kind == "explore_shard":
-            result.data["shard"] = _explore_shard(task)
+            shard, shard_pending = _explore_shard(task)
+            result.data["shard"] = shard
+            result.data["pending"] = shard_pending
         elif task.kind == "suite":
             from ..testsuite.programs import TESTS
             from ..testsuite.runner import run_test_many
@@ -250,34 +275,76 @@ def execute_task(task: SweepTask) -> TaskResult:
         result.error = f"{type(exc).__name__}: {exc}"
     result.wall_s = time.perf_counter() - start
     result.stats = _delta(before, _snapshot())
+    if explore_store is not None:
+        es = explore_store.stats()
+        result.stats["explore_hits"] = es["hits"]
+        result.stats["explore_misses"] = es["misses"]
+        result.stats["explore_puts"] = es["stores"]
+        result.stats["explore_resumes"] = es["resumes"]
+        result.stats["explore_live_paths"] = es["live_paths"]
     return result
 
 
 def _explore_shard(task: SweepTask):
     """Worker recipe for one frontier shard: compile (store-warm),
     explore the subtree rooted at the task's prefix, and slim the
-    result for IPC (distinct outcomes only, traces stripped)."""
+    result for IPC (distinct outcomes only, traces stripped).
+
+    Returns ``(result, pending)``: the nodes a budget or deadline left
+    unexplored travel back as plain ``(choices, sleep)`` tuples so
+    :func:`~repro.farm.frontier.explore_farm` can persist a resumable
+    frontier.  With ``task.requeue_interrupted`` (set when the parent
+    has a record store) a path the deadline aborted mid-run is
+    requeued uncounted — resumed accounting must equal an
+    uninterrupted run's; without it the historical behaviour (the
+    timeout outcome is counted) keeps sharded results identical to a
+    serial run's."""
     from dataclasses import replace
+    from ..dynamics.driver import Driver
     from ..dynamics.explore import (
-        ExplorationResult, PathNode, explore_program,
+        ExplorationResult, Explorer, PathNode,
     )
     from ..pipeline import compile_for_model
     model = task.models[0]
     program = compile_for_model(task.source, model, task.impl,
                                 name=task.name)
     node = PathNode(tuple(task.prefix), tuple(task.sleep))
-    r = explore_program(program.core,
-                        lambda: program.make_model(model),
-                        max_paths=task.max_paths,
-                        max_steps=task.max_steps,
-                        entry=task.entry,
-                        deadline_s=task.deadline_s,
-                        strategy=task.strategy, por=task.por,
-                        seed=task.seed, initial=[node])
+
+    def make_driver(oracle):
+        return Driver(program.core, program.make_model(model), oracle,
+                      task.max_steps)
+
+    explorer = Explorer(
+        make_driver, max_paths=task.max_paths, entry=task.entry,
+        deadline_s=task.deadline_s, strategy=task.strategy,
+        por=task.por, seed=task.seed, initial=[node],
+        requeue_interrupted=task.requeue_interrupted)
+    r = explorer.run()
     slim = [replace(o, trace=[]) for o in r.distinct()]
-    return ExplorationResult(outcomes=slim, exhausted=r.exhausted,
-                             paths_run=r.paths_run, pruned=r.pruned,
-                             diverged=r.diverged)
+    result = ExplorationResult(outcomes=slim, exhausted=r.exhausted,
+                               paths_run=r.paths_run, pruned=r.pruned,
+                               diverged=r.diverged,
+                               abandoned=r.abandoned)
+    pending = [(tuple(n.choices), tuple(n.sleep))
+               for n in explorer.pending]
+    return result, pending
+
+
+def explore_store_path(explore_store) -> Optional[str]:
+    """Normalise an exploration-record store argument to the
+    picklable directory path tasks carry: accepts ``None``, a path,
+    an :class:`ArtifactStore`, or an
+    :class:`~repro.farm.explorestore.ExploreStore`.  Explicit type
+    checks, not ``getattr`` duck-typing: ``pathlib.Path`` has a
+    ``.root`` attribute of its own (the filesystem root!)."""
+    if explore_store is None:
+        return None
+    from .explorestore import ExploreStore
+    if isinstance(explore_store, ExploreStore):
+        explore_store = explore_store.store
+    if isinstance(explore_store, ArtifactStore):
+        return str(explore_store.root)
+    return str(explore_store)
 
 
 def _resolve_store(store):
@@ -424,12 +491,15 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
           max_steps: int = 2_000_000, max_paths: int = 500,
           seed: Optional[int] = None,
           strategy: str = "dfs", por: bool = False,
+          explore_store=None, resume: bool = True,
           task_timeout: Optional[float] = None) -> List[TaskResult]:
     """Sweep a corpus of C programs across memory object models.
 
     ``programs`` is an iterable of ``(name, source)`` pairs (bare
     source strings get positional names).  Returns one
-    :class:`TaskResult` per (sharded) program, in corpus order."""
+    :class:`TaskResult` per (sharded) program, in corpus order.
+    ``explore_store`` (a directory path) persists ``mode="explore"``
+    results as exploration records workers publish and reuse."""
     model_list = tuple(MODELS) if models is None else tuple(models)
     named = []
     for i, entry in enumerate(programs):
@@ -439,10 +509,12 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
             name, source = entry
             named.append((str(name), source))
     named = shard_select(named, shard_index, shard_count)
+    explore_store = explore_store_path(explore_store)
     tasks = [SweepTask(index=i, name=name, kind=mode, source=source,
                        models=model_list, impl=impl,
                        max_steps=max_steps, max_paths=max_paths,
-                       seed=seed, strategy=strategy, por=por)
+                       seed=seed, strategy=strategy, por=por,
+                       explore_store=explore_store, resume=resume)
              for i, (name, source) in enumerate(named)]
     return run_tasks(tasks, jobs=jobs, store=store,
                      task_timeout=task_timeout)

@@ -9,6 +9,12 @@ implementation environment, the compile flags — plus a
 ``schema_version`` so that incompatible artifact layouts can never be
 deserialised into a newer interpreter.
 
+Beyond compiled artifacts, the store holds arbitrary *records* under
+kind-prefixed content addresses (:meth:`ArtifactStore.record_key` /
+``get_record`` / ``put_record``): :mod:`repro.farm.explorestore`
+persists completed and partial exploration results this way, sharing
+the same durability, eviction, and schema-versioning machinery.
+
 Durability properties:
 
 * **Atomic writes** — artifacts are written to a temp file in the
@@ -43,7 +49,11 @@ from typing import Dict, Optional
 # 2: bit-field members (Member.bit_width), variable length arrays
 #    (VarArray ctype, EVlaCreate Core node, loadbf/storebf actions) —
 #    artifacts pickled under version 1 predate these layouts.
-STORE_SCHEMA_VERSION = 2
+# 3: exploration records (repro.farm.explorestore.ExplorationRecord)
+#    join compiled artifacts in the store, and every content address
+#    is now kind-prefixed; version-2 compiled artifacts and any
+#    pre-record exploration state are invalidated together.
+STORE_SCHEMA_VERSION = 3
 
 _MAGIC = "cerberus-farm-artifact"
 
@@ -69,6 +79,7 @@ class ArtifactStore:
                                else schema_version)
         self._counters: Dict[str, int] = {
             "hits": 0, "misses": 0, "stores": 0,
+            "record_hits": 0, "record_misses": 0, "record_stores": 0,
             "evictions": 0, "corrupt": 0,
         }
         # Approximate on-disk footprint, maintained incrementally so
@@ -87,45 +98,54 @@ class ArtifactStore:
 
     # -- content addressing ---------------------------------------------------
 
+    def record_key(self, kind: str, *parts: str) -> str:
+        """The content address of one stored record: the record
+        ``kind`` (``"compiled"``, ``"exploration"``, ...), its
+        identifying parts, and the schema version.  The kind prefix
+        keeps different record families from ever colliding in one
+        store directory."""
+        h = hashlib.sha256()
+        for part in (kind, *parts, str(self.schema_version)):
+            h.update(part.encode("utf-8", "surrogateescape"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
     def key(self, source: str, impl, name: str = "<string>",
             check_core: bool = True) -> str:
         """The content address of one translation: source text,
         implementation environment (``repr`` of the frozen dataclass
         is a complete fingerprint), compile flags, schema version."""
-        h = hashlib.sha256()
-        for part in (source, repr(impl), name, str(check_core),
-                     str(self.schema_version)):
-            h.update(part.encode("utf-8", "surrogateescape"))
-            h.update(b"\x00")
-        return h.hexdigest()
+        return self.record_key("compiled", source, repr(impl), name,
+                               str(check_core))
 
     def _path(self, key: str) -> Path:
         return self.objects / key[:2] / f"{key}.pkl"
 
     # -- read side ------------------------------------------------------------
 
-    def get(self, source: str, impl, name: str = "<string>",
-            check_core: bool = True):
-        """Load a compiled artifact, or ``None`` on miss.
+    def _load(self, key: str, hit: str, miss: str, expect=None):
+        """Load any stored object by key, or ``None`` on miss.
 
         Any failure — missing file, short read, unpickling error,
-        wrong magic or schema — is a miss; a damaged entry is dropped
-        so the recompiled artifact can replace it."""
-        key = self.key(source, impl, name, check_core)
+        wrong magic or schema, or (with ``expect``) an object of the
+        wrong type under the key — is a miss; a damaged entry is
+        dropped so the regenerated object can replace it."""
         path = self._path(key)
         try:
             blob = path.read_bytes()
         except OSError:
-            self._counters["misses"] += 1
+            self._counters[miss] += 1
             return None
         try:
-            magic, version, stored_key, program = pickle.loads(blob)
+            magic, version, stored_key, obj = pickle.loads(blob)
             if (magic != _MAGIC or version != self.schema_version
                     or stored_key != key):
-                raise ValueError("artifact header mismatch")
+                raise ValueError("store entry header mismatch")
+            if expect is not None and not isinstance(obj, expect):
+                raise ValueError("foreign object under the key")
         except Exception:
             self._counters["corrupt"] += 1
-            self._counters["misses"] += 1
+            self._counters[miss] += 1
             try:
                 path.unlink()
             except OSError:
@@ -133,8 +153,22 @@ class ArtifactStore:
             return None
         # Refresh recency for LRU eviction.
         self._stamp_recency(path)
-        self._counters["hits"] += 1
-        return program
+        self._counters[hit] += 1
+        return obj
+
+    def get(self, source: str, impl, name: str = "<string>",
+            check_core: bool = True):
+        """Load a compiled artifact, or ``None`` on miss (callers
+        silently recompile — they never crash on a bad store)."""
+        return self._load(self.key(source, impl, name, check_core),
+                          "hits", "misses")
+
+    def get_record(self, key: str, expect=None):
+        """Load an auxiliary record (e.g. an exploration record) by a
+        :meth:`record_key` address, or ``None`` on miss.  Damaged,
+        stale-schema, or (with ``expect``) wrong-type entries are
+        misses — counted as such — exactly as for artifacts."""
+        return self._load(key, "record_hits", "record_misses", expect)
 
     def touch(self, source: str, impl, name: str = "<string>",
               check_core: bool = True) -> None:
@@ -162,15 +196,13 @@ class ArtifactStore:
 
     # -- write side -----------------------------------------------------------
 
-    def put(self, source: str, impl, name: str, check_core: bool,
-            program) -> None:
-        """Persist a compiled artifact atomically, then enforce the
-        size bound."""
-        key = self.key(source, impl, name, check_core)
+    def _save(self, key: str, obj, counter: str) -> None:
+        """Persist any object atomically under ``key``, then enforce
+        the size bound (records and artifacts share one LRU budget)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(
-            (_MAGIC, self.schema_version, key, program),
+            (_MAGIC, self.schema_version, key, obj),
             protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                    prefix=".tmp-", suffix=".pkl")
@@ -185,13 +217,28 @@ class ArtifactStore:
                 pass
             raise
         self._stamp_recency(path)
-        self._counters["stores"] += 1
+        self._counters[counter] += 1
         if self._approx_bytes is None:
             self._approx_bytes = self.size_bytes()
         else:
             self._approx_bytes += len(payload)
         if self._approx_bytes > self.max_bytes:
             self._evict(keep=path)
+
+    def put(self, source: str, impl, name: str, check_core: bool,
+            program) -> None:
+        """Persist a compiled artifact atomically, then enforce the
+        size bound."""
+        self._save(self.key(source, impl, name, check_core), program,
+                   "stores")
+
+    def put_record(self, key: str, obj) -> None:
+        """Persist an auxiliary record under a :meth:`record_key`
+        address.  Records ride the exact same durability machinery as
+        compiled artifacts: atomic publish, corruption -> miss, and
+        the shared size-bounded LRU (exploration bytes count against
+        ``max_bytes`` like any other entry)."""
+        self._save(key, obj, "record_stores")
 
     def _entries(self):
         """All stored artifacts as (mtime, size, path), oldest first."""

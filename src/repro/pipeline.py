@@ -17,7 +17,11 @@ program:
 * :meth:`CompiledProgram.run` / :meth:`CompiledProgram.explore` execute
   the compiled artifact against a chosen memory object model in
   single-path or exhaustive mode — any number of times, under any
-  number of models, without re-elaborating.
+  number of models, without re-elaborating.  ``explore(store=)``
+  additionally persists exploration results in the artifact store
+  (:mod:`repro.farm.explorestore`): unchanged programs are never
+  re-explored, and interrupted explorations resume from their
+  persisted frontier.
 * :func:`run_c` / :func:`explore_c` are thin compile-then-execute
   wrappers over one model.
 * :func:`run_many` / :func:`explore_many` execute one program across a
@@ -104,19 +108,42 @@ class CompiledProgram:
                 strategy: str = "dfs",
                 por: bool = False,
                 seed: Optional[int] = None,
+                store=None,
+                resume: bool = True,
+                name: str = "<string>",
                 **model_kwargs) -> ExplorationResult:
         """Explore the allowed executions (the paper's test-oracle
         mode, §5.1).  ``deadline_s`` bounds the whole enumeration by
         wall-clock (farm per-task timeouts); ``strategy`` picks the
         frontier order (``dfs``/``bfs``/``random``/``coverage``,
         ``seed`` seeding the latter two) and ``por`` enables sleep-set
-        partial-order reduction at unseq scheduling points."""
+        partial-order reduction at unseq scheduling points.
+
+        ``store`` (an :class:`~repro.farm.explorestore.ExploreStore`,
+        an :class:`~repro.farm.store.ArtifactStore`, or a directory
+        path) makes exploration incremental: a completed result for
+        this ``(source, impl, model, entry, max_steps, strategy,
+        seed, por)`` space is returned with zero paths re-run, an
+        interrupted one persists its frontier, and ``resume=True``
+        picks it up where it stopped.  ``name`` is folded into the
+        record key (source locations embed it)."""
+        cache_key = None
+        if store is not None:
+            from .farm.explorestore import ExploreStore
+            store = ExploreStore.wrap(store)
+            cache_key = store.key(self.source, self.impl, model,
+                                  name=name, entry="main",
+                                  max_steps=max_steps,
+                                  strategy=strategy, seed=seed,
+                                  por=por, options=options,
+                                  model_kwargs=model_kwargs)
         return explore_program(
             self.core,
             lambda: self.make_model(model, options, **model_kwargs),
             max_paths=max_paths, max_steps=max_steps,
             deadline_s=deadline_s, strategy=strategy, por=por,
-            seed=seed)
+            seed=seed, store=store, resume=resume,
+            cache_key=cache_key)
 
 
 # Historical name for the compiled artifact.
@@ -292,12 +319,17 @@ def explore_c(source: str, model: str = "provenance",
               strategy: str = "dfs",
               por: bool = False,
               seed: Optional[int] = None,
+              store=None,
+              resume: bool = True,
               **model_kwargs) -> ExplorationResult:
     """One-shot: compile (memoised) and explore a C program under the
-    chosen search strategy, optionally with partial-order reduction."""
+    chosen search strategy, optionally with partial-order reduction.
+    ``store``/``resume`` persist and reuse exploration results (see
+    :meth:`CompiledProgram.explore`)."""
     return compile_for_model(source, model, impl).explore(
         model, options, max_paths=max_paths, max_steps=max_steps,
-        strategy=strategy, por=por, seed=seed, **model_kwargs)
+        strategy=strategy, por=por, seed=seed, store=store,
+        resume=resume, **model_kwargs)
 
 
 def _compile_per_impl(source: str, models: Iterable[str],
@@ -348,12 +380,19 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                  strategy: str = "dfs",
                  por: bool = False,
                  seed: Optional[int] = None,
+                 store=None,
+                 resume: bool = True,
                  **model_kwargs) -> Dict[str, ExplorationResult]:
     """Explore one program under many memory object models (default:
     all registered), compiling once per distinct implementation
     environment.  ``deadline_s`` is a per-model wall-clock budget for
     the enumeration; ``strategy``/``por``/``seed`` select the search
-    strategy and partial-order reduction per model."""
+    strategy and partial-order reduction per model; ``store``/
+    ``resume`` persist and reuse per-model exploration records (see
+    :meth:`CompiledProgram.explore`)."""
+    if store is not None:
+        from .farm.explorestore import ExploreStore
+        store = ExploreStore.wrap(store)
     programs = _compile_per_impl(source,
                                  tuple(MODELS) if models is None
                                  else tuple(models),
@@ -362,5 +401,7 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                                    max_steps=max_steps,
                                    deadline_s=deadline_s,
                                    strategy=strategy, por=por,
-                                   seed=seed, **model_kwargs)
+                                   seed=seed, store=store,
+                                   resume=resume, name=name,
+                                   **model_kwargs)
             for model, program in programs.items()}

@@ -9,9 +9,14 @@ from .programs import TESTS, TestCase
 from .runner import (
     run_test, run_test_many, run_suite, run_suite_many, SuiteReport,
 )
+from .goldens import (
+    compute_verdicts, diff_goldens, load_goldens, update_goldens,
+)
 
 __all__ = [
     "Question", "QUESTIONS", "CATEGORIES", "category_counts",
     "clarity_split", "TESTS", "TestCase", "run_test", "run_test_many",
     "run_suite", "run_suite_many", "SuiteReport",
+    "compute_verdicts", "diff_goldens", "load_goldens",
+    "update_goldens",
 ]

@@ -1,0 +1,499 @@
+"""Resume-equivalence of incremental re-exploration.
+
+Exploration is a tree of independent subtrees, so a persisted frontier
+is an exact cut through it: an interrupted campaign resumed from its
+:class:`~repro.farm.explorestore.ExplorationRecord` must merge to a
+result *identical* to an uninterrupted serial run — behaviour sets
+(UB name + site), ``paths_run``, ``pruned`` and ``diverged``
+accounting — across every search strategy × POR on/off, whether the
+interruption was a path budget, a wall-clock deadline, or a simulated
+process kill.
+"""
+
+import random
+
+import pytest
+
+from repro.farm.explorestore import ExplorationRecord, ExploreStore
+from repro.farm.frontier import explore_farm
+from repro.pipeline import compile_c
+
+# One unseq pair: 576 paths unreduced, 41 with POR — wide enough to
+# interrupt anywhere, quick to exhaust for exact comparisons.
+PAIR = r'''
+int a, b;
+int main(void) { (a = 1) + (b = 2); return a + b - 3; }
+'''
+
+# An unsequenced race: the behaviour set contains genuine UB (name +
+# site), so equivalence checks cover UB dedup keys too.
+RACE = r'''
+int a;
+int main(void) { return (a = 1) + (a = 2); }
+'''
+
+BIG = 100_000
+CONFIGS = [(s, por) for s in ("dfs", "bfs", "random", "coverage")
+           for por in (False, True)]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_c(PAIR)
+
+
+@pytest.fixture(scope="module")
+def serial(program):
+    """Uninterrupted oracle-of-record runs, one per configuration."""
+    return {(s, por): program.explore("concrete", max_paths=BIG,
+                                      strategy=s, por=por, seed=11)
+            for s, por in CONFIGS}
+
+
+def _same(result, reference):
+    assert result.paths_run == reference.paths_run
+    assert result.pruned == reference.pruned
+    assert result.diverged == reference.diverged
+    assert result.exhausted == reference.exhausted
+    assert result.behaviour_keys() == reference.behaviour_keys()
+
+
+class TestBudgetResume:
+    """Deterministic interruption: cut at a seeded random path budget,
+    resume to completion, compare exactly."""
+
+    @pytest.mark.parametrize("strategy,por", CONFIGS)
+    def test_cut_and_resume_equals_serial(self, tmp_path, program,
+                                          serial, strategy, por):
+        reference = serial[(strategy, por)]
+        rng = random.Random(hash((strategy, por)) & 0xFFFF)
+        cut = rng.randrange(1, reference.paths_run)
+        store = ExploreStore(tmp_path / "store")
+        part = program.explore("concrete", max_paths=cut,
+                               strategy=strategy, por=por, seed=11,
+                               store=store)
+        assert part.paths_run == cut
+        assert not part.exhausted
+        full = program.explore("concrete", max_paths=BIG,
+                               strategy=strategy, por=por, seed=11,
+                               store=store)
+        _same(full, reference)
+        assert store.stats()["resumes"] == 1
+        # Everything ran exactly once, split across the two calls.
+        assert store.stats()["live_paths"] == reference.paths_run
+
+    def test_many_rounds_of_resumption(self, tmp_path, program,
+                                       serial):
+        """A chain of small budget increments converges to the serial
+        result with no path run twice."""
+        reference = serial[("dfs", False)]
+        store = ExploreStore(tmp_path / "store")
+        rng = random.Random(0xC0FFEE)
+        budget = 0
+        result = None
+        while budget < reference.paths_run:
+            budget += rng.randrange(25, 120)
+            result = program.explore("concrete", max_paths=budget,
+                                     strategy="dfs", seed=11,
+                                     store=store)
+        _same(result, reference)
+        assert store.stats()["live_paths"] == reference.paths_run
+        assert store.stats()["resumes"] >= 2
+
+    def test_ub_behaviours_survive_resumption(self, tmp_path):
+        program = compile_c(RACE)
+        reference = program.explore("concrete", max_paths=BIG)
+        assert reference.has_ub()
+        store = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=3, store=store)
+        full = program.explore("concrete", max_paths=BIG, store=store)
+        _same(full, reference)
+        assert sorted(full.ub_names()) == sorted(reference.ub_names())
+
+
+class TestDeadlineResume:
+    """Wall-clock interruption at randomized (seeded) deadlines: the
+    nondeterministic cut point must never change the converged
+    result — a deadline-aborted path is requeued uncounted and
+    replayed in full by the resume."""
+
+    @pytest.mark.parametrize("strategy,por", CONFIGS)
+    def test_interrupt_resume_converges(self, tmp_path, program,
+                                        serial, strategy, por):
+        reference = serial[(strategy, por)]
+        rng = random.Random(hash(("deadline", strategy, por)))
+        store = ExploreStore(tmp_path / "store")
+        result = None
+        for _ in range(500):
+            deadline = rng.uniform(0.005, 0.04)
+            result = program.explore("concrete", max_paths=BIG,
+                                     strategy=strategy, por=por,
+                                     seed=11, store=store,
+                                     deadline_s=deadline)
+            if result.exhausted:
+                break
+        assert result is not None and result.exhausted, \
+            "deadline-interrupted exploration never converged"
+        _same(result, reference)
+        assert store.stats()["live_paths"] == reference.paths_run
+
+
+class TestKillResume:
+    """A killed process leaves only the on-disk record: a *fresh*
+    store handle (new process, same directory) resumes it."""
+
+    def test_fresh_handle_resumes_partial(self, tmp_path, program,
+                                          serial):
+        reference = serial[("dfs", False)]
+        root = tmp_path / "store"
+        program.explore("concrete", max_paths=200, strategy="dfs",
+                        seed=11, store=ExploreStore(root))
+        fresh = ExploreStore(root)         # simulated new process
+        full = program.explore("concrete", max_paths=BIG,
+                               strategy="dfs", seed=11, store=fresh)
+        _same(full, reference)
+        assert fresh.stats()["resumes"] == 1
+        assert fresh.stats()["live_paths"] == \
+            reference.paths_run - 200
+
+    def test_warm_hit_runs_zero_paths(self, tmp_path, program,
+                                      serial):
+        reference = serial[("dfs", False)]
+        root = tmp_path / "store"
+        program.explore("concrete", max_paths=BIG, strategy="dfs",
+                        seed=11, store=ExploreStore(root))
+        fresh = ExploreStore(root)
+        warm = program.explore("concrete", max_paths=BIG,
+                               strategy="dfs", seed=11, store=fresh)
+        _same(warm, reference)
+        assert fresh.stats()["hits"] == 1
+        assert fresh.stats()["live_paths"] == 0    # zero paths re-run
+
+    def test_resume_false_ignores_partial(self, tmp_path, program,
+                                          serial):
+        reference = serial[("dfs", False)]
+        store = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=100, strategy="dfs",
+                        seed=11, store=store)
+        full = program.explore("concrete", max_paths=BIG,
+                               strategy="dfs", seed=11, store=store,
+                               resume=False)
+        _same(full, reference)
+        assert store.stats()["resumes"] == 0
+        # The cold redo re-ran the first 100 paths.
+        assert store.stats()["live_paths"] == \
+            reference.paths_run + 100
+
+
+class TestRestorableOrder:
+    """``drain_interrupted`` puts the mid-run-aborted node where it
+    pops *first* on resume — in front for queue-shaped strategies,
+    last for LIFO dfs — so a resumed frontier continues in the
+    uninterrupted pop order."""
+
+    def test_orders_restore_the_interrupted_pop(self):
+        from repro.dynamics.explore import PathNode, make_strategy
+        a, b, c = (PathNode((0,)), PathNode((1,)), PathNode((2,)))
+        for name in ("dfs", "bfs", "coverage"):
+            s = make_strategy(name)
+            for n in (a, b, c):
+                s.push(n)
+            aborted = s.pop()
+            restorable = s.drain_interrupted(aborted)
+            fresh = make_strategy(name)
+            for n in restorable:
+                fresh.push(n)
+            assert fresh.pop() is aborted, name
+
+
+class TestPartialRecordShape:
+    def test_partial_record_is_resumable_cut(self, tmp_path, program):
+        store = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=50, strategy="dfs",
+                        seed=11, store=store)
+        key = store.key(PAIR, program.impl, "concrete",
+                        strategy="dfs", seed=11)
+        rec = store.get(key)
+        assert isinstance(rec, ExplorationRecord)
+        assert not rec.complete
+        assert rec.frontier                 # the cut, ready to resume
+        assert rec.paths_run == 50
+        assert rec.exhausted                # neutral under merge
+        assert all(o.trace == [] for o in rec.outcomes)  # slimmed
+
+    def test_diverged_loss_is_permanent_in_partial_records(self):
+        """A diverged replay abandons its subtree forever — no
+        frontier node re-mines it — so a partial record must keep
+        ``exhausted=False`` or the resumed merge would falsely claim
+        exhaustion an uninterrupted run denies."""
+        from repro.dynamics.explore import (
+            ExplorationResult, PathNode,
+        )
+        lossy = ExplorationResult(paths_run=5, diverged=1,
+                                  exhausted=False)
+        rec = ExplorationRecord.from_result(lossy, [PathNode((1,))])
+        assert not rec.complete
+        assert not rec.exhausted            # permanent loss survives
+        merged = ExplorationResult.merge(
+            [rec.to_result(),
+             ExplorationResult(paths_run=3, exhausted=True)])
+        assert not merged.exhausted
+        # A deadline-abandoned path is the same kind of permanent
+        # loss.
+        cut_short = ExplorationResult(paths_run=5, abandoned=1,
+                                      exhausted=False)
+        assert not ExplorationRecord.from_result(
+            cut_short, [PathNode((1,))]).exhausted
+        # ... while a plain budget cut stays merge-neutral.
+        cut = ExplorationResult(paths_run=5, exhausted=False)
+        assert ExplorationRecord.from_result(
+            cut, [PathNode((1,))]).exhausted
+
+    def test_spent_budget_returns_partial_unexhausted(self, tmp_path,
+                                                      program):
+        store = ExploreStore(tmp_path / "store")
+        first = program.explore("concrete", max_paths=50,
+                                strategy="dfs", seed=11, store=store)
+        again = program.explore("concrete", max_paths=50,
+                                strategy="dfs", seed=11, store=store)
+        assert again.paths_run == 50
+        assert not again.exhausted
+        assert again.behaviour_keys() == first.behaviour_keys()
+        assert store.stats()["live_paths"] == 50   # nothing re-run
+
+
+class TestRecordFidelity:
+    """A warm result must never differ from what the identical cold
+    call would compute: semantic knobs are part of the key, and a
+    record covering more paths than the requested budget is neither
+    served nor clobbered."""
+
+    def test_memory_options_do_not_alias(self, tmp_path):
+        from repro.memory.base import MemoryOptions
+        program = compile_c("int main(void){ int x; return x == x; }")
+        store = ExploreStore(tmp_path / "store")
+        flagged = program.explore(
+            "concrete", options=MemoryOptions(uninit_read="ub"),
+            max_paths=BIG, store=store)
+        assert flagged.has_ub()
+        stable = program.explore(
+            "concrete", options=MemoryOptions(uninit_read="stable"),
+            max_paths=BIG, store=store)
+        assert not stable.has_ub()     # not the cached "ub" verdict
+        assert store.stats()["hits"] == 0
+        assert store.stats()["stores"] == 2
+
+    def test_small_budget_never_served_a_bigger_record(self, tmp_path,
+                                                       program,
+                                                       serial):
+        reference = serial[("dfs", False)]
+        store = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=BIG, strategy="dfs",
+                        seed=11, store=store)
+        cold = program.explore("concrete", max_paths=4,
+                               strategy="dfs", seed=11)
+        small = program.explore("concrete", max_paths=4,
+                                strategy="dfs", seed=11, store=store)
+        assert small.paths_run == cold.paths_run == 4
+        assert not small.exhausted
+        assert small.behaviour_keys() == cold.behaviour_keys()
+        # ... and the fuller record survived: a full request still
+        # warm-hits with zero paths re-run.
+        before = store.stats()["live_paths"]
+        warm = program.explore("concrete", max_paths=BIG,
+                               strategy="dfs", seed=11, store=store)
+        _same(warm, reference)
+        assert store.stats()["live_paths"] == before
+
+
+class TestDeadlineTooSmallForOnePath:
+    def test_progress_is_forced_not_livelocked(self, tmp_path):
+        """When not even one path fits the deadline, the path is
+        *abandoned* — counted (each store-backed invocation advances
+        at least one path, no livelock) but recorded as no behaviour:
+        a deadline-dependent "timeout" must never enter a
+        deadline-independent record."""
+        slow = ("int main(void){ long i, s = 0;"
+                " for (i = 0; i < 50000; i++) s += i;"
+                " return (int)(s & 1); }")
+        program = compile_c(slow)
+        store = ExploreStore(tmp_path / "store")
+        result = program.explore("concrete", max_paths=BIG,
+                                 max_steps=10_000_000,
+                                 deadline_s=0.001, store=store)
+        assert result.paths_run == 1
+        assert result.abandoned == 1
+        assert result.outcomes == []       # no phantom behaviour
+        assert not result.exhausted
+        assert store.stats()["live_paths"] == 1
+        # The permanent loss survives the record round-trip: a later
+        # warm/resumed result can never claim exhaustion.
+        key = store.key(slow, program.impl, "concrete",
+                        max_steps=10_000_000)
+        rec = store.get(key)
+        assert rec is not None and not rec.exhausted
+
+
+class TestStoreArgumentNormalisation:
+    def test_explore_store_path_accepts_every_store_shape(self,
+                                                          tmp_path):
+        """``pathlib.Path`` has a ``.root`` attribute of its own (the
+        filesystem root!) — normalisation must never mistake it for a
+        store's directory."""
+        from repro.farm.pool import explore_store_path
+        from repro.farm.store import ArtifactStore
+        p = tmp_path / "records"
+        assert explore_store_path(None) is None
+        assert explore_store_path(p) == str(p)
+        assert explore_store_path(str(p)) == str(p)
+        backing = ArtifactStore(p)
+        assert explore_store_path(backing) == str(p)
+        assert explore_store_path(ExploreStore(backing)) == str(p)
+
+
+@pytest.mark.slow_sweep
+class TestDeepResume:
+    """The ``pytest -m slow_sweep`` lane: a much wider state space
+    (three unseq assignments, tens of thousands of paths) interrupted
+    many times at seeded deadlines — excluded from tier-1 by the
+    ``addopts`` default in setup.cfg."""
+
+    TRIPLE = ("int a, b, c; int main(void)"
+              "{ (a = 1) + (b = 2) + (c = 3); return a + b + c - 6; }")
+
+    @pytest.mark.parametrize("strategy", ["dfs", "bfs", "coverage"])
+    def test_deep_deadline_resume(self, tmp_path, strategy):
+        program = compile_c(self.TRIPLE)
+        reference = program.explore("concrete", max_paths=1_000_000,
+                                    strategy=strategy, por=True,
+                                    seed=5)
+        rng = random.Random(hash(("deep", strategy)))
+        store = ExploreStore(tmp_path / "store")
+        result = None
+        for _ in range(2000):
+            result = program.explore("concrete", max_paths=1_000_000,
+                                     strategy=strategy, por=True,
+                                     seed=5, store=store,
+                                     deadline_s=rng.uniform(0.02, 0.1))
+            if result.exhausted:
+                break
+        assert result is not None and result.exhausted
+        _same(result, reference)
+        assert store.stats()["live_paths"] == reference.paths_run
+
+
+class TestFarmResume:
+    """explore_farm publishes and resumes the same records: a farm
+    warm hit re-runs zero paths, and a serial interruption can be
+    finished by a sharded farm run (and vice versa)."""
+
+    def test_farm_warm_hit(self, tmp_path, serial):
+        reference = serial[("dfs", False)]
+        es = ExploreStore(tmp_path / "store")
+        cold = explore_farm(PAIR, model="concrete", max_paths=BIG,
+                            jobs=2, explore_store=es)
+        _same(cold, reference)
+        warm = explore_farm(PAIR, model="concrete", max_paths=BIG,
+                            jobs=2, explore_store=es)
+        _same(warm, reference)
+        assert es.stats()["live_paths"] == reference.paths_run
+
+    def test_serial_interrupt_farm_finish(self, tmp_path, program,
+                                          serial):
+        reference = serial[("dfs", False)]
+        es = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=150, strategy="dfs",
+                        store=es)
+        full = explore_farm(PAIR, model="concrete", max_paths=BIG,
+                            jobs=2, explore_store=es)
+        _same(full, reference)
+        assert es.stats()["resumes"] == 1
+        assert es.stats()["live_paths"] == reference.paths_run
+
+    def test_farm_interrupt_serial_finish(self, tmp_path, program,
+                                          serial):
+        reference = serial[("dfs", False)]
+        es = ExploreStore(tmp_path / "store")
+        part = explore_farm(PAIR, model="concrete", max_paths=120,
+                            jobs=2, explore_store=es)
+        assert not part.exhausted
+        full = program.explore("concrete", max_paths=BIG,
+                               strategy="dfs", store=es)
+        _same(full, reference)
+        assert es.stats()["live_paths"] == reference.paths_run
+
+    def test_farm_spent_budget_is_not_a_resume(self, tmp_path,
+                                               program):
+        """A farm call whose budget the record exactly spends runs
+        nothing: no resume counted, no byte-identical re-put."""
+        es = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=150, strategy="dfs",
+                        store=es)
+        again = explore_farm(PAIR, model="concrete", max_paths=150,
+                             jobs=2, explore_store=es)
+        assert not again.exhausted
+        assert again.paths_run == 150      # served from the record
+        stats = es.stats()
+        assert stats["resumes"] == 0
+        assert stats["stores"] == 1        # only the original put
+        assert stats["live_paths"] == 150
+
+    def test_overshot_record_still_serves_its_own_budget(self,
+                                                         tmp_path,
+                                                         program,
+                                                         serial):
+        """Ceiling-split shards can overshoot the budget, so a farm
+        record's paths_run may exceed the max_paths that produced it.
+        The stored producing budget proves the identical call made
+        it: a repeat under the same budget is served from the record
+        instead of silently re-exploring live every time."""
+        from repro.dynamics.explore import ExplorationResult
+        reference = serial[("dfs", False)]
+        es = ExploreStore(tmp_path / "store")
+        overshot = ExplorationResult(
+            outcomes=list(reference.outcomes), exhausted=False,
+            paths_run=110)                 # 110 paths from budget 100
+        key = es.key(PAIR, program.impl, "concrete", strategy="dfs")
+        es.put(key, ExplorationRecord.from_result(overshot,
+                                                  budget=100))
+        again = explore_farm(PAIR, model="concrete", max_paths=100,
+                             jobs=2, explore_store=es)
+        assert again.paths_run == 110      # served, not re-explored
+        assert es.stats()["live_paths"] == 0
+        # ... while a strictly smaller budget still refuses it.
+        small = explore_farm(PAIR, model="concrete", max_paths=50,
+                             jobs=2, explore_store=es)
+        assert small.paths_run < 110
+        assert es.stats()["live_paths"] > 0
+        # ... and did not clobber the fuller record.
+        assert es.get(key).paths_run == 110
+
+    def test_farm_small_budget_leaves_bigger_record_intact(
+            self, tmp_path, program, serial):
+        """A farm request under a smaller budget than the record
+        covers runs live and must not clobber the fuller record."""
+        reference = serial[("dfs", False)]
+        es = ExploreStore(tmp_path / "store")
+        program.explore("concrete", max_paths=150, strategy="dfs",
+                        store=es)
+        small = explore_farm(PAIR, model="concrete", max_paths=60,
+                             jobs=2, explore_store=es)
+        assert not small.exhausted
+        # Ran live near its budget (the ceiling split can overshoot
+        # by at most one path per shard), not the record's 150.
+        assert small.paths_run < 100
+        assert es.stats()["stores"] == 1   # record not clobbered
+        full = explore_farm(PAIR, model="concrete", max_paths=BIG,
+                            jobs=2, explore_store=es)
+        _same(full, reference)             # resumed from the record
+
+    def test_farm_por_resume(self, tmp_path, serial):
+        reference = serial[("dfs", True)]
+        es = ExploreStore(tmp_path / "store")
+        part = explore_farm(PAIR, model="concrete", max_paths=15,
+                            jobs=2, por=True, explore_store=es)
+        assert not part.exhausted
+        full = explore_farm(PAIR, model="concrete", max_paths=BIG,
+                            jobs=2, por=True, explore_store=es)
+        _same(full, reference)
+        assert es.stats()["live_paths"] == reference.paths_run

@@ -3,7 +3,9 @@
 Covers the store's contract end to end: cache hits across *separate
 processes* (a subprocess round-trip), silent recompilation on
 corrupted or truncated artifacts, LRU eviction under the size bound,
-and invalidation on a ``schema_version`` bump.
+and invalidation on a ``schema_version`` bump — for compiled
+artifacts *and* for the exploration records
+(:mod:`repro.farm.explorestore`) that share the store.
 """
 
 import os
@@ -15,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.ctypes.implementation import ILP32, LP64
+from repro.farm.explorestore import ExplorationRecord, ExploreStore
 from repro.farm.store import ArtifactStore, STORE_SCHEMA_VERSION
 from repro.pipeline import (
     clear_compile_cache, compile_c, compile_cache_stats,
@@ -22,6 +25,7 @@ from repro.pipeline import (
 )
 
 SRC = "int main(void){ return 40 + 2; }"
+UNSEQ = "int a, b; int main(void){ (a=1)+(b=2); return 0; }"
 
 
 @pytest.fixture
@@ -251,6 +255,155 @@ class TestHitRecency:
         key_a = s.key(a, LP64)
         key_b = s.key(b, LP64)
         assert mtimes[f"{key_a}.pkl"] > mtimes[f"{key_b}.pkl"]
+
+
+class TestExplorationRecords:
+    """Exploration records ride the same store: corruption falls back
+    to a silent re-explore, their bytes count against the LRU bound,
+    and a schema bump invalidates them together with the artifacts."""
+
+    def _explore(self, tmp_path, subdir="s", max_paths=100_000):
+        es = ExploreStore(ArtifactStore(tmp_path / subdir))
+        program = compile_c(UNSEQ, use_cache=False)
+        result = program.explore("concrete", max_paths=max_paths,
+                                 store=es)
+        return es, program, result
+
+    def test_record_round_trip(self, tmp_path):
+        es, program, cold = self._explore(tmp_path)
+        warm = program.explore("concrete", max_paths=100_000, store=es)
+        assert warm.paths_run == cold.paths_run
+        assert warm.behaviour_keys() == cold.behaviour_keys()
+        stats = es.stats()
+        assert stats == {**stats, "hits": 1, "misses": 1, "stores": 1,
+                         "live_paths": cold.paths_run}
+
+    def test_corrupt_record_re_explores_silently(self, tmp_path):
+        es, program, cold = self._explore(tmp_path)
+        [path] = _entry_paths(es.store)
+        path.write_bytes(b"\x00garbage, not a record")
+        redo = program.explore("concrete", max_paths=100_000, store=es)
+        assert redo.paths_run == cold.paths_run        # re-explored
+        assert redo.behaviour_keys() == cold.behaviour_keys()
+        stats = es.stats()
+        assert stats["corrupt"] == 1
+        assert stats["hits"] == 0 and stats["misses"] == 2
+        assert stats["live_paths"] == 2 * cold.paths_run
+        # ... and the damaged entry was replaced by a good one.
+        assert es.stats()["stores"] == 2
+
+    def test_truncated_record_is_a_miss(self, tmp_path):
+        es, program, _ = self._explore(tmp_path)
+        [path] = _entry_paths(es.store)
+        path.write_bytes(path.read_bytes()[:10])
+        key = es.key(UNSEQ, program.impl, "concrete")
+        assert es.get(key) is None
+        assert es.stats()["corrupt"] == 1
+
+    def test_foreign_object_under_record_key_is_a_miss(self, tmp_path):
+        es, program, _ = self._explore(tmp_path)
+        key = es.key(UNSEQ, program.impl, "concrete")
+        es.store.put_record(key, {"not": "a record"})
+        before = es.stats()
+        assert es.get(key) is None
+        after = es.stats()
+        # Counted as a miss (never a hit) so explore_hit_rate stays
+        # truthful, and dropped like any corrupt entry.
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"] + 1
+        assert after["corrupt"] == before["corrupt"] + 1
+        assert es.store.get_record(key) is None    # entry dropped
+
+    def test_record_key_discriminates_the_space(self, tmp_path):
+        es = ExploreStore(tmp_path / "k")
+        base = dict(name="<string>", entry="main", max_steps=500_000,
+                    strategy="dfs", seed=None, por=False)
+        k = es.key(UNSEQ, LP64, "concrete", **base)
+        assert k != es.key(UNSEQ, LP64, "provenance", **base)
+        assert k != es.key(UNSEQ, ILP32, "concrete", **base)
+        assert k != es.key(UNSEQ + " ", LP64, "concrete", **base)
+        for twist in (dict(strategy="bfs"), dict(seed=3),
+                      dict(por=True), dict(entry="go"),
+                      dict(max_steps=1000), dict(name="other.c")):
+            assert k != es.key(UNSEQ, LP64, "concrete",
+                               **{**base, **twist}), twist
+        assert k == es.key(UNSEQ, LP64, "concrete", **base)
+
+    def test_eviction_counts_exploration_bytes(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        es_probe = ExploreStore(probe)
+        program = compile_c(UNSEQ, use_cache=False)
+        program.explore("concrete", max_paths=100_000, store=es_probe)
+        record_size = probe.size_bytes()
+        assert record_size > 0
+        # Room for ~2 records: the third put must evict the oldest.
+        store = ArtifactStore(tmp_path / "bounded",
+                              max_bytes=int(record_size * 2.5))
+        es = ExploreStore(store)
+        keys = []
+        for i, model in enumerate(["concrete", "provenance", "gcc"]):
+            program.explore(model, max_paths=100_000, store=es)
+            keys.append(es.key(UNSEQ, program.impl, model))
+        assert store.stats()["evictions"] >= 1
+        assert store.size_bytes() <= store.max_bytes
+        assert es.get(keys[0]) is None         # oldest record evicted
+        assert es.get(keys[2]) is not None     # newest kept
+
+    def test_records_and_artifacts_share_the_bound(self, tmp_path):
+        """A flood of exploration records must evict old compiled
+        artifacts too — one budget, not two."""
+        probe = ArtifactStore(tmp_path / "probe")
+        probe.put(SRC, LP64, "<string>", True,
+                  compile_c(SRC, use_cache=False))
+        artifact_size = probe.size_bytes()
+        program = compile_c(UNSEQ, use_cache=False)
+        program.explore("concrete", max_paths=100_000,
+                        store=ExploreStore(probe))
+        record_size = probe.size_bytes() - artifact_size
+        assert record_size > 0
+        # Room for the artifact plus ~2 records: the record flood
+        # below must push the (older) artifact out.
+        store = ArtifactStore(
+            tmp_path / "shared",
+            max_bytes=artifact_size + int(record_size * 2.5))
+        store.put(SRC, LP64, "<string>", True,
+                  compile_c(SRC, use_cache=False))
+        assert store.get(SRC, LP64) is not None
+        es = ExploreStore(store)
+        for model in ("concrete", "provenance", "gcc", "strict"):
+            program.explore(model, max_paths=100_000, store=es)
+        assert store.size_bytes() <= store.max_bytes
+        assert store.get(SRC, LP64) is None    # artifact paid the bill
+
+    def test_schema_bump_invalidates_records_and_artifacts(
+            self, tmp_path):
+        """One version bump (e.g. 2 -> 3) must orphan *both* record
+        families at once: stale Core layouts and stale exploration
+        state are equally unsafe to deserialise."""
+        root = tmp_path / "versioned"
+        old = ArtifactStore(root, schema_version=STORE_SCHEMA_VERSION)
+        old.put(SRC, LP64, "<string>", True,
+                compile_c(SRC, use_cache=False))
+        es_old = ExploreStore(old)
+        program = compile_c(UNSEQ, use_cache=False)
+        cold = program.explore("concrete", max_paths=100_000,
+                               store=es_old)
+        assert old.get(SRC, LP64) is not None
+        assert es_old.stats()["stores"] == 1
+
+        new = ArtifactStore(root,
+                            schema_version=STORE_SCHEMA_VERSION + 1)
+        es_new = ExploreStore(new)
+        assert new.get(SRC, LP64) is None      # artifact invalidated
+        redo = program.explore("concrete", max_paths=100_000,
+                               store=es_new)
+        assert es_new.stats()["hits"] == 0     # record invalidated
+        assert es_new.stats()["live_paths"] == cold.paths_run
+        assert redo.behaviour_keys() == cold.behaviour_keys()
+        # The old-schema store still serves its own entries.
+        assert old.get(SRC, LP64) is not None
+        assert es_old.get(es_old.key(UNSEQ, program.impl,
+                                     "concrete")) is not None
 
 
 class TestSchemaVersion:

@@ -4,8 +4,10 @@
 that leans on them silently vanishes. The subprocess driver below uses
 explicit checks only (no ``assert``) and exercises the layers that
 historically used bare asserts: the printf argument-type diagnostics,
-the batch pipeline, and one full de facto test-suite sweep, whose
-verdicts must be identical to an in-process run without ``-O``.
+the batch pipeline, the incremental re-exploration seam (cold/warm
+record round-trip, budget interruption, frontier resume), and one
+full de facto test-suite sweep, whose verdicts must be identical to
+an in-process run without ``-O``.
 """
 
 from __future__ import annotations
@@ -68,6 +70,44 @@ int main(void){ struct s s; s.a = 15; s.b = 3;
 bf = run_many(BF_SRC, models=["concrete", "strict"])
 if any(o.stdout != "3f\n" for o in bf.values()):
     sys.exit("bit-field packing diverged under -O")
+
+# Incremental re-exploration must not lean on asserts either: cold
+# explore -> warm record hit (zero paths re-run) -> budget-interrupted
+# partial -> resumed completion, all checked explicitly.
+import shutil, tempfile
+from repro.farm.explorestore import ExploreStore
+from repro.pipeline import compile_c
+
+UNSEQ = "int a, b; int main(void){ (a=1)+(b=2); return a+b-3; }"
+root = tempfile.mkdtemp(prefix="smoke-explore-")
+try:
+    program = compile_c(UNSEQ)
+    plain = program.explore("concrete", max_paths=100_000)
+    es = ExploreStore(root)
+    cold = program.explore("concrete", max_paths=100_000, store=es)
+    if cold.paths_run != plain.paths_run or \
+            cold.behaviour_keys() != plain.behaviour_keys():
+        sys.exit("store-backed exploration diverged under -O")
+    warm = program.explore("concrete", max_paths=100_000, store=es)
+    if es.stats()["live_paths"] != plain.paths_run:
+        sys.exit("warm exploration re-ran paths under -O")
+    if warm.behaviour_keys() != plain.behaviour_keys():
+        sys.exit("warm exploration record diverged under -O")
+    es2 = ExploreStore(root + "-resume")
+    part = program.explore("concrete", max_paths=40, store=es2)
+    if part.paths_run != 40 or part.exhausted:
+        sys.exit("budget interruption broke under -O")
+    full = program.explore("concrete", max_paths=100_000, store=es2)
+    if full.paths_run != plain.paths_run or not full.exhausted or \
+            full.behaviour_keys() != plain.behaviour_keys():
+        sys.exit("resumed exploration diverged under -O: "
+                 f"{full.paths_run} vs {plain.paths_run}")
+    if es2.stats()["resumes"] != 1 or \
+            es2.stats()["live_paths"] != plain.paths_run:
+        sys.exit("resume accounting broke under -O")
+finally:
+    shutil.rmtree(root, ignore_errors=True)
+    shutil.rmtree(root + "-resume", ignore_errors=True)
 
 report = run_suite_many(["concrete", "provenance"])
 for r in report.results:
