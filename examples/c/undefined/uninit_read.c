@@ -1,0 +1,11 @@
+/* Reading an uninitialized scalar whose address is never taken:
+ * definite undefined behaviour on every path (C11 §6.3.2.1p2).  The
+ * definite-assignment dataflow in `cerberus-py lint` flags the read
+ * with its source location; the constant out-of-bounds index below it
+ * is flagged too. */
+int main(void) {
+    int x;
+    int a[4];
+    a[0] = x;          /* read of uninitialized x: definite */
+    return a[7];       /* constant index past the array: definite */
+}

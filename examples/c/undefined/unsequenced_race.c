@@ -1,0 +1,9 @@
+/* Two unsequenced writes to the same scalar: undefined behaviour in
+ * every memory object model (C11 §6.5p2).  The static linter proves
+ * the conflict without running a single path —
+ * `cerberus-py lint` reports it as `definite` and exits nonzero. */
+int main(void) {
+    int x;
+    int y = (x = 1) + (x = 2);
+    return y - 3;
+}

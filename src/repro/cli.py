@@ -46,7 +46,8 @@ from .ctypes.implementation import ILP32, LP64
 from .dynamics.explore import STRATEGIES
 from .errors import CerberusError
 from .pipeline import (
-    MODELS, compile_c, explore_many, run_many, set_artifact_store,
+    MODELS, compile_c, explore_many, lint_c, run_many,
+    set_artifact_store,
 )
 
 
@@ -99,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="cerberus-py",
         description="An executable de facto semantics for C "
                     "(PLDI 2016 reproduction). Batch campaigns: "
-                    "cerberus-py farm {suite,csmith,sweep} --help")
+                    "cerberus-py farm {suite,csmith,sweep} --help; "
+                    "static diagnostics: cerberus-py lint --help")
     p.add_argument("file", help="C source file")
     p.add_argument("--model", choices=sorted(MODELS),
                    default="provenance",
@@ -122,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sleep-set partial-order reduction: skip "
                         "unseq interleavings whose next actions "
                         "commute (same behaviours, fewer paths)")
+    p.add_argument("--static-prune", action="store_true",
+                   help="static pre-pruning (repro.statics): never "
+                        "branch statically-commuting unseq points "
+                        "and seed sleep sets from precomputed "
+                        "footprints (same behaviours, fewer paths)")
     p.add_argument("--explore-jobs", type=int, default=1, metavar="N",
                    help="shard the exploration frontier across N farm "
                         "workers (single-model --exhaustive only)")
@@ -147,6 +154,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "farm":
         return farm_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as f:
@@ -192,7 +201,8 @@ def main(argv=None) -> int:
                                       strategy=args.strategy,
                                       por=args.por, seed=args.seed,
                                       store=explore_store,
-                                      name=args.file)
+                                      name=args.file,
+                                      static_prune=args.static_prune)
         pruned = f", {result.pruned} pruned" if result.pruned else ""
         print(f"executions explored: {result.paths_run} "
               f"({'complete' if result.exhausted else 'budget hit'}"
@@ -264,7 +274,8 @@ def _run_batch(args, source: str, impl) -> int:
                                    name=args.file,
                                    strategy=args.strategy,
                                    por=args.por, seed=args.seed,
-                                   store=args.explore_store)
+                                   store=args.explore_store,
+                                   static_prune=args.static_prune)
             for model, res in results.items():
                 behaviours = " | ".join(o.summary()
                                         for o in res.distinct())
@@ -294,7 +305,8 @@ def _run_batch_farm(args, source: str, impl, models) -> int:
                        max_steps=args.max_steps,
                        max_paths=args.max_paths, seed=args.seed,
                        strategy=args.strategy, por=args.por,
-                       explore_store=args.explore_store)
+                       explore_store=args.explore_store,
+                       static_prune=args.static_prune)
              for i, model in enumerate(models)]
     results = run_tasks(tasks, jobs=args.jobs, store=args.store)
     statuses, any_ub = set(), False
@@ -314,6 +326,63 @@ def _run_batch_farm(args, source: str, impl, models) -> int:
             statuses.add(v.status)
             any_ub = any_ub or v.status == "ub"
     return _exit_code_for(statuses, any_ub)
+
+
+# -- the lint subcommand -------------------------------------------------------
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cerberus-py lint",
+        description="Static definite-UB diagnostics over elaborated "
+                    "Core (repro.statics.lint): uninitialized reads, "
+                    "constant out-of-bounds accesses, over-wide "
+                    "shifts, null dereferences, unsequenced races")
+    p.add_argument("files", nargs="+", help="C source files")
+    p.add_argument("--impl", choices=["LP64", "ILP32"], default="LP64",
+                   help="implementation environment")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="artifact store: compiled Core and statics "
+                        "records are cached across invocations")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as JSON (one object per file)")
+    p.add_argument("--definite-only", action="store_true",
+                   help="report (and exit on) definite findings only")
+    return p
+
+
+def lint_main(argv) -> int:
+    args = build_lint_parser().parse_args(argv)
+    impl = LP64 if args.impl == "LP64" else ILP32
+    if args.store:
+        from .farm.store import ArtifactStore
+        set_artifact_store(ArtifactStore(args.store))
+    worst = 0
+    payload = {}
+    for path in args.files:
+        try:
+            with open(path) as f:
+                source = f.read()
+        except OSError as exc:
+            print(f"cerberus-py lint: {exc}", file=sys.stderr)
+            return 2
+        try:
+            findings = lint_c(source, impl, name=path,
+                              store=args.store)
+        except CerberusError as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        if args.definite_only:
+            findings = [f for f in findings if f.definite]
+        payload[path] = [f.to_dict() for f in findings]
+        if not args.json:
+            for f in findings:
+                print(f.format())
+        if any(f.definite for f in findings):
+            worst = max(worst, 1)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return worst
 
 
 # -- the farm subcommand -------------------------------------------------------
@@ -370,6 +439,14 @@ def build_farm_parser() -> argparse.ArgumentParser:
                        help="resume interrupted explorations from "
                             "frontiers persisted in --explore-store "
                             "(complete records are always reused)")
+    sweep.add_argument("--static-prune", action="store_true",
+                       help="static pre-pruning of unseq choice "
+                            "points for --exhaustive (repro.statics)")
+    sweep.add_argument("--lint", action="store_true",
+                       help="run the definite-UB linter per program; "
+                            "with --exhaustive, a definite finding "
+                            "skips that program's exploration "
+                            "(pre-exploration filter)")
 
     for sp in (suite, csmith, sweep):
         _add_farm_flags(sp)
@@ -463,6 +540,7 @@ def farm_main(argv) -> int:
         max_steps=args.max_steps, max_paths=args.max_paths,
         strategy=args.strategy, por=args.por, seed=args.seed,
         explore_store=args.explore_store, resume=args.resume,
+        static_prune=args.static_prune, lint=args.lint,
         task_timeout=args.task_timeout)
     for entry in campaign.results:
         for model, verdict in entry.get("verdicts", {}).items():
@@ -471,6 +549,13 @@ def farm_main(argv) -> int:
             print(f"{entry['program']:32s} {model:12s} "
                   f"{ex['paths']:4d} paths  "
                   + " | ".join(ex["behaviours"]))
+        if entry.get("lint_filtered"):
+            print(f"{entry['program']:32s} {'lint':12s} "
+                  f"exploration skipped (definite static finding)")
+        for finding in entry.get("lint", []):
+            print(f"{entry['program']:32s} {'lint':12s} "
+                  f"{finding['loc']}: {finding['severity']}: "
+                  f"{finding['detail']}")
         if entry.get("error"):
             print(f"{entry['program']:32s} {'-':12s} "
                   f"error: {entry['error']}")

@@ -111,7 +111,7 @@ class Oracle:
         else:
             avail = None
             if self.sleep and tag == "unseq" and meta is not None:
-                frame, cands = meta
+                frame, cands = meta[0], meta[1]
                 asleep = {c for (f, c, _a, _s, _w) in self.sleep
                           if f == frame}
                 avail = [a for a in range(n)
@@ -207,12 +207,20 @@ class Driver:
     def __init__(self, program: K.Program, model: MemoryModel,
                  oracle: Optional[Oracle] = None,
                  max_steps: int = 2_000_000,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 static_prune: bool = False):
         self.program = program
         self.model = model
         self.oracle = oracle or Oracle()
         self.model.choose = self.oracle.choose
-        self.evaluator = Evaluator(program, model)
+        self.evaluator = Evaluator(program, model,
+                                   static_prune=static_prune)
+        # POR bookkeeping (event log + live sleep set) is only worth
+        # feeding when someone is listening: the single-run fast path
+        # must not pay for it (ROADMAP: "event logging is zero-cost
+        # when not exploring").
+        self._por_notify = self.oracle.events is not None \
+            or bool(self.oracle.sleep)
         self.max_steps = max_steps
         # Absolute time.monotonic() cut-off checked inside the step
         # loop: one long path times out cooperatively at the deadline
@@ -454,12 +462,15 @@ class Driver:
         if kind == "stdout":
             self.stdout_chunks.append(request[1])
             # I/O is observably ordered: a barrier for POR purposes.
-            self.oracle.note_action("stdout", None, False, (), True)
+            if self._por_notify:
+                self.oracle.note_action("stdout", None, False, (),
+                                        True)
             return None
         if kind == "raw":
             # Raw byte services carry no scheduling chain and may read
             # or change allocation metadata: conservatively a barrier.
-            self.oracle.note_action("raw", None, False, (), True)
+            if self._por_notify:
+                self.oracle.note_action("raw", None, False, (), True)
             return self._perform_raw(request, thread)
         if kind == "lock":
             return None
@@ -475,11 +486,12 @@ class Driver:
         # (frame, child) pairs the evaluator attached to the request,
         # plus whether this action is a POR barrier (no byte footprint
         # or an allocation lifetime change).
-        chain = request[6] if len(request) > 6 else ()
-        barrier = record.footprint is None or \
-            record.kind in ("create", "alloc", "kill")
-        self.oracle.note_action(record.kind, record.footprint,
-                                record.is_write, chain, barrier)
+        if self._por_notify:
+            chain = request[6] if len(request) > 6 else ()
+            barrier = record.footprint is None or \
+                record.kind in ("create", "alloc", "kill")
+            self.oracle.note_action(record.kind, record.footprint,
+                                    record.is_write, chain, barrier)
         return value, record
 
     def _do_action(self, request: tuple, thread: Optional[_Thread]):

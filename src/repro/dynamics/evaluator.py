@@ -84,11 +84,13 @@ EffGen = Generator[tuple, object, Tuple[Value, ActionSummary]]
 
 
 class Evaluator:
-    def __init__(self, program: K.Program, model: MemoryModel):
+    def __init__(self, program: K.Program, model: MemoryModel,
+                 static_prune: bool = False):
         self.program = program
         self.model = model
         self.impl = program.impl
         self.tags = program.tags
+        self.static_prune = static_prune
         self.global_env: Dict[str, Value] = {}
         # Unseq frames are numbered so scheduling choices and the
         # actions they schedule can be attributed to (frame, child)
@@ -600,7 +602,45 @@ class Evaluator:
         annotated with this frame's ``(frame, child)`` pair on its way
         up — together they let the explorer recover each candidate's
         pending action footprint for partial-order reduction.
+
+        With ``static_prune`` on and a ``_static_unseq`` annotation
+        present (:mod:`repro.statics`), two refinements apply ahead of
+        the dynamic machinery: a statically-commuting node is not a
+        choice point at all (children run in program order — every
+        interleaving is equivalent), and otherwise each child's
+        statically-resolved footprint hull rides along as a third
+        metadata component, from which the POR scheduler seeds sleep
+        decisions when the event log has no exact footprint yet.
         """
+        static = getattr(e, "_static_unseq", None) \
+            if self.static_prune else None
+        if static is not None and static[0]:
+            results = []
+            summaries = []
+            for child in e.exprs:
+                value, summary = yield from self.eval_expr(child, env)
+                results.append(value)
+                summaries.append(summary)
+            # Safety net: the commuting claim promises equivalence of
+            # interleavings, not absence of races — a race here would
+            # mean an analysis bug, but must still surface as UB.
+            race = find_unsequenced_race(
+                [s.records for s in summaries])
+            if race is not None:
+                a, b = race
+                raise UndefinedBehaviour(
+                    UB.UNSEQUENCED_RACE, e.loc,
+                    f"unsequenced {a.kind} and {b.kind} on "
+                    f"overlapping footprints at "
+                    f"0x{a.footprint.addr:x}")
+            total = ActionSummary.empty().union(*summaries)
+            return VTuple(tuple(results)), total
+        hulls = None
+        if static is not None:
+            from ..statics import resolve_hull
+            hulls = tuple(
+                resolve_hull(info, env, self.global_env, self.model)
+                for info in static[1])
         gens = [self.eval_expr(c, env) for c in e.exprs]
         n = len(gens)
         frame = next(self._unseq_counter)
@@ -619,8 +659,11 @@ class Evaluator:
                 candidates = [i for i in range(n) if not done[i]]
             if current is None or done[current] or \
                     current not in candidates:
+                cand = tuple(candidates)
+                meta = (frame, cand) if hulls is None else \
+                    (frame, cand, tuple(hulls[i] for i in cand))
                 pick = yield ("choose", "unseq", len(candidates),
-                              (frame, tuple(candidates)))
+                              meta)
                 current = candidates[pick]
             idx = current
             gen = gens[idx]

@@ -1,23 +1,43 @@
-"""Back-compat shim: the exhaustive driver grew into the
-:mod:`repro.dynamics.explore` subsystem (pluggable search strategies,
-sleep-set partial-order reduction, farm-shardable frontiers).
+"""Deprecated alias of :mod:`repro.dynamics.explore`.
 
+The exhaustive driver grew into the explore subsystem (pluggable
+search strategies, sleep-set partial-order reduction, farm-shardable
+frontiers); nothing in the repo imports this module any more.
 ``explore_all`` / ``explore_program`` with default arguments behave
 exactly like the historical stateless-replay DFS this module used to
-implement; import from :mod:`repro.dynamics.explore` for the full
-engine (:class:`~repro.dynamics.explore.Explorer`, strategies, POR).
+implement.
+
+Importing names from here still works — one release's worth of
+grace for external callers — but raises :class:`DeprecationWarning`;
+import from :mod:`repro.dynamics.explore` instead.
 """
 
 from __future__ import annotations
 
-from .explore import (
-    ExplorationResult, Explorer, PathNode, explore_all, explore_program,
-)
+import warnings
 
-__all__ = [
+_NAMES = (
     "ExplorationResult",
     "Explorer",
     "PathNode",
     "explore_all",
     "explore_program",
-]
+)
+
+__all__ = list(_NAMES)
+
+
+def __getattr__(name: str):
+    if name in _NAMES:
+        warnings.warn(
+            "repro.dynamics.exhaustive is deprecated; import "
+            f"{name} from repro.dynamics.explore instead",
+            DeprecationWarning, stacklevel=2)
+        from . import explore
+        return getattr(explore, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

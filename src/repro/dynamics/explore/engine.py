@@ -212,7 +212,8 @@ def explore_program(program, make_model: Callable[[], object],
                     initial: Optional[Sequence[PathNode]] = None,
                     store=None,
                     resume: bool = True,
-                    cache_key: Optional[str] = None
+                    cache_key: Optional[str] = None,
+                    static_prune: bool = False
                     ) -> ExplorationResult:
     """Enumerate oracle paths of a *pre-compiled* Core program.
 
@@ -223,10 +224,19 @@ def explore_program(program, make_model: Callable[[], object],
     re-exploration seam through (see :func:`explore_all`); the Core
     program itself carries no content address, so the caller supplies
     the key (:meth:`repro.pipeline.CompiledProgram.explore` does).
+    ``static_prune`` consumes :mod:`repro.statics` footprint
+    annotations (computing them on first use): statically-commuting
+    ``unseq`` nodes are never branched and sleep sets are seeded from
+    precomputed footprint hulls where the event log has no exact
+    transition.
     """
+    if static_prune:
+        from ...statics import ensure_annotated
+        ensure_annotated(program)
 
     def make_driver(oracle: Oracle) -> Driver:
-        return Driver(program, make_model(), oracle, max_steps)
+        return Driver(program, make_model(), oracle, max_steps,
+                      static_prune=static_prune)
 
     return explore_all(make_driver, max_paths=max_paths, entry=entry,
                        deadline_s=deadline_s, strategy=strategy,

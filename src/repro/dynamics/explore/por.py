@@ -158,15 +158,27 @@ def _unseq_siblings(base: Tuple[int, ...], ev_idx: int,
     """The sleep-set sibling rule at one unseq scheduling point:
     skip alternatives whose candidate is asleep; give each pushed
     sibling the surviving independent entries plus an entry for every
-    previously explored alternative whose next action commutes."""
-    frame, cands = meta
+    previously explored alternative whose next action commutes.
+
+    When the evaluator resolved static footprint hulls for this frame
+    (``static_prune``: a third meta component, aligned with the
+    candidate list), they stand in for next transitions the event log
+    cannot attribute — each hull covers *all* of its candidate's
+    actions, so a sleep entry derived from it is a superset footprint:
+    wake-ups fire no later than with the exact next action, keeping
+    the prune a subset of what exact sleep sets would allow."""
+    frame, cands = meta[0], meta[1]
+    static = meta[2] if len(meta) > 2 else None
     asleep = {z[1] for z in live if z[0] == frame}
     cache: dict = {}
 
     def t_of(alt: int):
         if alt not in cache:
-            cache[alt] = next_transition(events, ev_idx, frame,
-                                         cands[alt], completed)
+            t = next_transition(events, ev_idx, frame,
+                                cands[alt], completed)
+            if t is None and static is not None:
+                t = static[alt]
+            cache[alt] = t
         return cache[alt]
 
     explored = [chosen]

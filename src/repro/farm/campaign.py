@@ -103,19 +103,24 @@ def suite_campaign(models: Sequence[str],
                    store=None,
                    shard: Tuple[int, int] = (0, 1),
                    max_steps: int = 400_000,
-                   task_timeout: Optional[float] = None):
+                   task_timeout: Optional[float] = None,
+                   lint: bool = False):
     """Sweep the de facto test suite across ``models``.
 
     Returns ``(SuiteReport, CampaignReport)`` — the first identical in
     shape to a serial :func:`~repro.testsuite.runner.run_suite_many`,
-    the second the farm's JSON campaign record."""
+    the second the farm's JSON campaign record.  ``lint`` attaches the
+    static findings (:mod:`repro.statics.lint`) to each program's
+    report entry — attach-only here: suite verdicts stay the dynamic
+    ground truth the static findings are gated against."""
     from ..testsuite.programs import TESTS
     from ..testsuite.runner import SuiteReport, TestResult
 
     all_names = list(names) if names is not None else sorted(TESTS)
     sharded = shard_select(all_names, *shard)
     tasks = [SweepTask(index=i, name=name, kind="suite",
-                       models=tuple(models), max_steps=max_steps)
+                       models=tuple(models), max_steps=max_steps,
+                       lint=lint)
              for i, name in enumerate(sharded)]
     start = time.perf_counter()
     task_results = run_tasks(tasks, jobs=jobs, store=store,
@@ -144,6 +149,8 @@ def suite_campaign(models: Sequence[str],
         suite.results.extend(results)
         entry["verdicts"] = {t.model: t.verdict for t in results}
         entry["matches"] = {t.model: t.matches for t in results}
+        if "lint" in r.data:
+            entry["lint"] = r.data["lint"]
         entries.append(entry)
 
     summary = {
@@ -239,6 +246,8 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                    seed: Optional[int] = None,
                    explore_store=None,
                    resume: bool = True,
+                   static_prune: bool = False,
+                   lint: bool = False,
                    task_timeout: Optional[float] = None):
     """Sweep an ad-hoc ``(name, source)`` corpus; returns
     ``(task_results, CampaignReport)``.  ``strategy``/``por``/``seed``
@@ -251,7 +260,13 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
     publish what they explore, warm re-sweeps re-run zero paths (the
     report's ``explore_hit_rate``/``explore_live_paths`` counters show
     it), and ``resume`` continues interrupted explorations from their
-    persisted frontier."""
+    persisted frontier.  ``static_prune`` turns on static
+    pre-pruning of ``unseq`` choice points (:mod:`repro.statics`) for
+    explore tasks; ``lint`` runs the definite-UB linter per program
+    and, in explore mode, acts as a *pre-exploration filter*: a
+    program with a definite finding reports the finding instead of
+    being path-enumerated (its report entry carries
+    ``lint_filtered``)."""
     model_list = list(models) if models is not None else list(MODELS)
     start = time.perf_counter()
     task_results = sweep(programs, models=model_list, jobs=jobs,
@@ -260,13 +275,22 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                          max_steps=max_steps, max_paths=max_paths,
                          seed=seed, strategy=strategy, por=por,
                          explore_store=explore_store, resume=resume,
+                         static_prune=static_prune, lint=lint,
                          task_timeout=task_timeout)
     wall = time.perf_counter() - start
 
     entries: List[dict] = []
-    statuses = {"ub": 0, "ok": 0, "other": 0}
+    statuses = {"ub": 0, "ok": 0, "other": 0, "lint_filtered": 0}
     for r in task_results:
         entry = _base_entry(r)
+        if "lint" in r.data:
+            entry["lint"] = r.data["lint"]
+        if r.data.get("lint_filtered"):
+            # Exploration skipped: the definite findings are the
+            # verdict (each names a guaranteed UB behaviour).
+            entry["lint_filtered"] = True
+            statuses["lint_filtered"] += 1
+            statuses["ub"] += 1
         if "verdicts" in r.data:
             entry["verdicts"] = {m: v.summary() for m, v in
                                  r.data["verdicts"].items()}

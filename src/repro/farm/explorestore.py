@@ -143,15 +143,20 @@ class ExploreStore:
             seed: Optional[int] = None,
             por: bool = False,
             options=None,
-            model_kwargs: Optional[Dict] = None) -> str:
+            model_kwargs: Optional[Dict] = None,
+            static_prune: bool = False) -> str:
         """The content address of one exploration *space*: everything
         that determines which paths exist and what they do — the
         memory-model ``options`` and extra model constructor kwargs
         included (both are dataclass/plain values with deterministic
         reprs), or explorations under different semantic knobs would
-        alias to one record.  Budgets (``max_paths``, ``deadline_s``)
-        are deliberately excluded — they decide how much of the space
-        one invocation walks, and live in the record as accounting
+        alias to one record.  ``static_prune`` is part of the key
+        because it changes which choice points exist (statically
+        commuting ``unseq`` nodes are not branched), hence the
+        accounting and frontier shape, even though the behaviour set
+        is invariant.  Budgets (``max_paths``, ``deadline_s``) are
+        deliberately excluded — they decide how much of the space one
+        invocation walks, and live in the record as accounting
         instead."""
         strategy_name = strategy if isinstance(strategy, str) \
             else getattr(strategy, "name", strategy.__class__.__name__)
@@ -159,7 +164,8 @@ class ExploreStore:
             RECORD_KIND, source, repr(impl), model, name, entry,
             str(max_steps), str(strategy_name), str(seed), str(por),
             repr(options),
-            repr(sorted((model_kwargs or {}).items())))
+            repr(sorted((model_kwargs or {}).items())),
+            str(static_prune))
 
     # -- record round-trip ----------------------------------------------------
 

@@ -136,6 +136,14 @@ class SweepTask:
     # when the parent persists frontiers; off, the serial behaviour —
     # the timeout outcome is counted — is preserved).
     requeue_interrupted: bool = False
+    # explore*: consume repro.statics footprint annotations (never
+    # branch statically-commuting unseq points, seed sleep sets from
+    # precomputed footprint hulls).
+    static_prune: bool = False
+    # run/explore/suite: attach static lint findings to the result
+    # ("lint" data key); campaign layers use definite findings as a
+    # pre-exploration filter.
+    lint: bool = False
 
 
 @dataclass
@@ -223,21 +231,35 @@ def execute_task(task: SweepTask) -> TaskResult:
             result.data["verdicts"] = {
                 m: Verdict.from_outcome(o) for m, o in outcomes.items()}
         elif task.kind == "explore":
-            explorations = explore_many(task.source, models=task.models,
-                                        impl=task.impl,
-                                        max_paths=task.max_paths,
-                                        max_steps=task.max_steps,
-                                        name=task.name,
-                                        deadline_s=task.deadline_s,
-                                        strategy=task.strategy,
-                                        por=task.por, seed=task.seed,
-                                        store=explore_store,
-                                        resume=task.resume)
-            result.data["explorations"] = {
-                m: ExploreSummary(r.paths_run, r.exhausted,
-                                  r.behaviours(), r.has_ub(),
-                                  r.pruned, r.diverged, r.abandoned)
-                for m, r in explorations.items()}
+            findings = []
+            if task.lint:
+                findings = _lint_findings(task, explore_store)
+                result.data["lint"] = findings
+            if any(f["severity"] == "definite" for f in findings):
+                # Pre-exploration filter: a definite static finding
+                # already names a guaranteed behaviour — skip the
+                # (possibly expensive) path enumeration entirely.
+                result.data["lint_filtered"] = True
+                result.data["explorations"] = {}
+            else:
+                explorations = explore_many(
+                    task.source, models=task.models,
+                    impl=task.impl,
+                    max_paths=task.max_paths,
+                    max_steps=task.max_steps,
+                    name=task.name,
+                    deadline_s=task.deadline_s,
+                    strategy=task.strategy,
+                    por=task.por, seed=task.seed,
+                    store=explore_store,
+                    resume=task.resume,
+                    static_prune=task.static_prune)
+                result.data["explorations"] = {
+                    m: ExploreSummary(r.paths_run, r.exhausted,
+                                      r.behaviours(), r.has_ub(),
+                                      r.pruned, r.diverged,
+                                      r.abandoned)
+                    for m, r in explorations.items()}
         elif task.kind == "explore_shard":
             shard, shard_pending = _explore_shard(task)
             result.data["shard"] = shard
@@ -248,6 +270,12 @@ def execute_task(task: SweepTask) -> TaskResult:
             results = run_test_many(TESTS[task.name], list(task.models),
                                     max_steps=task.max_steps)
             result.data["results"] = results
+            if task.lint:
+                lint_task = SweepTask(task.index, task.name,
+                                      source=TESTS[task.name].source,
+                                      impl=task.impl)
+                result.data["lint"] = _lint_findings(lint_task,
+                                                     explore_store)
         elif task.kind == "csmith":
             from ..csmith.generator import generate_program
             from ..csmith.reference import classify_outcomes
@@ -285,6 +313,17 @@ def execute_task(task: SweepTask) -> TaskResult:
     return result
 
 
+def _lint_findings(task: SweepTask, explore_store=None):
+    """The slim lint payload of one task: finding dicts, IPC-safe."""
+    from ..pipeline import compile_c
+    try:
+        program = compile_c(task.source, task.impl, name=task.name)
+        findings = program.lint(explore_store, name=task.name)
+    except CerberusError:
+        return []
+    return [f.to_dict() for f in findings]
+
+
 def _explore_shard(task: SweepTask):
     """Worker recipe for one frontier shard: compile (store-warm),
     explore the subtree rooted at the task's prefix, and slim the
@@ -310,9 +349,14 @@ def _explore_shard(task: SweepTask):
                                 name=task.name)
     node = PathNode(tuple(task.prefix), tuple(task.sleep))
 
+    if task.static_prune:
+        # Shards must resolve choice points exactly like the seeding
+        # phase or replayed prefixes would diverge: same annotations.
+        program.statics(task.explore_store, name=task.name)
+
     def make_driver(oracle):
         return Driver(program.core, program.make_model(model), oracle,
-                      task.max_steps)
+                      task.max_steps, static_prune=task.static_prune)
 
     explorer = Explorer(
         make_driver, max_paths=task.max_paths, entry=task.entry,
@@ -492,6 +536,7 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
           seed: Optional[int] = None,
           strategy: str = "dfs", por: bool = False,
           explore_store=None, resume: bool = True,
+          static_prune: bool = False, lint: bool = False,
           task_timeout: Optional[float] = None) -> List[TaskResult]:
     """Sweep a corpus of C programs across memory object models.
 
@@ -499,7 +544,10 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
     source strings get positional names).  Returns one
     :class:`TaskResult` per (sharded) program, in corpus order.
     ``explore_store`` (a directory path) persists ``mode="explore"``
-    results as exploration records workers publish and reuse."""
+    results as exploration records workers publish and reuse.
+    ``static_prune`` turns on static pre-pruning of ``unseq`` choice
+    points for ``mode="explore"``; ``lint`` attaches the static
+    findings to each task result."""
     model_list = tuple(MODELS) if models is None else tuple(models)
     named = []
     for i, entry in enumerate(programs):
@@ -514,7 +562,8 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
                        models=model_list, impl=impl,
                        max_steps=max_steps, max_paths=max_paths,
                        seed=seed, strategy=strategy, por=por,
-                       explore_store=explore_store, resume=resume)
+                       explore_store=explore_store, resume=resume,
+                       static_prune=static_prune, lint=lint)
              for i, (name, source) in enumerate(named)]
     return run_tasks(tasks, jobs=jobs, store=store,
                      task_timeout=task_timeout)

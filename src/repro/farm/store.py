@@ -53,7 +53,10 @@ from typing import Dict, Optional
 #    join compiled artifacts in the store, and every content address
 #    is now kind-prefixed; version-2 compiled artifacts and any
 #    pre-record exploration state are invalidated together.
-STORE_SCHEMA_VERSION = 3
+# 4: static-analysis records ("statics" kind: per-unseq footprint
+#    annotation tables + lint findings, repro.pipeline.StaticsRecord)
+#    join the store, and exploration keys gain a static_prune part.
+STORE_SCHEMA_VERSION = 4
 
 _MAGIC = "cerberus-farm-artifact"
 

@@ -66,6 +66,39 @@ MODELS: Dict[str, type] = {
     "gcc": GccPersonaModel,
 }
 
+#: The artifact-store record kind of cached static analyses.
+STATICS_RECORD_KIND = "statics"
+
+
+@dataclass
+class StaticsRecord:
+    """One persisted static analysis (:mod:`repro.statics`): the
+    positional per-``unseq`` annotation table (aligned with
+    :func:`repro.statics.collect_unseqs` order), the lint findings,
+    and whether the abstract interpretation ran to completion (an
+    aborted analysis keeps its findings — each is independently
+    sound — but discards annotations)."""
+
+    version: int
+    table: list
+    findings: list
+    complete: bool
+
+
+def _as_artifact_store(store):
+    """Normalise any store-ish argument (an ``ArtifactStore``, an
+    ``ExploreStore`` view, or a directory path) to the backing
+    :class:`~repro.farm.store.ArtifactStore`."""
+    if store is None:
+        return None
+    if hasattr(store, "record_key"):
+        return store
+    inner = getattr(store, "store", None)
+    if inner is not None and hasattr(inner, "record_key"):
+        return inner
+    from .farm.store import ArtifactStore
+    return ArtifactStore(store)
+
 
 @dataclass
 class CompiledProgram:
@@ -100,6 +133,48 @@ class CompiledProgram:
         mem = self.make_model(model, options, **model_kwargs)
         return run_program(self.core, mem, oracle, max_steps)
 
+    def statics(self, store=None,
+                name: str = "<string>") -> StaticsRecord:
+        """The static analysis of this artifact (:mod:`repro.statics`):
+        per-``unseq`` footprint/purity annotations — attached to the
+        Core term as a side effect — plus the lint findings.
+
+        With ``store`` (an artifact store or directory path) the
+        record is cached under the ``"statics"`` kind, keyed like the
+        compiled artifact itself plus ``STATICS_VERSION``, so repeated
+        campaigns never re-analyse an unchanged program."""
+        from .statics import (
+            STATICS_VERSION, analyze_program, apply_annotations,
+            serialize_unseq_info,
+        )
+        from .statics.lint import LintInterp
+        store = _as_artifact_store(store)
+        key = None
+        if store is not None:
+            key = store.record_key(
+                STATICS_RECORD_KIND, self.source, repr(self.impl),
+                name, str(STATICS_VERSION))
+            record = store.get_record(key, StaticsRecord)
+            if record is not None \
+                    and record.version == STATICS_VERSION \
+                    and apply_annotations(self.core, record.table):
+                return record
+        report = analyze_program(self.core, interp_cls=LintInterp)
+        record = StaticsRecord(
+            STATICS_VERSION,
+            serialize_unseq_info(self.core, report),
+            list(report.findings),
+            report.complete)
+        if store is not None and key is not None:
+            store.put_record(key, record)
+        return record
+
+    def lint(self, store=None, name: str = "<string>") -> list:
+        """The definite-UB lint findings for this artifact
+        (:class:`repro.statics.lint.Finding` list, sorted by source
+        location)."""
+        return self.statics(store, name).findings
+
     def explore(self, model: str = "provenance",
                 options: Optional[MemoryOptions] = None,
                 max_paths: int = 500,
@@ -111,6 +186,7 @@ class CompiledProgram:
                 store=None,
                 resume: bool = True,
                 name: str = "<string>",
+                static_prune: bool = False,
                 **model_kwargs) -> ExplorationResult:
         """Explore the allowed executions (the paper's test-oracle
         mode, §5.1).  ``deadline_s`` bounds the whole enumeration by
@@ -136,14 +212,19 @@ class CompiledProgram:
                                   max_steps=max_steps,
                                   strategy=strategy, seed=seed,
                                   por=por, options=options,
-                                  model_kwargs=model_kwargs)
+                                  model_kwargs=model_kwargs,
+                                  static_prune=static_prune)
+        if static_prune and store is not None:
+            # Attach (store-cached) footprint annotations ahead of the
+            # engine's own ensure_annotated fallback.
+            self.statics(store, name=name)
         return explore_program(
             self.core,
             lambda: self.make_model(model, options, **model_kwargs),
             max_paths=max_paths, max_steps=max_steps,
             deadline_s=deadline_s, strategy=strategy, por=por,
             seed=seed, store=store, resume=resume,
-            cache_key=cache_key)
+            cache_key=cache_key, static_prune=static_prune)
 
 
 # Historical name for the compiled artifact.
@@ -321,15 +402,17 @@ def explore_c(source: str, model: str = "provenance",
               seed: Optional[int] = None,
               store=None,
               resume: bool = True,
+              static_prune: bool = False,
               **model_kwargs) -> ExplorationResult:
     """One-shot: compile (memoised) and explore a C program under the
     chosen search strategy, optionally with partial-order reduction.
-    ``store``/``resume`` persist and reuse exploration results (see
-    :meth:`CompiledProgram.explore`)."""
+    ``store``/``resume`` persist and reuse exploration results and
+    ``static_prune`` pre-prunes statically-commuting ``unseq`` points
+    (see :meth:`CompiledProgram.explore`)."""
     return compile_for_model(source, model, impl).explore(
         model, options, max_paths=max_paths, max_steps=max_steps,
         strategy=strategy, por=por, seed=seed, store=store,
-        resume=resume, **model_kwargs)
+        resume=resume, static_prune=static_prune, **model_kwargs)
 
 
 def _compile_per_impl(source: str, models: Iterable[str],
@@ -382,6 +465,7 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                  seed: Optional[int] = None,
                  store=None,
                  resume: bool = True,
+                 static_prune: bool = False,
                  **model_kwargs) -> Dict[str, ExplorationResult]:
     """Explore one program under many memory object models (default:
     all registered), compiling once per distinct implementation
@@ -403,5 +487,16 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                                    strategy=strategy, por=por,
                                    seed=seed, store=store,
                                    resume=resume, name=name,
+                                   static_prune=static_prune,
                                    **model_kwargs)
             for model, program in programs.items()}
+
+def lint_c(source: str, impl: Implementation = LP64,
+           name: str = "<string>", store=None,
+           use_cache: bool = True) -> list:
+    """One-shot: compile (memoised) and lint a C program — the
+    definite-UB findings of :mod:`repro.statics.lint`, sorted by
+    source location."""
+    return compile_c(source, impl, name=name,
+                     use_cache=use_cache).lint(store, name=name)
+

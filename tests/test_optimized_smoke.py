@@ -109,6 +109,25 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
     shutil.rmtree(root + "-resume", ignore_errors=True)
 
+# The static analysis must not lean on asserts: the definite-UB
+# linter and the static POR pre-prune (annotations + collapsed
+# choice points) are checked explicitly against the dynamic side.
+from repro.pipeline import lint_c
+
+RACE = "int main(void){ int x; int y = (x=1)+(x=2); return 0; }"
+race_findings = lint_c(RACE)
+if not any(f.definite and "Unsequenced_race" in f.names
+           for f in race_findings):
+    sys.exit("definite-UB linter lost the race finding under -O")
+if lint_c(UNSEQ):
+    sys.exit("linter flagged the commuting unseq program under -O")
+sp = compile_c(UNSEQ).explore("concrete", max_paths=100_000,
+                              static_prune=True)
+if sp.paths_run != 1 or not sp.exhausted or \
+        sp.behaviour_keys() != plain.behaviour_keys():
+    sys.exit("static pre-pruning diverged under -O: "
+             f"{sp.paths_run} paths")
+
 report = run_suite_many(["concrete", "provenance"])
 for r in report.results:
     print(f"{r.name}\t{r.model}\t{r.verdict!r}")
