@@ -1,0 +1,188 @@
+"""Observability is zero-cost when disabled (repro.obs claim).
+
+PR 6 established the gating pattern: decide *once* per coarse unit of
+work whether anyone is listening and do nothing else when nobody is.
+The telemetry spine (``repro.obs``) instruments the pipeline phases,
+the driver run loop, the explorer, the stores, and the farm on that
+same pattern — every site is one ``obs.active()`` global read that
+bails on ``None``.
+
+Three assertions pin the claim:
+
+* **zero-call** — with observability off, a tripwire (every
+  :class:`~repro.obs.ObsContext` method patched to raise) survives a
+  full exploration untouched; installing a context makes the very
+  same workload trip immediately, so the tripwire is genuine;
+* **overhead** — the instrumented-but-disabled workload is within 5%
+  of a baseline with the instrumentation wrappers surgically removed
+  (min-of-rounds on both sides, same process, interleaved);
+* **enabled cost** — the same workload under ``obs.collecting()``
+  (metrics only) and ``obs.tracing(path)`` (metrics + JSON-lines
+  trace) is timed and recorded — the price of turning telemetry on,
+  for the record, in ``benchmarks/perf_obs_overhead.json``.
+"""
+
+import contextlib
+import json
+import time
+from pathlib import Path
+
+import repro.obs as obs
+from repro.dynamics.driver import Driver
+from repro.dynamics.explore import Explorer
+from repro.obs import ObsContext
+from repro.pipeline import compile_c
+
+MODEL = "concrete"
+MAX_PATHS = 200
+ROUNDS = 7
+
+# Unsequenced pairs: a real multi-path exploration, so the per-run
+# obs wrapper (the only per-unit instrumentation the driver has) is
+# exercised MAX_PATHS times per round.
+SOURCE = r'''
+int x, y;
+int f(int v) { x = v; return v; }
+int g(int v) { y = v; return v; }
+int main(void) {
+    int a = f(1) + g(2);
+    int b = f(3) + g(4);
+    return (a + b + x + y) & 1;
+}
+'''
+
+
+def _workload(program):
+    def make_driver(oracle):
+        return Driver(program.core, program.make_model(MODEL), oracle)
+    result = Explorer(make_driver, max_paths=MAX_PATHS,
+                      entry="main").run()
+    assert result.paths_run > 1, "workload must actually explore"
+    return result
+
+
+@contextlib.contextmanager
+def _uninstrumented():
+    """Remove the obs wrappers entirely: the true no-telemetry
+    baseline the disabled mode is measured against."""
+    driver_run, explorer_run = Driver.run, Explorer.run
+    Driver.run = Driver._run
+    Explorer.run = lambda self: self._run(None)
+    try:
+        yield
+    finally:
+        Driver.run, Explorer.run = driver_run, explorer_run
+
+
+@contextlib.contextmanager
+def _tripwire():
+    """Every ObsContext method raises: proves disabled-mode sites
+    never touch a context."""
+    saved = {}
+
+    def make_trip(name):
+        def trip(self, *a, **k):
+            raise AssertionError(
+                f"ObsContext.{name} called while observability "
+                "is disabled")
+        return trip
+
+    for name in ("inc", "gauge", "observe", "merge", "span"):
+        saved[name] = getattr(ObsContext, name)
+        setattr(ObsContext, name, make_trip(name))
+    try:
+        yield
+    finally:
+        for name, fn in saved.items():
+            setattr(ObsContext, name, fn)
+
+
+def _min_of_rounds(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_mode_is_zero_cost(tmp_path):
+    program = compile_c(SOURCE)
+
+    # Zero-call: the tripwire never fires with observability off...
+    with _tripwire():
+        _workload(program)
+
+    # ...and the tripwire is genuine: the same workload under an
+    # installed context trips on its first instrumented site.
+    with _tripwire():
+        try:
+            with obs.collecting():
+                _workload(program)
+        except AssertionError as exc:
+            assert "ObsContext" in str(exc)
+        else:
+            raise AssertionError(
+                "tripwire never saw an instrumented call with "
+                "observability on — the zero-call assertion is "
+                "vacuous")
+
+    # Overhead: instrumented-but-disabled vs wrappers removed.
+    # Rounds interleave (disabled, baseline, disabled, ...) so drift
+    # — cache warm-up, frequency scaling, GC — hits both sides alike;
+    # min-of-rounds then discards the noisy rounds on each.
+    _workload(program)
+    with _uninstrumented():
+        _workload(program)
+    disabled_s = baseline_s = best_ratio = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        _workload(program)
+        round_disabled = time.perf_counter() - t0
+        with _uninstrumented():
+            t0 = time.perf_counter()
+            _workload(program)
+            round_baseline = time.perf_counter() - t0
+        disabled_s = min(disabled_s, round_disabled)
+        baseline_s = min(baseline_s, round_baseline)
+        # Noise only ever inflates a round, so the *smallest* paired
+        # ratio is a sound upper bound on the true overhead — and far
+        # more stable than a ratio of cross-round minima.
+        best_ratio = min(best_ratio, round_disabled / round_baseline)
+    overhead_pct = (best_ratio - 1.0) * 100.0
+
+    # Enabled cost, for the record: metrics-only and full tracing.
+    def collecting_run():
+        with obs.collecting():
+            _workload(program)
+    collecting_s = _min_of_rounds(collecting_run)
+
+    trace_path = tmp_path / "bench-obs.jsonl"
+
+    def tracing_run():
+        with obs.tracing(str(trace_path), identity="bench"):
+            _workload(program)
+    tracing_s = _min_of_rounds(tracing_run)
+
+    record = {
+        "benchmark": "obs_overhead",
+        "model": MODEL,
+        "paths_per_round": MAX_PATHS,
+        "rounds": ROUNDS,
+        "baseline_s": round(baseline_s, 4),
+        "disabled_s": round(disabled_s, 4),
+        "disabled_overhead_pct": round(overhead_pct, 2),
+        "disabled_overhead_budget_pct": 5.0,
+        "collecting_s": round(collecting_s, 4),
+        "collecting_overhead_x": round(collecting_s / baseline_s, 2),
+        "tracing_s": round(tracing_s, 4),
+        "tracing_overhead_x": round(tracing_s / baseline_s, 2),
+    }
+    out_path = Path(__file__).with_name("perf_obs_overhead.json")
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print("\n" + json.dumps(record))
+
+    assert overhead_pct <= 5.0, (
+        f"disabled-mode observability overhead {overhead_pct:.2f}% "
+        f"exceeds the 5% budget (baseline {baseline_s:.4f}s, "
+        f"disabled {disabled_s:.4f}s)")

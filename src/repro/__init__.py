@@ -18,9 +18,13 @@ the De Facto Standards* (PLDI 2016). The public surface:
   executable de facto test suite;
 * :mod:`repro.survey` — the paper's survey data and table generators.
 
+* :mod:`repro.obs` — the observability layer: metrics, span tracing,
+  and per-phase profiling hooks (``with repro.obs.tracing(path): ...``).
+
 See README.md for a tour and DESIGN.md for the architecture.
 """
 
+from . import obs
 from .pipeline import (
     CompiledProgram, compile_c, explore_c, explore_many, run_c,
     run_many,
@@ -29,4 +33,4 @@ from .pipeline import (
 __version__ = "1.0.0"
 
 __all__ = ["CompiledProgram", "compile_c", "explore_c", "explore_many",
-           "run_c", "run_many", "__version__"]
+           "obs", "run_c", "run_many", "__version__"]

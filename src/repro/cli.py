@@ -32,15 +32,30 @@ Farm flags (see :mod:`repro.farm`):
 * ``cerberus-py farm suite|csmith|sweep ...`` — whole-corpus
   campaigns with JSON reports (per-program verdicts, cache hit rates,
   wall-clock).
+
+Observability flags (see :mod:`repro.obs` for the full trace schema):
+
+* ``--trace FILE`` — write a JSON-lines trace: pipeline-phase and
+  exploration spans (wall + CPU time), a paths-over-time timeline,
+  and a final metrics snapshot that includes farm workers' metrics.
+  The run id on every record is a content hash of the invocation
+  (never clock/RNG), so identical runs produce diffable traces;
+* ``--metrics`` — print the collected metric counters after the run;
+* ``--profile DIR`` — opt-in per-phase cProfile captures (one
+  ``.pstats`` + top-25 ``.txt`` per instrumented phase);
+* ``cerberus-py stats TRACE`` — render a trace into per-phase
+  timings, per-kind store hit rates, and explorer throughput.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Optional, Tuple
 
+from . import obs
 from .core.pretty import pretty_program
 from .ctypes.implementation import ILP32, LP64
 from .dynamics.explore import STRATEGIES
@@ -81,6 +96,57 @@ def _parse_models(text: Optional[str], default=None):
     return models
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSON-lines observability trace: one "
+                        "record per line — meta (schema + run id), "
+                        "span (named region: wall_s, cpu_s, t0 "
+                        "offset, nesting depth), timeline (cumulative "
+                        "explored paths over time), metrics (final "
+                        "counters/gauges/histograms, farm workers "
+                        "included).  The run id is a content hash of "
+                        "the invocation, so identical runs produce "
+                        "diffable traces.  Summarise with "
+                        "'cerberus-py stats FILE'")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the collected metric counters "
+                        "(driver.*, explore.*, store.<kind>.*, "
+                        "pipeline.*, farm.*) after the run")
+    p.add_argument("--profile", default=None, metavar="DIR",
+                   help="capture a cProfile per instrumented phase "
+                        "into DIR (NNN-<phase>.pstats + a top-25 "
+                        "cumulative-time .txt each)")
+
+
+def _obs_wanted(args) -> bool:
+    return bool(args.trace or args.metrics or args.profile)
+
+
+def _obs_scope(args, identity: str):
+    """The observability context of one CLI invocation, or a no-op
+    scope when no obs flag was given.  ``identity`` must be built
+    from the invocation's *content* (source + semantic flags) — never
+    from output paths like --trace/--profile/--report, which must not
+    change the run id of otherwise identical runs."""
+    if not _obs_wanted(args):
+        return contextlib.nullcontext(None)
+    return obs.tracing(args.trace or None, identity=identity,
+                       profile_dir=args.profile or None)
+
+
+def _print_metrics(ctx) -> None:
+    if ctx is None:
+        return
+    snapshot = ctx.metrics.to_dict()
+    print("metrics:", file=sys.stderr)
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"  {name} = {value}", file=sys.stderr)
+    for name, h in sorted(snapshot["histograms"].items()):
+        print(f"  {name}: count={h['count']} "
+              f"total={h['total']:.4f} max={h['max']:.4f}",
+              file=sys.stderr)
+
+
 def _add_farm_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="number of parallel worker processes "
@@ -101,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="An executable de facto semantics for C "
                     "(PLDI 2016 reproduction). Batch campaigns: "
                     "cerberus-py farm {suite,csmith,sweep} --help; "
-                    "static diagnostics: cerberus-py lint --help")
+                    "static diagnostics: cerberus-py lint --help; "
+                    "trace telemetry: cerberus-py stats --help")
     p.add_argument("file", help="C source file")
     p.add_argument("--model", choices=sorted(MODELS),
                    default="provenance",
@@ -146,7 +213,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="single-path mode: pseudorandom oracle seed; "
                         "exploration: random/coverage strategy seed")
     _add_farm_flags(p)
+    _add_obs_flags(p)
     return p
+
+
+def _main_identity(args, source: str) -> str:
+    """The content identity of one ``cerberus-py file.c`` invocation:
+    the source plus every *semantic* flag.  Output paths (--trace,
+    --profile) and cache locations (--store, --explore-store) are
+    deliberately excluded so they never perturb the run id."""
+    return "\x00".join([
+        "run", args.file, source, args.impl, args.model,
+        str(args.models), str(args.exhaustive), args.strategy,
+        str(args.por), str(args.static_prune), str(args.explore_jobs),
+        str(args.max_steps), str(args.max_paths), str(args.seed),
+        str(args.jobs), str(args.shard), str(args.pp_core)])
 
 
 def main(argv=None) -> int:
@@ -156,6 +237,8 @@ def main(argv=None) -> int:
         return farm_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as f:
@@ -167,6 +250,14 @@ def main(argv=None) -> int:
     if args.store:
         from .farm.store import ArtifactStore
         set_artifact_store(ArtifactStore(args.store))
+    with _obs_scope(args, _main_identity(args, source)) as ctx:
+        code = _dispatch_main(args, source, impl)
+    if args.metrics:
+        _print_metrics(ctx)
+    return code
+
+
+def _dispatch_main(args, source: str, impl) -> int:
     if args.models and not args.pp_core:
         return _run_batch(args, source, impl)
     try:
@@ -450,8 +541,12 @@ def build_farm_parser() -> argparse.ArgumentParser:
 
     for sp in (suite, csmith, sweep):
         _add_farm_flags(sp)
+        _add_obs_flags(sp)
         sp.add_argument("--report", default=None, metavar="FILE",
-                        help="write the JSON campaign report here")
+                        help="write the JSON campaign report here "
+                             "(includes the unified 'metrics' block: "
+                             "merged worker metrics + farm task "
+                             "timings)")
         sp.add_argument("--task-timeout", type=float, default=None,
                         metavar="S",
                         help="per-task wall-clock timeout in seconds")
@@ -476,6 +571,25 @@ def _finish_campaign(campaign, report_path: Optional[str]) -> None:
         print(f"campaign report: {report_path}")
 
 
+def _farm_identity(args) -> str:
+    """Content identity of one farm invocation: the command, every
+    semantic flag, and (for sweep) the corpus sources.  Output paths
+    (--report, --trace, --profile) and cache directories are excluded
+    — see :func:`_main_identity`."""
+    exclude = {"trace", "metrics", "profile", "report", "store",
+               "explore_store"}
+    parts = [f"{k}={v}" for k, v in sorted(vars(args).items())
+             if k not in exclude]
+    sources = []
+    for path in getattr(args, "files", None) or []:
+        try:
+            with open(path) as f:
+                sources.append(f.read())
+        except OSError:
+            sources.append("")
+    return "\x00".join(["farm"] + parts + sources)
+
+
 def farm_main(argv) -> int:
     args = build_farm_parser().parse_args(argv)
     try:
@@ -483,7 +597,15 @@ def farm_main(argv) -> int:
     except argparse.ArgumentTypeError as exc:
         print(f"cerberus-py farm: {exc}", file=sys.stderr)
         return 2
+    with _obs_scope(args, _farm_identity(args)) as ctx:
+        with obs.maybe_span(ctx, "campaign", command=args.command):
+            code = _dispatch_farm(args, models)
+    if args.metrics:
+        _print_metrics(ctx)
+    return code
 
+
+def _dispatch_farm(args, models) -> int:
     if args.command == "suite":
         from .farm.campaign import suite_campaign
         names = [t.strip() for t in args.tests.split(",")
@@ -563,6 +685,52 @@ def farm_main(argv) -> int:
     any_ub = campaign.summary.get("ub", 0) > 0
     bad = any(not r.ok for r in results)
     return 1 if any_ub else (2 if bad else 0)
+
+
+# -- the stats subcommand ------------------------------------------------------
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cerberus-py stats",
+        description="Summarise a --trace JSON-lines file.  The "
+                    "'phases' table aggregates spans per name (count, "
+                    "total/mean/max wall seconds, CPU seconds) — the "
+                    "biggest total is where the wall-clock goes; "
+                    "'store' shows per-record-kind hit rates and "
+                    "corruption counts; 'explorer' shows path "
+                    "accounting plus sustained paths/sec and "
+                    "steps/sec; 'timeline' entries are cumulative "
+                    "paths over time.  Record types in the file: "
+                    "meta (schema + content-derived run id), span "
+                    "(name, t0 offset, wall_s, cpu_s, depth, attrs), "
+                    "timeline (name + [t, value] points), metrics "
+                    "(final counters/gauges/histograms, including "
+                    "merged farm-worker metrics).  See repro.obs for "
+                    "the full schema.")
+    p.add_argument("trace", help="trace file written by --trace")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full summary (including raw merged "
+                        "metrics and timelines) as JSON")
+    return p
+
+
+def stats_main(argv) -> int:
+    from .obs.stats import render_text, summarize_trace
+    args = build_stats_parser().parse_args(argv)
+    try:
+        summary = summarize_trace(args.trace)
+    except OSError as exc:
+        print(f"cerberus-py stats: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_text(summary))
+    except BrokenPipeError:
+        # `stats t.jsonl | head` closing the pipe early is normal use
+        sys.stderr.close()      # suppress the interpreter's warning
+    return 0
 
 
 if __name__ == "__main__":

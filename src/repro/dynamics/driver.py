@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..core import ast as K
 from ..ctypes.types import Array, Integer, IntKind, Pointer, QualType, Void
 from ..errors import CerberusError, InternalError, StaticError
@@ -300,6 +301,28 @@ class Driver:
 
     def run(self, entry: str = "main",
             args: Optional[List[Value]] = None) -> Outcome:
+        """Execute one path.  When an observability context is active
+        (:func:`repro.obs.active`) the run's step count and wall/CPU
+        time are recorded; the disabled-mode cost is one global read —
+        the same gating discipline as ``_por_notify`` above."""
+        ctx = obs.active()
+        if ctx is None:
+            return self._run(entry, args)
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        try:
+            return self._run(entry, args)
+        finally:
+            ctx.inc("driver.runs")
+            ctx.inc("driver.steps", self.steps)
+            ctx.observe("driver.run_s", time.perf_counter() - w0)
+            ctx.observe("driver.run_s.cpu", time.process_time() - c0)
+            skips = self.evaluator.static_unseq_skips
+            if skips:
+                ctx.inc("explore.static_prune_skips", skips)
+
+    def _run(self, entry: str = "main",
+             args: Optional[List[Value]] = None) -> Outcome:
         try:
             self._allocate_globals()
             self._run_global_inits()

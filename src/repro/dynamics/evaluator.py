@@ -91,6 +91,10 @@ class Evaluator:
         self.impl = program.impl
         self.tags = program.tags
         self.static_prune = static_prune
+        # Unseq nodes executed sequentially because static analysis
+        # proved every interleaving equivalent — read by the driver's
+        # obs wrapper after each run (never reported per step).
+        self.static_unseq_skips = 0
         self.global_env: Dict[str, Value] = {}
         # Unseq frames are numbered so scheduling choices and the
         # actions they schedule can be attributed to (frame, child)
@@ -615,6 +619,7 @@ class Evaluator:
         static = getattr(e, "_static_unseq", None) \
             if self.static_prune else None
         if static is not None and static[0]:
+            self.static_unseq_skips += 1
             results = []
             summaries = []
             for child in e.exprs:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Sequence
 
+from ... import obs
 from ..driver import Driver, Oracle
 from .por import PathNode, generate_branches
 from .result import ExplorationResult
@@ -75,7 +76,28 @@ class Explorer:
         self.pending: List[PathNode] = []
 
     def run(self) -> ExplorationResult:
+        """One enumeration.  With observability on, the whole run is
+        an ``explore`` span, per-enumeration counters (paths, pruned,
+        diverged, abandoned, requeued, choice points) are recorded,
+        and — when tracing to a file — a cumulative paths-over-time
+        timeline is sampled (the paths/sec curve)."""
+        ctx = obs.active()
+        if ctx is None:
+            return self._run(None)
+        with ctx.span("explore", por=self.por,
+                      strategy=type(self.strategy).__name__):
+            result = self._run(ctx)
+        ctx.inc("explore.paths", result.paths_run)
+        ctx.inc("explore.pruned", result.pruned)
+        ctx.inc("explore.diverged", result.diverged)
+        ctx.inc("explore.abandoned", result.abandoned)
+        return result
+
+    def _run(self, ctx) -> ExplorationResult:
         result = ExplorationResult()
+        tracer = ctx.tracer if ctx is not None else None
+        timeline: List[tuple] = []
+        last_sample = -1.0
         deadline = (time.monotonic() + self.deadline_s
                     if self.deadline_s is not None else None)
         roots = self.initial if self.initial is not None \
@@ -125,12 +147,21 @@ class Explorer:
                 if result.paths_run > 0:
                     result.exhausted = False
                     self.pending = self.strategy.drain_interrupted(node)
+                    if ctx is not None:
+                        ctx.inc("explore.requeued")
+                    if tracer is not None and timeline:
+                        tracer.emit_timeline("explore.paths", timeline)
                     return result
                 result.paths_run += 1
                 result.abandoned += 1
                 result.exhausted = False
                 continue
             result.paths_run += 1
+            if tracer is not None:
+                now = tracer.now()
+                if now - last_sample >= 0.05:
+                    timeline.append((now, result.paths_run))
+                    last_sample = now
             if outcome.diverged:
                 # The replayed prefix no longer matches the program's
                 # choice arities: the path is stale, not a behaviour —
@@ -147,12 +178,19 @@ class Explorer:
             # LIFO dfs strategy the earliest flip pops next — exactly
             # the historical DFS order.
             completed = outcome.status in ("done", "exit")
-            for point in reversed(generate_branches(node, oracle.events,
-                                                    self.por,
-                                                    completed)):
+            points = generate_branches(node, oracle.events, self.por,
+                                       completed)
+            if ctx is not None and points:
+                ctx.inc("explore.choice_points", len(points))
+            for point in reversed(points):
                 for child in point:
                     self.strategy.push(child)
         self.pending = self.strategy.drain()
+        if tracer is not None:
+            now = tracer.now()
+            if not timeline or timeline[-1][1] != result.paths_run:
+                timeline.append((now, result.paths_run))
+            tracer.emit_timeline("explore.paths", timeline)
         return result
 
 

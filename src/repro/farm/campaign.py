@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
+from ..obs.metrics import merge_metric_dicts
 from ..pipeline import MODELS
 from .pool import (
     SweepTask, TaskResult, merge_stats, run_tasks, shard_select, sweep,
@@ -37,7 +39,14 @@ def _hit_rate(hits: int, misses: int) -> Optional[float]:
 
 @dataclass
 class CampaignReport:
-    """The JSON-able record of one farm campaign."""
+    """The JSON-able record of one farm campaign.
+
+    ``metrics`` is the unified observability block: per-worker
+    :mod:`repro.obs` snapshots merged into one (``workers``), plus
+    derived ``compile`` / ``explore`` / ``farm`` summaries.  The
+    scalar ``cache`` fields (``explore_hit_rate``,
+    ``explore_live_paths``, ...) are kept as aliases of the same data
+    for one release — new consumers should read ``metrics``."""
 
     kind: str
     models: List[str]
@@ -48,6 +57,7 @@ class CampaignReport:
     cache: Dict[str, object] = field(default_factory=dict)
     summary: Dict[str, int] = field(default_factory=dict)
     results: List[dict] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def build(cls, kind: str, models: Sequence[str], jobs: int,
@@ -63,9 +73,62 @@ class CampaignReport:
         # store): warm campaigns show hit rate 1.0 and zero live paths.
         cache["explore_hit_rate"] = _hit_rate(cache["explore_hits"],
                                               cache["explore_misses"])
+        metrics = cls._build_metrics(cache, task_results, wall_s)
         return cls(kind, list(models), jobs, tuple(shard),
                    len(task_results), round(wall_s, 4), cache,
-                   summary, results)
+                   summary, results, metrics)
+
+    @staticmethod
+    def _build_metrics(cache: Dict[str, object],
+                       task_results: List[TaskResult],
+                       wall_s: float) -> Dict[str, object]:
+        """The unified ``metrics`` block: every worker's obs snapshot
+        merged (exact under merging — see
+        :class:`repro.obs.MetricsRegistry`), plus derived summaries.
+        When an observability context is active (``--trace`` around
+        the campaign), the merged worker metrics and farm counters are
+        folded into it too, so the trace's final metrics record covers
+        work done in forked workers."""
+        workers = merge_metric_dicts(
+            r.data.get("metrics") for r in task_results)
+        timeouts = sum(1 for r in task_results if r.timed_out)
+        failures = sum(1 for r in task_results
+                       if not r.ok and not r.timed_out)
+        queue_wait = sum(r.queue_wait_s for r in task_results)
+        task_walls = [r.wall_s for r in task_results]
+        farm = {
+            "tasks": len(task_results),
+            "timeouts": timeouts,
+            "failures": failures,
+            "queue_wait_s": round(queue_wait, 4),
+            "task_max_s": round(max(task_walls), 4) if task_walls
+            else 0.0,
+            "task_mean_s": round(sum(task_walls) / len(task_walls), 4)
+            if task_walls else 0.0,
+            "wall_s": round(wall_s, 4),
+        }
+        metrics = {
+            "compile": {
+                "translations": cache["translations"],
+                "memory_hit_rate": cache["memory_hit_rate"],
+                "store_hit_rate": cache["store_hit_rate"],
+                "store_corrupt": cache.get("store_corrupt", 0),
+            },
+            "explore": {
+                "hit_rate": cache["explore_hit_rate"],
+                "live_paths": cache["explore_live_paths"],
+                "resumes": cache["explore_resumes"],
+            },
+            "farm": farm,
+            "workers": workers,
+        }
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.merge(workers)
+            ctx.inc("farm.timeouts", timeouts)
+            if failures:
+                ctx.inc("farm.failures", failures)
+        return metrics
 
     def to_json(self) -> dict:
         return {
@@ -76,6 +139,7 @@ class CampaignReport:
             "programs": self.programs,
             "wall_s": self.wall_s,
             "cache": self.cache,
+            "metrics": self.metrics,
             "summary": self.summary,
             "results": self.results,
         }
@@ -88,6 +152,8 @@ class CampaignReport:
 
 def _base_entry(r: TaskResult) -> dict:
     entry = {"program": r.name, "wall_s": round(r.wall_s, 4)}
+    if r.queue_wait_s:
+        entry["queue_wait_s"] = round(r.queue_wait_s, 4)
     if r.timed_out:
         entry["timed_out"] = True
     if r.error:
@@ -120,7 +186,7 @@ def suite_campaign(models: Sequence[str],
     sharded = shard_select(all_names, *shard)
     tasks = [SweepTask(index=i, name=name, kind="suite",
                        models=tuple(models), max_steps=max_steps,
-                       lint=lint)
+                       lint=lint, collect_metrics=True)
              for i, name in enumerate(sharded)]
     start = time.perf_counter()
     task_results = run_tasks(tasks, jobs=jobs, store=store,
@@ -190,7 +256,8 @@ def csmith_campaign(seeds: Optional[Sequence[int]] = None,
     sharded = shard_select(list(seeds), *shard)
     tasks = [SweepTask(index=i, name=f"csmith-{seed}", kind="csmith",
                        models=tuple(model_list), max_steps=max_steps,
-                       csmith_seed=seed, csmith_size=size)
+                       csmith_seed=seed, csmith_size=size,
+                       collect_metrics=True)
              for i, seed in enumerate(sharded)]
     start = time.perf_counter()
     task_results = run_tasks(tasks, jobs=jobs, store=store,

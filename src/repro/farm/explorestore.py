@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..dynamics.explore import ExplorationResult, Explorer, PathNode
 from .store import ArtifactStore
 
@@ -173,18 +174,25 @@ class ExploreStore:
         # A foreign object under our key is a (counted) miss and is
         # dropped like any corrupt entry — the backing store does the
         # type check so its hit/miss counters stay truthful.
-        return self.store.get_record(key, ExplorationRecord)
+        return self.store.get_record(key, ExplorationRecord,
+                                     kind=RECORD_KIND)
 
     def put(self, key: str, record: ExplorationRecord) -> None:
-        self.store.put_record(key, record)
+        self.store.put_record(key, record, kind=RECORD_KIND)
 
     # -- observability --------------------------------------------------------
 
     def note_resume(self) -> None:
         self._counters["resumes"] += 1
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.inc("explore.resumes")
 
     def note_live(self, paths: int) -> None:
         self._counters["live_paths"] += paths
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.inc("explore.live_paths", paths)
 
     def stats(self) -> Dict[str, int]:
         """Hits/misses/stores of exploration records in the backing

@@ -50,6 +50,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+from .. import obs
 from ..ctypes.implementation import Implementation, LP64
 from ..dynamics.driver import Driver
 from ..dynamics.explore import ExplorationResult, Explorer, PathNode
@@ -116,96 +117,110 @@ def explore_farm(source: str,
                         deadline_s=deadline_s, strategy=strategy,
                         por=por, seed=seed).run()
 
-    start = time.monotonic()
-    base: Optional[ExplorationResult] = None
-    frontier: List[PathNode] = []
-    recorded_paths = 0      # paths served from the record, not run live
-    # One shared reuse rule with the serial seam: an unusable fuller
-    # record is neither served nor clobbered (publish=False).
-    rec, publish = plan_cached(es, key, max_paths) \
-        if es is not None else (None, True)
-    if rec is not None and rec.complete:
-        return rec.to_result()      # zero paths re-run
-    resumed = rec is not None and resume
-    if resumed:
-        # Skip seeding: the persisted frontier is already an exact cut
-        # through the exploration tree; dispatch it straight to shards.
-        base = rec.to_result()
-        recorded_paths = base.paths_run
-        frontier = list(rec.frontier)
-    else:
-        seeder = Explorer(make_driver, max_paths=max_paths,
-                          entry=entry, deadline_s=deadline_s,
-                          strategy="bfs", por=por,
-                          frontier_target=max(2, jobs * frontier_factor),
-                          requeue_interrupted=es is not None)
-        base = seeder.run()
-        frontier = seeder.pending
-        if not frontier:
-            # Seeding already finished (or truncated) the space.
-            if es is not None:
+    ctx = obs.active()
+    with obs.maybe_span(ctx, "explore_farm", jobs=jobs, model=model):
+        start = time.monotonic()
+        base: Optional[ExplorationResult] = None
+        frontier: List[PathNode] = []
+        recorded_paths = 0  # paths served from the record, not run live
+        # One shared reuse rule with the serial seam: an unusable
+        # fuller record is neither served nor clobbered (publish=False).
+        rec, publish = plan_cached(es, key, max_paths) \
+            if es is not None else (None, True)
+        if rec is not None and rec.complete:
+            return rec.to_result()      # zero paths re-run
+        resumed = rec is not None and resume
+        if resumed:
+            # Skip seeding: the persisted frontier is already an exact
+            # cut through the exploration tree; dispatch it straight
+            # to shards.
+            base = rec.to_result()
+            recorded_paths = base.paths_run
+            frontier = list(rec.frontier)
+        else:
+            seeder = Explorer(make_driver, max_paths=max_paths,
+                              entry=entry, deadline_s=deadline_s,
+                              strategy="bfs", por=por,
+                              frontier_target=max(
+                                  2, jobs * frontier_factor),
+                              requeue_interrupted=es is not None)
+            base = seeder.run()
+            frontier = seeder.pending
+            if not frontier:
+                # Seeding already finished (or truncated) the space.
+                if es is not None:
+                    es.note_live(base.paths_run)
+                    if publish:
+                        es.put(key, ExplorationRecord.from_result(
+                            base, budget=max_paths))
+                return base
+
+        remaining = max_paths - base.paths_run
+        shard_deadline = deadline_s
+        if deadline_s is not None:
+            # deadline_s is one wall-clock budget for the whole
+            # exploration: shards only get what seeding left of it.
+            shard_deadline = deadline_s - (time.monotonic() - start)
+        if remaining <= 0 or \
+                (shard_deadline is not None and shard_deadline <= 0):
+            # Budget spent before any shard could run.  A fresh
+            # seeding phase persists its frontier (resumable) and
+            # counts its live paths; a resumed record that ran nothing
+            # is neither re-stored (byte-identical) nor counted as a
+            # resume.
+            if es is not None and not resumed:
                 es.note_live(base.paths_run)
                 if publish:
                     es.put(key, ExplorationRecord.from_result(
-                        base, budget=max_paths))
+                        base, frontier, budget=max_paths))
+            base.exhausted = False
             return base
-
-    remaining = max_paths - base.paths_run
-    shard_deadline = deadline_s
-    if deadline_s is not None:
-        # deadline_s is one wall-clock budget for the whole
-        # exploration: shards only get what seeding left of it.
-        shard_deadline = deadline_s - (time.monotonic() - start)
-    if remaining <= 0 or \
-            (shard_deadline is not None and shard_deadline <= 0):
-        # Budget spent before any shard could run.  A fresh seeding
-        # phase persists its frontier (resumable) and counts its live
-        # paths; a resumed record that ran nothing is neither
-        # re-stored (byte-identical) nor counted as a resume.
-        if es is not None and not resumed:
-            es.note_live(base.paths_run)
+        if resumed:
+            es.note_resume()
+        per_shard = -(-remaining // len(frontier))      # ceiling split
+        tasks = [SweepTask(index=i, name=f"{name}#shard{i}",
+                           kind="explore_shard", source=source,
+                           models=(model,), impl=impl,
+                           max_steps=max_steps, max_paths=per_shard,
+                           deadline_s=shard_deadline, strategy=strategy,
+                           por=por, seed=seed, entry=entry,
+                           prefix=tuple(node.choices),
+                           sleep=tuple(node.sleep),
+                           requeue_interrupted=es is not None,
+                           collect_metrics=ctx is not None)
+                 for i, node in enumerate(frontier)]
+        if ctx is not None:
+            ctx.inc("farm.shards", len(tasks))
+        results = run_tasks(tasks, jobs=jobs, store=store,
+                            task_timeout=task_timeout)
+        parts: List[ExplorationResult] = [base]
+        leftover: List[PathNode] = []
+        all_ok = True
+        for task, r in zip(tasks, results):
+            if ctx is not None:
+                ctx.merge(r.data.get("metrics"))
+            shard = r.data.get("shard") if r.ok else None
+            if shard is None:
+                # Worker died or timed out hard: its partial work is
+                # lost and uncounted, so the whole subtree root goes
+                # back on the frontier — a resume re-mines it from
+                # scratch.
+                all_ok = False
+                if ctx is not None:
+                    ctx.inc("farm.shard_requeues")
+                leftover.append(PathNode(tuple(task.prefix),
+                                         tuple(task.sleep)))
+                continue
+            parts.append(shard)
+            leftover.extend(
+                PathNode(tuple(choices), tuple(sleep))
+                for choices, sleep in r.data.get("pending", ()))
+        merged = ExplorationResult.merge(parts)
+        if not all_ok:
+            merged.exhausted = False
+        if es is not None:
+            es.note_live(merged.paths_run - recorded_paths)
             if publish:
                 es.put(key, ExplorationRecord.from_result(
-                    base, frontier, budget=max_paths))
-        base.exhausted = False
-        return base
-    if resumed:
-        es.note_resume()
-    per_shard = -(-remaining // len(frontier))      # ceiling split
-    tasks = [SweepTask(index=i, name=f"{name}#shard{i}",
-                       kind="explore_shard", source=source,
-                       models=(model,), impl=impl,
-                       max_steps=max_steps, max_paths=per_shard,
-                       deadline_s=shard_deadline, strategy=strategy,
-                       por=por, seed=seed, entry=entry,
-                       prefix=tuple(node.choices),
-                       sleep=tuple(node.sleep),
-                       requeue_interrupted=es is not None)
-             for i, node in enumerate(frontier)]
-    results = run_tasks(tasks, jobs=jobs, store=store,
-                        task_timeout=task_timeout)
-    parts: List[ExplorationResult] = [base]
-    leftover: List[PathNode] = []
-    all_ok = True
-    for task, r in zip(tasks, results):
-        shard = r.data.get("shard") if r.ok else None
-        if shard is None:
-            # Worker died or timed out hard: its partial work is lost
-            # and uncounted, so the whole subtree root goes back on
-            # the frontier — a resume re-mines it from scratch.
-            all_ok = False
-            leftover.append(PathNode(tuple(task.prefix),
-                                     tuple(task.sleep)))
-            continue
-        parts.append(shard)
-        leftover.extend(PathNode(tuple(choices), tuple(sleep))
-                        for choices, sleep in r.data.get("pending", ()))
-    merged = ExplorationResult.merge(parts)
-    if not all_ok:
-        merged.exhausted = False
-    if es is not None:
-        es.note_live(merged.paths_run - recorded_paths)
-        if publish:
-            es.put(key, ExplorationRecord.from_result(
-                merged, leftover, budget=max_paths))
-    return merged
+                    merged, leftover, budget=max_paths))
+        return merged

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..ctypes.implementation import Implementation, LP64
 from ..errors import CerberusError
 from ..pipeline import (
@@ -44,6 +45,7 @@ from .store import ArtifactStore
 
 _STAT_KEYS = ("translations", "memory_hits", "memory_misses",
               "store_hits", "store_misses", "store_puts",
+              "store_corrupt",
               "explore_hits", "explore_misses", "explore_puts",
               "explore_resumes", "explore_live_paths")
 
@@ -144,6 +146,13 @@ class SweepTask:
     # ("lint" data key); campaign layers use definite findings as a
     # pre-exploration filter.
     lint: bool = False
+    # Collect a repro.obs metrics snapshot around the task and ship it
+    # back in data["metrics"] — the farm's worker-to-parent metrics
+    # channel (campaigns set it; plain run_tasks callers opt in).
+    collect_metrics: bool = False
+    # time.monotonic() at submission, stamped by run_tasks; the worker
+    # reports the queue wait (start - submitted) in the result.
+    submitted_m: Optional[float] = None
 
 
 @dataclass
@@ -155,6 +164,9 @@ class TaskResult:
     error: str = ""
     timed_out: bool = False
     wall_s: float = 0.0
+    # seconds the task sat between submission and a worker picking it
+    # up (0.0 when the submission time was not stamped)
+    queue_wait_s: float = 0.0
     # deltas of the compile/store counters attributable to this task
     stats: Dict[str, int] = field(default_factory=dict)
     # kind-specific payload: "verdicts" ({model: Verdict}),
@@ -190,6 +202,7 @@ def _snapshot() -> Dict[str, int]:
         snap["store_hits"] = ss["hits"]
         snap["store_misses"] = ss["misses"]
         snap["store_puts"] = ss["stores"]
+        snap["store_corrupt"] = ss["corrupt"]
     return snap
 
 
@@ -212,10 +225,33 @@ def merge_stats(results: Iterable[TaskResult]) -> Dict[str, int]:
 
 def execute_task(task: SweepTask) -> TaskResult:
     """Run one task in the current process (workers and the serial
-    path both come through here)."""
+    path both come through here).  With ``task.collect_metrics`` the
+    task runs inside an isolated :func:`repro.obs.collecting` scope
+    and ships the snapshot back in ``data["metrics"]`` — the parent
+    (campaign / trace) merges it, so a parallel sweep's metric totals
+    equal a serial one's."""
+    if not task.collect_metrics:
+        return _execute_task(task)
+    with obs.collecting() as registry:
+        result = _execute_task(task)
+        ctx = obs.active()
+        ctx.inc("farm.tasks")
+        if not result.ok:
+            ctx.inc("farm.task_failures")
+        ctx.observe("farm.task_s", result.wall_s)
+        if result.queue_wait_s:
+            ctx.observe("farm.queue_wait_s", result.queue_wait_s)
+    result.data["metrics"] = registry.to_dict()
+    return result
+
+
+def _execute_task(task: SweepTask) -> TaskResult:
     before = _snapshot()
     start = time.perf_counter()
     result = TaskResult(task.index, task.name, task.kind)
+    if task.submitted_m is not None:
+        result.queue_wait_s = max(0.0,
+                                  time.monotonic() - task.submitted_m)
     explore_store = None
     if task.explore_store is not None:
         # A fresh per-task handle on the shared record store: its
@@ -413,7 +449,10 @@ def _store_spec(store) -> Optional[Tuple[str, int, int]]:
 def _init_worker(store_spec: Optional[Tuple[str, int, int]]) -> None:
     """Per-worker setup: a clean in-memory cache (fork inherits the
     parent's — clearing keeps per-task counter deltas honest) and this
-    worker's own handle on the shared on-disk store."""
+    worker's own handle on the shared on-disk store.  Any inherited
+    observability context is dropped too: a forked child must never
+    double-write the parent's trace file."""
+    obs.reset()
     clear_compile_cache()
     if store_spec is None:
         set_artifact_store(None)
@@ -448,10 +487,12 @@ def run_tasks(tasks: Sequence[SweepTask], jobs: int = 1,
     at the deadline; a single non-terminating run is bounded by
     ``max_steps``, not wall-clock."""
     tasks = list(tasks)
-    if task_timeout is not None:
-        for t in tasks:
-            if t.deadline_s is None:
-                t.deadline_s = task_timeout
+    submitted = time.monotonic()
+    for t in tasks:
+        if task_timeout is not None and t.deadline_s is None:
+            t.deadline_s = task_timeout
+        if t.submitted_m is None:
+            t.submitted_m = submitted
     store = _resolve_store(store)
     if jobs <= 1 or len(tasks) <= 1:
         previous = set_artifact_store(store)
@@ -537,7 +578,8 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
           strategy: str = "dfs", por: bool = False,
           explore_store=None, resume: bool = True,
           static_prune: bool = False, lint: bool = False,
-          task_timeout: Optional[float] = None) -> List[TaskResult]:
+          task_timeout: Optional[float] = None,
+          collect_metrics: bool = True) -> List[TaskResult]:
     """Sweep a corpus of C programs across memory object models.
 
     ``programs`` is an iterable of ``(name, source)`` pairs (bare
@@ -563,7 +605,8 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
                        max_steps=max_steps, max_paths=max_paths,
                        seed=seed, strategy=strategy, por=por,
                        explore_store=explore_store, resume=resume,
-                       static_prune=static_prune, lint=lint)
+                       static_prune=static_prune, lint=lint,
+                       collect_metrics=collect_metrics)
              for i, (name, source) in enumerate(named)]
     return run_tasks(tasks, jobs=jobs, store=store,
                      task_timeout=task_timeout)

@@ -22,7 +22,11 @@ Durability properties:
   old entry or the new one, never a torn write.
 * **Corruption fallback** — a truncated, garbled, or foreign file
   deserialises into a miss (and is unlinked best-effort): callers
-  silently recompile, they never crash on a bad store.
+  recompile or re-explore, they never crash on a bad store.  Each
+  such fallback is *visible*: a :class:`StoreCorruptionWarning` is
+  issued, the per-kind ``corrupt`` counters in :meth:`stats` tick,
+  and an obs counter (``store.<kind>.corrupt``) records it in traces
+  and campaign reports.
 * **Bounded size, LRU eviction** — the store never holds more than
   ``max_bytes`` of artifacts; reads refresh an entry's mtime, and the
   least-recently-used entries are evicted first (the newest entry is
@@ -39,8 +43,11 @@ import os
 import pickle
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
+
+from .. import obs
 
 # Bump when CompiledProgram / the AST layout changes incompatibly: the
 # version is folded into the content address, so old entries simply
@@ -61,6 +68,13 @@ STORE_SCHEMA_VERSION = 4
 _MAGIC = "cerberus-farm-artifact"
 
 _DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class StoreCorruptionWarning(UserWarning):
+    """A store entry failed to deserialise (truncated, garbled, wrong
+    schema, or a foreign object under the key).  The entry was dropped
+    and the caller fell back to recompiling / re-exploring — correct
+    but slow, so the fallback is surfaced rather than silent."""
 
 
 class ArtifactStore:
@@ -85,6 +99,10 @@ class ArtifactStore:
             "record_hits": 0, "record_misses": 0, "record_stores": 0,
             "evictions": 0, "corrupt": 0,
         }
+        # Per record kind ("compiled" / "exploration" / "statics" /
+        # ...): {kind: {"hits": n, "misses": n, "stores": n,
+        # "corrupt": n}}, additive to the flat totals above.
+        self._kind_counters: Dict[str, Dict[str, int]] = {}
         # Approximate on-disk footprint, maintained incrementally so
         # a put under the bound costs O(1) — the full directory scan
         # only runs when the estimate crosses ``max_bytes``.  It may
@@ -126,18 +144,31 @@ class ArtifactStore:
 
     # -- read side ------------------------------------------------------------
 
-    def _load(self, key: str, hit: str, miss: str, expect=None):
+    def _kind_event(self, kind: str, event: str) -> None:
+        """One per-kind counter tick, mirrored to the active obs
+        context (``store.<kind>.<event>``) when observability is on."""
+        per = self._kind_counters.setdefault(
+            kind, {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0})
+        per[event] += 1
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.inc(f"store.{kind}.{event}")
+
+    def _load(self, key: str, hit: str, miss: str, expect=None,
+              kind: str = "compiled"):
         """Load any stored object by key, or ``None`` on miss.
 
         Any failure — missing file, short read, unpickling error,
         wrong magic or schema, or (with ``expect``) an object of the
         wrong type under the key — is a miss; a damaged entry is
-        dropped so the regenerated object can replace it."""
+        dropped so the regenerated object can replace it, with a
+        :class:`StoreCorruptionWarning` so the fallback is visible."""
         path = self._path(key)
         try:
             blob = path.read_bytes()
         except OSError:
             self._counters[miss] += 1
+            self._kind_event(kind, "misses")
             return None
         try:
             magic, version, stored_key, obj = pickle.loads(blob)
@@ -149,6 +180,12 @@ class ArtifactStore:
         except Exception:
             self._counters["corrupt"] += 1
             self._counters[miss] += 1
+            self._kind_event(kind, "corrupt")
+            self._kind_event(kind, "misses")
+            warnings.warn(
+                f"dropping corrupt {kind!r} store entry "
+                f"{key[:12]}... (falling back to regeneration)",
+                StoreCorruptionWarning, stacklevel=3)
             try:
                 path.unlink()
             except OSError:
@@ -157,6 +194,7 @@ class ArtifactStore:
         # Refresh recency for LRU eviction.
         self._stamp_recency(path)
         self._counters[hit] += 1
+        self._kind_event(kind, "hits")
         return obj
 
     def get(self, source: str, impl, name: str = "<string>",
@@ -166,12 +204,16 @@ class ArtifactStore:
         return self._load(self.key(source, impl, name, check_core),
                           "hits", "misses")
 
-    def get_record(self, key: str, expect=None):
+    def get_record(self, key: str, expect=None,
+                   kind: str = "record"):
         """Load an auxiliary record (e.g. an exploration record) by a
         :meth:`record_key` address, or ``None`` on miss.  Damaged,
         stale-schema, or (with ``expect``) wrong-type entries are
-        misses — counted as such — exactly as for artifacts."""
-        return self._load(key, "record_hits", "record_misses", expect)
+        misses — counted as such — exactly as for artifacts.  Pass
+        the same ``kind`` used to build the key so the per-kind
+        counters attribute the access correctly."""
+        return self._load(key, "record_hits", "record_misses", expect,
+                          kind=kind)
 
     def touch(self, source: str, impl, name: str = "<string>",
               check_core: bool = True) -> None:
@@ -199,7 +241,8 @@ class ArtifactStore:
 
     # -- write side -----------------------------------------------------------
 
-    def _save(self, key: str, obj, counter: str) -> None:
+    def _save(self, key: str, obj, counter: str,
+              kind: str = "compiled") -> None:
         """Persist any object atomically under ``key``, then enforce
         the size bound (records and artifacts share one LRU budget)."""
         path = self._path(key)
@@ -221,6 +264,7 @@ class ArtifactStore:
             raise
         self._stamp_recency(path)
         self._counters[counter] += 1
+        self._kind_event(kind, "stores")
         if self._approx_bytes is None:
             self._approx_bytes = self.size_bytes()
         else:
@@ -235,13 +279,13 @@ class ArtifactStore:
         self._save(self.key(source, impl, name, check_core), program,
                    "stores")
 
-    def put_record(self, key: str, obj) -> None:
+    def put_record(self, key: str, obj, kind: str = "record") -> None:
         """Persist an auxiliary record under a :meth:`record_key`
         address.  Records ride the exact same durability machinery as
         compiled artifacts: atomic publish, corruption -> miss, and
         the shared size-bounded LRU (exploration bytes count against
         ``max_bytes`` like any other entry)."""
-        self._save(key, obj, "record_stores")
+        self._save(key, obj, "record_stores", kind=kind)
 
     def _entries(self):
         """All stored artifacts as (mtime, size, path), oldest first."""
@@ -262,6 +306,7 @@ class ArtifactStore:
         ``max_bytes`` (the ``keep`` entry survives regardless)."""
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
+        evicted = 0
         for _, size, path in entries:
             if total <= self.max_bytes:
                 break
@@ -272,8 +317,13 @@ class ArtifactStore:
             except OSError:
                 continue  # another process got there first
             total -= size
-            self._counters["evictions"] += 1
+            evicted += 1
         self._approx_bytes = total  # resynchronised with the scan
+        if evicted:
+            self._counters["evictions"] += evicted
+            ctx = obs.active()
+            if ctx is not None:
+                ctx.inc("store.evictions", evicted)
 
     # -- observability --------------------------------------------------------
 
@@ -281,14 +331,19 @@ class ArtifactStore:
         return sum(size for _, size, _ in self._entries())
 
     def stats(self) -> Dict[str, int]:
-        """Per-process counters plus the current on-disk footprint."""
+        """Per-process counters plus the current on-disk footprint.
+        ``by_kind`` breaks hits/misses/stores/corrupt down per record
+        kind, additively to the flat totals."""
         return dict(self._counters,
+                    by_kind={k: dict(v) for k, v
+                             in sorted(self._kind_counters.items())},
                     entries=len(self._entries()),
                     size_bytes=self.size_bytes())
 
     def reset_stats(self) -> None:
         for k in self._counters:
             self._counters[k] = 0
+        self._kind_counters.clear()
 
     def clear(self) -> None:
         """Drop every stored artifact (counters are kept)."""

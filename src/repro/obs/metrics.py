@@ -1,0 +1,95 @@
+"""The metrics half of the observability layer: a tiny process-local
+registry of counters, gauges, and scalar histograms.
+
+Metric values are plain numbers under dotted string names
+(``"driver.steps"``, ``"store.compiled.hits"``, ``"span.explore"``),
+so a registry serialises to one JSON-able dict and two registries
+merge by summation — which is exactly what the farm needs: each
+worker task collects into its own registry, ships the dict over IPC,
+and the parent folds every worker's dict into the campaign report
+(:func:`merge_metric_dicts`), making a parallel sweep's metrics equal
+a serial sweep's.
+
+Histograms are deliberately *scalar* summaries (count / total / min /
+max), not bucketed distributions: they are cheap to update, exact
+under merging, and sufficient for the questions the ROADMAP perf work
+asks (where does wall-clock go, what does a phase cost on average /
+at worst)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class MetricsRegistry:
+    """Counters, gauges, and scalar histograms under dotted names."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self.histograms: Dict[str, list] = {}
+
+    # -- write side -----------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            self.histograms[name] = [1, value, value, value]
+        else:
+            h[0] += 1
+            h[1] += value
+            if value < h[2]:
+                h[2] = value
+            if value > h[3]:
+                h[3] = value
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-able snapshot: ``{"counters": .., "gauges": ..,
+        "histograms": {name: {count, total, min, max}}}``."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {"count": h[0], "total": h[1],
+                       "min": h[2], "max": h[3]}
+                for name, h in self.histograms.items()},
+        }
+
+    def merge_dict(self, d: Optional[dict]) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. one farm worker's)
+        into this registry: counters and histogram counts/totals sum,
+        histogram min/max widen, gauges last-write-wins."""
+        if not d:
+            return
+        for name, n in d.get("counters", {}).items():
+            self.inc(name, n)
+        for name, v in d.get("gauges", {}).items():
+            self.gauge(name, v)
+        for name, h in d.get("histograms", {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = [h["count"], h["total"],
+                                         h["min"], h["max"]]
+            else:
+                mine[0] += h["count"]
+                mine[1] += h["total"]
+                mine[2] = min(mine[2], h["min"])
+                mine[3] = max(mine[3], h["max"])
+
+
+def merge_metric_dicts(dicts: Iterable[Optional[dict]]) -> dict:
+    """Merge many :meth:`MetricsRegistry.to_dict` snapshots into one
+    (the farm's worker-to-parent aggregation)."""
+    merged = MetricsRegistry()
+    for d in dicts:
+        merged.merge_dict(d)
+    return merged.to_dict()

@@ -1,0 +1,101 @@
+"""The tracing half of the observability layer: span-based JSON-lines
+traces with a deterministic, content-derived run id.
+
+A trace file is a sequence of JSON objects, one per line (see the
+schema documented in :mod:`repro.obs`).  The tracer records *spans* —
+named, nested regions measured in monotonic wall-clock
+(``time.perf_counter``) and CPU time (``time.process_time``) — plus
+free-form auxiliary records (e.g. the explorer's paths/sec timeline)
+and a final metrics snapshot.
+
+The run id is derived by hashing a caller-supplied *identity* string
+(source text + the semantic flags of the invocation), never from the
+clock or a RNG: two identical invocations produce traces that differ
+only in their timing fields, so traces are diffable."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Optional
+
+#: Bump when the trace record layout changes incompatibly.
+TRACE_SCHEMA = 1
+
+
+def run_id_for(identity: str) -> str:
+    """The deterministic run id of one invocation: a short
+    content-derived hash of the identity string (never wall-clock or
+    randomness — identical runs must produce diffable traces)."""
+    return hashlib.sha256(
+        identity.encode("utf-8", "surrogateescape")).hexdigest()[:16]
+
+
+class Tracer:
+    """Writes one JSON-lines trace file.
+
+    Spans are opened/closed by :meth:`ObsContext.span
+    <repro.obs.ObsContext.span>`; every emitted record carries the
+    deterministic run id and (for spans) the nesting depth and a
+    start offset relative to the start of the trace."""
+
+    def __init__(self, path, identity: str = ""):
+        self.path = str(path)
+        self.run_id = run_id_for(identity)
+        self._f = open(self.path, "w")
+        self._t0 = time.perf_counter()
+        self.depth = 0
+        self.emit({"type": "meta", "schema": TRACE_SCHEMA,
+                   "tool": "cerberus-py"})
+
+    # -- raw record emission --------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        """Write one trace record (the run id is added here)."""
+        record.setdefault("run", self.run_id)
+        self._f.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def now(self) -> float:
+        """Seconds since the trace started (monotonic)."""
+        return time.perf_counter() - self._t0
+
+    def emit_span(self, name: str, t0: float, wall_s: float,
+                  cpu_s: float, depth: int, attrs: Optional[dict]
+                  ) -> None:
+        record = {"type": "span", "name": name, "depth": depth,
+                  "t0": round(t0, 6), "wall_s": round(wall_s, 6),
+                  "cpu_s": round(cpu_s, 6)}
+        if attrs:
+            record["attrs"] = attrs
+        self.emit(record)
+
+    def emit_timeline(self, name: str, points) -> None:
+        """An auxiliary timeline record: ``points`` is a list of
+        ``[t_offset_s, value]`` pairs (e.g. cumulative paths over
+        time, from which a paths/sec curve is read)."""
+        self.emit({"type": "timeline", "name": name,
+                   "points": [[round(t, 4), v] for t, v in points]})
+
+    def close(self, metrics: Optional[dict] = None) -> None:
+        """Emit the final metrics snapshot and close the file."""
+        if metrics is not None:
+            self.emit({"type": "metrics", "metrics": metrics})
+        self._f.close()
+
+
+def read_trace(path):
+    """Parse a JSON-lines trace back into a list of record dicts
+    (damaged lines are skipped, never fatal — a truncated trace from
+    a killed run should still summarise)."""
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+    return records

@@ -40,12 +40,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
+from . import obs
 from .ail.desugar import desugar
 from .ail import ast as A
 from .cabs import ast as C
 from .core import ast as K
 from .core.typecheck import typecheck_program
-from .cparser import parse_text
+from .cparser import parse_tokens
 from .ctypes.implementation import Implementation, LP64, CHERI128
 from .dynamics.driver import Oracle, Outcome, run_program
 from .dynamics.explore import ExplorationResult, explore_program
@@ -154,19 +155,22 @@ class CompiledProgram:
             key = store.record_key(
                 STATICS_RECORD_KIND, self.source, repr(self.impl),
                 name, str(STATICS_VERSION))
-            record = store.get_record(key, StaticsRecord)
+            record = store.get_record(key, StaticsRecord,
+                                      kind=STATICS_RECORD_KIND)
             if record is not None \
                     and record.version == STATICS_VERSION \
                     and apply_annotations(self.core, record.table):
                 return record
-        report = analyze_program(self.core, interp_cls=LintInterp)
+        with obs.maybe_span(obs.active(), "pipeline.statics",
+                            profile=True, file=name):
+            report = analyze_program(self.core, interp_cls=LintInterp)
         record = StaticsRecord(
             STATICS_VERSION,
             serialize_unseq_info(self.core, report),
             list(report.findings),
             report.complete)
         if store is not None and key is not None:
-            store.put_record(key, record)
+            store.put_record(key, record, kind=STATICS_RECORD_KIND)
         return record
 
     def lint(self, store=None, name: str = "<string>") -> list:
@@ -297,6 +301,7 @@ def compile_c(source: str, impl: Implementation = LP64,
     e.g. for benchmarking the raw front end); the returned artifact is
     shared, and safe to share, because execution state lives entirely
     in per-run drivers and memory models."""
+    ctx = obs.active()
     key = _cache_key(source, impl, name, check_core) if use_cache \
         else None
     if key is not None:
@@ -307,6 +312,9 @@ def compile_c(source: str, impl: Implementation = LP64,
                 _cache_stats["hits"] += 1
             else:
                 _cache_stats["misses"] += 1
+        if ctx is not None:
+            ctx.inc("pipeline.cache_hits" if cached is not None
+                    else "pipeline.cache_misses")
         if cached is not None:
             store = _artifact_store
             touch = getattr(store, "touch", None)
@@ -340,12 +348,22 @@ def compile_c(source: str, impl: Implementation = LP64,
     }
     with _cache_lock:
         _cache_stats["translations"] += 1
-    cabs = parse_text(source, name, predefined=predefined)
-    ail = desugar(cabs, impl)
-    typecheck(ail, impl)
-    core = elaborate(ail, impl)
+    if ctx is not None:
+        ctx.inc("pipeline.translations")
+    from .cpp.preprocessor import preprocess
+    with obs.maybe_span(ctx, "pipeline.lex", profile=True, file=name):
+        tokens = preprocess(source, name, predefined=predefined)
+    with obs.maybe_span(ctx, "pipeline.parse", profile=True):
+        cabs = parse_tokens(tokens)
+    with obs.maybe_span(ctx, "pipeline.desugar", profile=True):
+        ail = desugar(cabs, impl)
+    with obs.maybe_span(ctx, "pipeline.typecheck", profile=True):
+        typecheck(ail, impl)
+    with obs.maybe_span(ctx, "pipeline.elaborate", profile=True):
+        core = elaborate(ail, impl)
     if check_core:
-        errors = typecheck_program(core)
+        with obs.maybe_span(ctx, "pipeline.check_core", profile=True):
+            errors = typecheck_program(core)
         if errors:
             raise CoreTypeError("ill-formed Core produced by "
                                 "elaboration:\n" + "\n".join(errors))
