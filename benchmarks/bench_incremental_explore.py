@@ -11,9 +11,9 @@ programs swept with ``mode="explore"`` through
 
 * the **cold** pass explores every program × model live and publishes
   one record per cell (asserted via the campaign report's
-  ``explore_misses``/``explore_live_paths`` counters);
+  ``metrics["explore"]`` misses/live-path counters);
 * the **warm** pass must re-run **zero** paths
-  (``explore_live_paths == 0``, ``explore_hit_rate == 1.0``) and be
+  (``live_paths == 0``, ``hit_rate == 1.0``) and be
   at least **3×** faster than the cold pass (asserted; in practice
   the gap is far larger).
 
@@ -64,9 +64,9 @@ def test_incremental_explore(benchmark):
     try:
         cold_results, cold = _campaign(root)
         assert all(r.ok for r in cold_results)
-        assert cold.cache["explore_misses"] == cells
-        assert cold.cache["explore_puts"] == cells
-        cold_paths = cold.cache["explore_live_paths"]
+        assert cold.metrics["explore"]["misses"] == cells
+        assert cold.metrics["explore"]["puts"] == cells
+        cold_paths = cold.metrics["explore"]["live_paths"]
         assert cold_paths > 0
 
         warm_results, warm = benchmark.pedantic(
@@ -85,9 +85,9 @@ def test_incremental_explore(benchmark):
 
         # The headline property: a warm re-sweep re-runs ZERO paths
         # (and, with a warm artifact store, re-translates nothing).
-        assert warm.cache["explore_live_paths"] == 0
-        assert warm.cache["explore_hits"] == cells
-        assert warm.cache["explore_hit_rate"] == 1.0
+        assert warm.metrics["explore"]["live_paths"] == 0
+        assert warm.metrics["explore"]["hits"] == cells
+        assert warm.metrics["explore"]["hit_rate"] == 1.0
         assert warm.cache["translations"] == 0
 
         speedup = round(cold.wall_s / warm.wall_s, 2)
@@ -100,9 +100,10 @@ def test_incremental_explore(benchmark):
             "warm_sweep_s": warm.wall_s,
             "speedup_warm_vs_cold": speedup,
             "paths_run_cold": cold_paths,
-            "paths_run_warm": warm.cache["explore_live_paths"],
-            "explore_hits_warm": warm.cache["explore_hits"],
-            "explore_hit_rate_warm": warm.cache["explore_hit_rate"],
+            "paths_run_warm": warm.metrics["explore"]["live_paths"],
+            "explore_hits_warm": warm.metrics["explore"]["hits"],
+            "explore_hit_rate_warm":
+                warm.metrics["explore"]["hit_rate"],
         }
         out_path = Path(__file__).with_name(
             "perf_incremental_explore.json")

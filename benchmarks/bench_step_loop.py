@@ -1,0 +1,195 @@
+"""Compiled back end vs tree evaluator on straight-line-heavy loops.
+
+The compiled back end (:mod:`repro.dynamics.compile`) lowers each
+Core procedure once into slot-threaded closures; the tree evaluator —
+the oracle of record — re-dispatches on Core AST nodes every step.
+On straight-line-heavy programs (tight loops of pure arithmetic,
+array traffic, chained assignments) the lowering should buy at least
+a 3× throughput win, and this benchmark pins that floor so a
+regression in the lowering or the inline-request fast path fails CI
+instead of silently eroding the back end's reason to exist.
+
+PR 7's telemetry is the measuring stick: each timed run executes
+under ``obs.collecting()`` and the numbers come from the driver's own
+``driver.steps`` counter and ``driver.run_s`` wall histogram — the
+same feed ``cerberus-py stats`` renders as steps/s.  The two back
+ends count steps differently (the compiled evaluator *elides*
+request round-trips — that is much of the win), so raw steps/s is
+apples-to-oranges; the asserted ratio is **work-normalized**: both
+sides are charged the tree backend's step count for the identical
+program, which reduces to the wall-clock ratio of the same work.
+
+Measurement discipline: min-of-``ROUNDS`` with the two back ends
+interleaved round-robin, so a machine-load spike hits both sides
+rather than biasing one.  Cold numbers are recorded too: the
+one-time ``lower_program`` cost and the first compiled run that pays
+it, next to the warm steady-state runs the assertion uses.
+
+The JSON perf record is printed on the ``-s`` stream and written to
+``benchmarks/perf_step_loop.json``; per-shape ratios must clear
+``MIN_SHAPE_RATIO`` and the aggregate must clear ``MIN_RATIO`` (3×).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.dynamics.compile import lower_program
+from repro.pipeline import compile_for_model
+
+MODEL = "concrete"
+ROUNDS = 3
+#: The headline floor: aggregate work-normalized steps/s, compiled
+#: over tree, across every shape.
+MIN_RATIO = 3.0
+#: Per-shape sanity floor (shapes measure 3.2–3.9; a single shape
+#: collapsing below this is a lowering regression even if the
+#: aggregate still clears the headline).
+MIN_SHAPE_RATIO = 2.0
+
+# Straight-line-heavy step loops: no I/O, no nondeterminism — one
+# path, thousands of evaluator steps.  Unsigned arithmetic keeps
+# every operation defined under all models.
+SHAPES = {
+    # chained assignments: four stores per iteration, each a small
+    # pure expression — the inline-request fast path's home turf
+    "arith_unrolled": r'''
+unsigned acc;
+int main(void) {
+    int i;
+    unsigned s = 1u;
+    for (i = 0; i < 800; i++) {
+        s = s * 3u + 7u;
+        s = s * 5u + 1u;
+        s = s * 7u + 3u;
+        s = s * 9u + 5u;
+    }
+    acc = s;
+    return 0;
+}
+''',
+    # one wide pure expression per store: mul/div/mod/xor/or trees
+    # the lowering folds into pre-resolved closures
+    "heavy_expr": r'''
+unsigned acc;
+int main(void) {
+    int i;
+    unsigned s = 1u;
+    for (i = 0; i < 1200; i++)
+        s = ((s * 3u) ^ (s / 5u)) + ((s * 4u) | 1u) + (s % 7u);
+    acc = s;
+    return 0;
+}
+''',
+    # array stencil: three indexed loads + one indexed store per
+    # inner iteration — pointer arithmetic and memory traffic
+    "array_stencil": r'''
+unsigned acc;
+int main(void) {
+    unsigned t[64];
+    int i, j;
+    for (i = 0; i < 64; i++) t[i] = (unsigned)i;
+    for (j = 0; j < 30; j++)
+        for (i = 1; i < 63; i++)
+            t[i] = (t[i - 1] + t[i] * 2u + t[i + 1]) / 4u;
+    acc = t[32];
+    return 0;
+}
+''',
+}
+
+
+def _observed_run(program, backend):
+    """One run under a fresh metrics scope; returns the outcome plus
+    the driver's own telemetry (steps, instrumented wall seconds)."""
+    with obs.collecting() as registry:
+        outcome = program.run(MODEL, backend=backend)
+    steps = registry.counters.get("driver.steps", 0)
+    wall = registry.histograms.get("driver.run_s", [0, 0.0])[1]
+    return outcome, steps, wall
+
+
+def _outcome_key(o):
+    return (o.status, o.exit_code, o.stdout,
+            o.ub.name if o.ub else None, o.ub_detail, o.error)
+
+
+def test_step_loop(benchmark):
+    entries = {}
+    agg = {"tree_s": 0.0, "compiled_s": 0.0}
+    for name, source in SHAPES.items():
+        program = compile_for_model(source, MODEL)
+
+        # Cold numbers first: the one-time lowering cost on a fresh
+        # Core term, then the first compiled run that pays it inside
+        # a process with no warm per-term cache.
+        t0 = time.perf_counter()
+        lowered = lower_program(program.core)
+        cold_lower_s = time.perf_counter() - t0
+        assert lowered.layout() == program.lowered().layout()
+        cold_out, cold_steps, cold_run_s = \
+            _observed_run(program, "compiled")
+
+        # Both sides must be observably identical before any timing
+        # is worth recording.
+        tree_out, tree_steps, _ = _observed_run(program, "tree")
+        assert _outcome_key(cold_out) == _outcome_key(tree_out), name
+        assert tree_out.status == "done" and \
+            tree_out.exit_code == 0, name
+
+        # Warm steady state: min-of-ROUNDS, back ends interleaved so
+        # load spikes hit both sides.
+        walls = {"tree": [], "compiled": []}
+        if name == "array_stencil":
+            out = benchmark.pedantic(
+                lambda: _observed_run(program, "compiled"),
+                rounds=1, iterations=1)
+            walls["compiled"].append(out[2])
+        for _ in range(ROUNDS):
+            for backend in ("tree", "compiled"):
+                walls[backend].append(
+                    _observed_run(program, backend)[2])
+        tree_s = min(walls["tree"])
+        compiled_s = min(walls["compiled"])
+
+        # Work-normalized steps/s: both sides charged the tree step
+        # count for the identical program (the compiled evaluator
+        # elides request round-trips, so its raw count is smaller).
+        tree_sps = tree_steps / tree_s
+        normalized_sps = tree_steps / compiled_s
+        ratio = round(normalized_sps / tree_sps, 2)
+        entries[name] = {
+            "cold_lower_s": round(cold_lower_s, 4),
+            "cold_first_run_s": round(cold_run_s, 4),
+            "tree": {"wall_s": round(tree_s, 4),
+                     "steps": tree_steps,
+                     "steps_per_s": round(tree_sps, 1)},
+            "compiled": {"wall_s": round(compiled_s, 4),
+                         "steps": cold_steps,
+                         "steps_per_s":
+                             round(cold_steps / compiled_s, 1),
+                         "work_normalized_steps_per_s":
+                             round(normalized_sps, 1)},
+            "ratio": ratio,
+        }
+        agg["tree_s"] += tree_s
+        agg["compiled_s"] += compiled_s
+        assert ratio >= MIN_SHAPE_RATIO, (name, entries)
+
+    aggregate_ratio = round(agg["tree_s"] / agg["compiled_s"], 2)
+    record = {
+        "benchmark": "step_loop",
+        "model": MODEL,
+        "rounds": ROUNDS,
+        "measure": "min-of-rounds interleaved, driver.run_s telemetry",
+        "shapes": entries,
+        "aggregate": {"tree_s": round(agg["tree_s"], 4),
+                      "compiled_s": round(agg["compiled_s"], 4),
+                      "steps_per_s_ratio": aggregate_ratio},
+        "min_ratio_asserted": MIN_RATIO,
+    }
+    out_path = Path(__file__).with_name("perf_step_loop.json")
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print("\n" + json.dumps(record))
+    assert aggregate_ratio >= MIN_RATIO, record

@@ -205,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "never re-explored (zero paths re-run on a "
                         "warm hit) and an interrupted exploration "
                         "resumes from its persisted frontier")
+    p.add_argument("--backend", choices=["compiled", "tree"],
+                   default="compiled",
+                   help="evaluator back end: 'compiled' (default) "
+                        "runs slotted lowered code, 'tree' walks the "
+                        "Core AST (the oracle of record); both "
+                        "produce identical verdicts")
     p.add_argument("--pp-core", action="store_true",
                    help="pretty-print the elaborated Core and exit")
     p.add_argument("--max-steps", type=int, default=2_000_000)
@@ -227,7 +233,8 @@ def _main_identity(args, source: str) -> str:
         str(args.models), str(args.exhaustive), args.strategy,
         str(args.por), str(args.static_prune), str(args.explore_jobs),
         str(args.max_steps), str(args.max_paths), str(args.seed),
-        str(args.jobs), str(args.shard), str(args.pp_core)])
+        str(args.jobs), str(args.shard), str(args.pp_core),
+        str(args.backend)])
 
 
 def main(argv=None) -> int:
@@ -284,7 +291,8 @@ def _dispatch_main(args, source: str, impl) -> int:
                                   jobs=args.explore_jobs,
                                   store=args.store,
                                   explore_store=explore_store,
-                                  name=args.file)
+                                  name=args.file,
+                                  backend=args.backend)
         else:
             result = pipeline.explore(args.model,
                                       max_paths=args.max_paths,
@@ -293,7 +301,8 @@ def _dispatch_main(args, source: str, impl) -> int:
                                       por=args.por, seed=args.seed,
                                       store=explore_store,
                                       name=args.file,
-                                      static_prune=args.static_prune)
+                                      static_prune=args.static_prune,
+                                      backend=args.backend)
         pruned = f", {result.pruned} pruned" if result.pruned else ""
         print(f"executions explored: {result.paths_run} "
               f"({'complete' if result.exhausted else 'budget hit'}"
@@ -307,7 +316,7 @@ def _dispatch_main(args, source: str, impl) -> int:
             print(f"  {outcome.summary()}")
         return 1 if result.has_ub() else 0
     outcome = pipeline.run(args.model, max_steps=args.max_steps,
-                           seed=args.seed)
+                           seed=args.seed, backend=args.backend)
     sys.stdout.write(outcome.stdout)
     if outcome.status == "ub":
         print(f"\nUndefined behaviour: {outcome.ub} "
@@ -366,7 +375,8 @@ def _run_batch(args, source: str, impl) -> int:
                                    strategy=args.strategy,
                                    por=args.por, seed=args.seed,
                                    store=args.explore_store,
-                                   static_prune=args.static_prune)
+                                   static_prune=args.static_prune,
+                                   backend=args.backend)
             for model, res in results.items():
                 behaviours = " | ".join(o.summary()
                                         for o in res.distinct())
@@ -376,7 +386,7 @@ def _run_batch(args, source: str, impl) -> int:
                 else 0
         outcomes = run_many(source, models=models, impl=impl,
                             max_steps=args.max_steps, seed=args.seed,
-                            name=args.file)
+                            name=args.file, backend=args.backend)
     except CerberusError as exc:
         print(f"cerberus-py: {exc}", file=sys.stderr)
         return 2
@@ -397,7 +407,8 @@ def _run_batch_farm(args, source: str, impl, models) -> int:
                        max_paths=args.max_paths, seed=args.seed,
                        strategy=args.strategy, por=args.por,
                        explore_store=args.explore_store,
-                       static_prune=args.static_prune)
+                       static_prune=args.static_prune,
+                       backend=args.backend)
              for i, model in enumerate(models)]
     results = run_tasks(tasks, jobs=args.jobs, store=args.store)
     statuses, any_ub = set(), False
@@ -538,6 +549,11 @@ def build_farm_parser() -> argparse.ArgumentParser:
                             "with --exhaustive, a definite finding "
                             "skips that program's exploration "
                             "(pre-exploration filter)")
+    sweep.add_argument("--backend", choices=["compiled", "tree"],
+                       default="compiled",
+                       help="evaluator back end for every task "
+                            "(default: compiled; 'tree' is the "
+                            "Core-walking oracle of record)")
 
     for sp in (suite, csmith, sweep):
         _add_farm_flags(sp)
@@ -560,11 +576,12 @@ def _finish_campaign(campaign, report_path: Optional[str]) -> None:
           f"translations={cache['translations']}  "
           f"store hits={cache['store_hits']}"
           + (f" (rate {rate})" if rate is not None else ""))
-    if cache.get("explore_hits") or cache.get("explore_misses"):
-        erate = cache.get("explore_hit_rate")
-        print(f"explore records: hits={cache['explore_hits']}  "
-              f"resumes={cache.get('explore_resumes', 0)}  "
-              f"live paths={cache.get('explore_live_paths', 0)}"
+    explore = campaign.metrics.get("explore", {})
+    if explore.get("hits") or explore.get("misses"):
+        erate = explore.get("hit_rate")
+        print(f"explore records: hits={explore['hits']}  "
+              f"resumes={explore.get('resumes', 0)}  "
+              f"live paths={explore.get('live_paths', 0)}"
               + (f" (rate {erate})" if erate is not None else ""))
     if report_path:
         campaign.write(report_path)
@@ -663,7 +680,7 @@ def _dispatch_farm(args, models) -> int:
         strategy=args.strategy, por=args.por, seed=args.seed,
         explore_store=args.explore_store, resume=args.resume,
         static_prune=args.static_prune, lint=args.lint,
-        task_timeout=args.task_timeout)
+        backend=args.backend, task_timeout=args.task_timeout)
     for entry in campaign.results:
         for model, verdict in entry.get("verdicts", {}).items():
             print(f"{entry['program']:32s} {model:12s} {verdict}")

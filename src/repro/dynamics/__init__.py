@@ -4,13 +4,35 @@ oracle-driven evaluator plus a state-space explorer.
 The evaluator yields every memory action, nondeterministic choice and
 I/O as a request to the :class:`Driver`, which owns the memory model
 and the :class:`~repro.dynamics.driver.Oracle` — a replayable choice
-sequence recording a unified choice/action event log.  On top of that
-seam, :mod:`repro.dynamics.explore` implements the paper's §5.1 search
-modes as a real engine: pluggable frontier strategies (``dfs`` — the
-oracle-of-record replay-DFS — ``bfs``, seeded ``random``, and
-coverage-guided search), sleep-set partial-order reduction at
-``unseq`` scheduling points, and frontiers that can be handed off
-mid-flight for farm sharding (:mod:`repro.farm.frontier`)."""
+sequence recording a unified choice/action event log.
+
+There are **two interchangeable evaluator back ends** behind that
+request protocol, selected by ``Driver(backend=...)`` and threaded
+through every seam up to ``cerberus-py --backend``:
+
+* ``"compiled"`` (the default, :mod:`repro.dynamics.compile`) lowers
+  each Core procedure once into linear, closure-threaded instruction
+  sequences over slot-indexed frames — pure sub-expressions become
+  pre-resolved opcode closures with no per-step isinstance dispatch
+  or dict lookups, and the lowered layout is cached in the
+  :class:`~repro.farm.store.ArtifactStore` as a ``"lowered"`` record
+  (≥3× steps/sec on straight-line code,
+  ``benchmarks/perf_step_loop.json``);
+* ``"tree"`` walks the Core AST directly and is the **oracle of
+  record**: the back ends are pinned observably identical
+  (``tests/test_compile_backend.py``, golden verdicts byte-identical
+  across both), and any disagreement is a compiled-backend bug by
+  definition — the tree evaluator settles the dispute.
+
+On top of that seam, :mod:`repro.dynamics.explore` implements the
+paper's §5.1 search modes as a real engine: pluggable frontier
+strategies (``dfs`` — the replay-DFS of record — ``bfs``, seeded
+``random``, and coverage-guided search), sleep-set partial-order
+reduction at ``unseq`` scheduling points, and frontiers that can be
+handed off mid-flight for farm sharding
+(:mod:`repro.farm.frontier`).  Exploration records are keyed per
+back end, so a persisted frontier is never resumed by the other
+back end."""
 
 from .values import (
     Value, VUnit, VBool, VCtype, VTuple, VList, VInteger, VFloating,

@@ -1,0 +1,28 @@
+"""The compiled back end: Core → slotted, closure-threaded linear code.
+
+This package mirrors the compile-once front end with a compile-once
+*back end*.  :func:`lower_program` flattens each Core procedure, pure
+function, and global initialiser into pre-resolved closures over
+slot-indexed frames (no per-step isinstance dispatch, no dict
+environments); :class:`CompiledEvaluator` executes them behind the
+same generator request protocol the driver, explorer, and
+partial-order reduction already consume, so the two back ends are
+interchangeable per :class:`repro.dynamics.driver.Driver` instance
+(``backend="compiled"`` is the default; ``backend="tree"`` is the
+oracle of record and settles any behavioural dispute).
+
+Lowering is cached per program object (:func:`ensure_lowered`) and its
+positional frame/instruction layout persists in the farm
+:class:`~repro.farm.store.ArtifactStore` as a ``"lowered"`` record
+(see :meth:`repro.pipeline.CompiledProgram.lowered`).
+"""
+
+from .evaluator import CompiledEvaluator
+from .lower import (
+    LOWERED_VERSION, LoweredProgram, ensure_lowered, lower_program,
+)
+
+__all__ = [
+    "CompiledEvaluator", "LOWERED_VERSION", "LoweredProgram",
+    "ensure_lowered", "lower_program",
+]

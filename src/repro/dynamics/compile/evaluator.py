@@ -1,0 +1,145 @@
+"""The compiled back end's evaluator.
+
+:class:`CompiledEvaluator` presents the exact surface the
+:class:`repro.dynamics.driver.Driver` consumes from the tree
+:class:`repro.dynamics.evaluator.Evaluator` — ``call_proc`` /
+``run_glob_init`` generators speaking the same request protocol,
+``global_env``, ``native_procs``, ``static_unseq_skips``, and the
+``_as_*`` coercion helpers — but executes lowered slot-threaded
+closures (:mod:`repro.dynamics.compile.lower`) instead of walking the
+Core AST.
+
+Semantic helpers that must agree bit-for-bit with the tree back end
+(`_int_math`, `_float_binop`, `_native_pure`, `_function_name`, the
+value coercions) are *borrowed* from the tree evaluator class rather
+than re-implemented: one definition, two back ends, no drift.
+
+The tree back end remains the oracle of record — any behavioural
+dispute between the two is settled by `backend="tree"`, and the
+golden-verdict conformance suite pins them byte-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ...core import ast as K
+from ...errors import InternalError
+from ...memory.base import MemoryModel
+from ..actions import ActionSummary
+from ..evaluator import Evaluator, ProcReturn
+from ..values import Value, VList
+from .lower import LoweredProgram, ensure_lowered
+
+
+class CompiledEvaluator:
+    """Drop-in evaluator executing lowered closures over slot frames."""
+
+    def __init__(self, program: K.Program, model: MemoryModel,
+                 static_prune: bool = False):
+        self.program = program
+        self.model = model
+        self.impl = program.impl
+        self.tags = program.tags
+        self.static_prune = static_prune
+        self.static_unseq_skips = 0
+        self.global_env: Dict[str, Value] = {}
+        # Per-evaluator (not global) so deterministic replays reproduce
+        # identical unseq frame ids — same contract as the tree back
+        # end.
+        self._unseq_counter = itertools.count(1)
+        from ...libc.builtins import NATIVE_PROCS
+        self.native_procs = dict(NATIVE_PROCS)
+        self.lowered: LoweredProgram = ensure_lowered(program)
+        self._unseq_nodes = self.lowered.unseq_nodes
+        # Plain-run scheduling fast path, set by the driver when the
+        # oracle is a plain default-0 one (no replay prefix, no rng,
+        # no sleep set, no event log).  Such an oracle always picks
+        # candidate 0, which makes unseq interleaving identical to
+        # sequential child execution — the compiled back end then
+        # skips the choose round-trips entirely (race detection is
+        # kept).  The tree back end never takes this shortcut: it is
+        # the oracle of record and always walks the full protocol.
+        self._fast_sched = False
+        # Inline request service, installed by the driver alongside
+        # _fast_sched on single-threaded plain runs: hot requests
+        # (action / ptrop / tick) are performed by a direct call into
+        # the driver instead of suspending and resuming the whole
+        # generator stack.  The driver clears it at the first thread
+        # spawn — cross-thread race detection needs every action back
+        # on the scheduler.  Step accounting, step limits, and
+        # deadlines are identical either way.
+        self._inline = None
+        # CHERI capability-offset hook, resolved once instead of per
+        # binop (the lowered binop closures read it directly).
+        self._int_hook = getattr(model, "int_binop", None)
+
+    # Shared semantic helpers: borrowed from the tree evaluator so the
+    # two back ends cannot drift apart.  They only touch attributes
+    # both classes define (impl, tags, model).
+    _as_integer = Evaluator.__dict__["_as_integer"]
+    _as_pointer = Evaluator.__dict__["_as_pointer"]
+    _as_ctype = Evaluator.__dict__["_as_ctype"]
+    _int_math = Evaluator._int_math
+    _float_binop = Evaluator._float_binop
+    _native_pure = Evaluator._native_pure
+    _function_name = Evaluator._function_name
+
+    def _static_info(self, uidx: int):
+        """The static-analysis annotation for the unseq instruction
+        with stable id ``uidx`` — the compiled-code analogue of the
+        tree's ``getattr(node, "_static_unseq", None)``.  Annotations
+        are attached positionally by :func:`repro.statics.
+        apply_annotations`, and ``collect_unseqs`` order *is* the
+        instruction-id order, so this is a live O(1) read."""
+        if 0 <= uidx < len(self._unseq_nodes):
+            return getattr(self._unseq_nodes[uidx], "_static_unseq",
+                           None)
+        return None
+
+    # ---- procedure calls -------------------------------------------------
+
+    def call_proc(self, name: str, args: List[Value], loc):
+        lp = self.lowered.procs.get(name)
+        if lp is None:
+            native = self.native_procs.get(name)
+            if native is None:
+                raise InternalError(f"unknown procedure {name}", loc)
+            value = yield from native(self, args, loc)
+            return value, ActionSummary.empty()
+        if len(lp.params) != len(args) and not lp.variadic:
+            raise InternalError(
+                f"arity mismatch calling {name}: {len(args)} args for "
+                f"{len(lp.params)} params", loc)
+        fr: List[Optional[Value]] = [None] * lp.frame_size
+        for slot, a in zip(lp.param_slots, args):
+            fr[slot] = a
+        if lp.variadic:
+            fr[lp.varargs_slot] = VList(tuple(args[len(lp.params):]))
+        try:
+            body = lp.body
+            if body.pure is not None:
+                value = body.pure(self, fr)
+                summary = ActionSummary.empty()
+            else:
+                value, summary = yield from body.gen(self, fr)
+        except ProcReturn as r:
+            return r.value, ActionSummary.empty()
+        return value, summary
+
+    def run_glob_init(self, name_or_glob):
+        """The generator evaluating one global's initialiser (the
+        compiled analogue of ``eval_expr(g.init, {})``)."""
+        g = name_or_glob
+        lg = self.lowered.globs[g.name]
+        fr: List[Optional[Value]] = [None] * lg.frame_size
+        body = lg.body
+        if body.pure is not None:
+            return _pure_gen(body.pure, self, fr)
+        return body.gen(self, fr)
+
+
+def _pure_gen(p, ev, fr):
+    return p(ev, fr), ActionSummary.empty()
+    yield  # pragma: no cover - generator marker

@@ -209,19 +209,43 @@ class Driver:
                  oracle: Optional[Oracle] = None,
                  max_steps: int = 2_000_000,
                  deadline: Optional[float] = None,
-                 static_prune: bool = False):
+                 static_prune: bool = False,
+                 backend: str = "compiled"):
         self.program = program
         self.model = model
         self.oracle = oracle or Oracle()
         self.model.choose = self.oracle.choose
-        self.evaluator = Evaluator(program, model,
-                                   static_prune=static_prune)
+        self.backend = backend
+        if backend == "compiled":
+            from .compile import CompiledEvaluator
+            self.evaluator = CompiledEvaluator(
+                program, model, static_prune=static_prune)
+        elif backend == "tree":
+            self.evaluator = Evaluator(program, model,
+                                       static_prune=static_prune)
+        else:
+            raise ValueError(
+                f"unknown evaluator backend {backend!r} "
+                f"(expected 'compiled' or 'tree')")
         # POR bookkeeping (event log + live sleep set) is only worth
         # feeding when someone is listening: the single-run fast path
         # must not pay for it (ROADMAP: "event logging is zero-cost
         # when not exploring").
         self._por_notify = self.oracle.events is not None \
             or bool(self.oracle.sleep)
+        # A plain oracle (no replay prefix, no rng, no POR listeners)
+        # deterministically picks candidate 0 at every unseq choice;
+        # the compiled back end exploits this by running unseq
+        # children sequentially without choose round-trips.  Replay,
+        # random and exploring oracles keep the full protocol.
+        if backend == "compiled" and not self._por_notify \
+                and not self.oracle.path and self.oracle.rng is None:
+            self.evaluator._fast_sched = True
+            # And while the run is single-threaded, hot requests
+            # (action / ptrop / tick) are serviced by a direct call
+            # instead of a generator suspension — cleared at the
+            # first spawn (see _advance).
+            self.evaluator._inline = self._inline_request
         self.max_steps = max_steps
         # Absolute time.monotonic() cut-off checked inside the step
         # loop: one long path times out cooperatively at the deadline
@@ -276,7 +300,7 @@ class Driver:
         for g in self.program.globs:
             if g.init is None:
                 continue
-            gen = self.evaluator.eval_expr(g.init, {})
+            gen = self.evaluator.run_glob_init(g)
             self._drain(gen)
         for g in self.program.globs:
             if g.readonly:
@@ -460,6 +484,12 @@ class Driver:
             child.vc[tid] = 1
             t.vc[t.tid] = t.vc.get(t.tid, 0) + 1
             self.threads[tid] = child
+            # The single-threaded inline fast path ends here: with a
+            # second thread alive, every action must route through
+            # the scheduler again for interleaving and cross-thread
+            # race detection.
+            if self.backend == "compiled":
+                self.evaluator._inline = None
             t.response = tid
             return True
         if kind == "wait":
@@ -471,6 +501,30 @@ class Driver:
         return kind in ("action", "raw", "stdout")
 
     # -- request handling ------------------------------------------------------------------
+
+    def _inline_request(self, request: tuple):
+        """Single-threaded fast-path request service for the compiled
+        back end: the evaluator calls this directly for hot requests
+        (action / ptrop / tick) instead of suspending the generator
+        stack.  Step accounting, the step limit, and the cooperative
+        deadline are exactly `_advance`'s; POR notification is
+        statically off (the inline path is only installed when no POR
+        listener exists) and race checks are vacuous single-threaded,
+        so `_do_action` is called with no thread."""
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise _StepLimit()
+        if self.deadline is not None and not (self.steps & 0xFF) and \
+                time.monotonic() >= self.deadline:
+            raise _StepLimit()
+        kind = request[0]
+        if kind == "action":
+            return self._do_action(request, None)
+        if kind == "ptrop":
+            return self._perform_ptrop(request)
+        if kind == "tick":
+            return None
+        raise InternalError(f"inline request {kind} not supported")
 
     def _handle(self, request: tuple, thread: Optional[_Thread]):
         kind = request[0]
@@ -781,6 +835,8 @@ def _vc_leq_at(prev: Dict[int, int], cur: Dict[int, int],
 def run_program(program: K.Program, model: MemoryModel,
                 oracle: Optional[Oracle] = None,
                 max_steps: int = 2_000_000,
-                entry: str = "main") -> Outcome:
+                entry: str = "main",
+                backend: str = "compiled") -> Outcome:
     """Run one execution path of an elaborated Core program."""
-    return Driver(program, model, oracle, max_steps).run(entry)
+    return Driver(program, model, oracle, max_steps,
+                  backend=backend).run(entry)

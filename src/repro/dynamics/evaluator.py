@@ -562,6 +562,11 @@ class Evaluator:
             return r.value, ActionSummary.empty()
         return value, summary
 
+    def run_glob_init(self, g: K.GlobDef) -> EffGen:
+        """The generator evaluating one global's initialiser (the
+        backend-neutral entry point the driver drains at startup)."""
+        return self.eval_expr(g.init, {})
+
     def _ccall(self, e: K.ECcall, env: Dict[str, Value]) -> EffGen:
         fn = self.eval_pure(e.fn, env)
         args = [self.eval_pure(a, env) for a in e.args]

@@ -251,7 +251,8 @@ def explore_program(program, make_model: Callable[[], object],
                     store=None,
                     resume: bool = True,
                     cache_key: Optional[str] = None,
-                    static_prune: bool = False
+                    static_prune: bool = False,
+                    backend: str = "compiled"
                     ) -> ExplorationResult:
     """Enumerate oracle paths of a *pre-compiled* Core program.
 
@@ -266,7 +267,10 @@ def explore_program(program, make_model: Callable[[], object],
     annotations (computing them on first use): statically-commuting
     ``unseq`` nodes are never branched and sleep sets are seeded from
     precomputed footprint hulls where the event log has no exact
-    transition.
+    transition.  ``backend`` selects the evaluator back end per path
+    (``"compiled"`` slotted linear code, or the ``"tree"`` oracle of
+    record) — the two enumerate identical choice trees, but cache
+    keys include the backend so persisted frontiers never cross.
     """
     if static_prune:
         from ...statics import ensure_annotated
@@ -274,7 +278,7 @@ def explore_program(program, make_model: Callable[[], object],
 
     def make_driver(oracle: Oracle) -> Driver:
         return Driver(program, make_model(), oracle, max_steps,
-                      static_prune=static_prune)
+                      static_prune=static_prune, backend=backend)
 
     return explore_all(make_driver, max_paths=max_paths, entry=entry,
                        deadline_s=deadline_s, strategy=strategy,

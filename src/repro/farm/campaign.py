@@ -43,10 +43,11 @@ class CampaignReport:
 
     ``metrics`` is the unified observability block: per-worker
     :mod:`repro.obs` snapshots merged into one (``workers``), plus
-    derived ``compile`` / ``explore`` / ``farm`` summaries.  The
-    scalar ``cache`` fields (``explore_hit_rate``,
-    ``explore_live_paths``, ...) are kept as aliases of the same data
-    for one release — new consumers should read ``metrics``."""
+    derived ``compile`` / ``explore`` / ``farm`` summaries.
+    Exploration-record counters live only in ``metrics["explore"]``
+    (the transitional ``cache`` scalar aliases — ``explore_hit_rate``,
+    ``explore_live_paths``, ... — are gone); ``cache`` keeps the
+    front-end compile/store counters."""
 
     kind: str
     models: List[str]
@@ -64,22 +65,25 @@ class CampaignReport:
               shard: Tuple[int, int], task_results: List[TaskResult],
               wall_s: float, summary: Dict[str, int],
               results: List[dict]) -> "CampaignReport":
-        cache = dict(merge_stats(task_results))
+        stats = dict(merge_stats(task_results))
+        # Exploration-record counters report through the unified
+        # metrics block only; cache keeps the compile/store counters.
+        explore = {k: stats.pop(k) for k in tuple(stats)
+                   if k.startswith("explore_")}
+        cache = stats
         cache["memory_hit_rate"] = _hit_rate(cache["memory_hits"],
                                              cache["memory_misses"])
         cache["store_hit_rate"] = _hit_rate(cache["store_hits"],
                                             cache["store_misses"])
-        # Exploration-record reuse (mode="explore" with an explore
-        # store): warm campaigns show hit rate 1.0 and zero live paths.
-        cache["explore_hit_rate"] = _hit_rate(cache["explore_hits"],
-                                              cache["explore_misses"])
-        metrics = cls._build_metrics(cache, task_results, wall_s)
+        metrics = cls._build_metrics(cache, explore, task_results,
+                                     wall_s)
         return cls(kind, list(models), jobs, tuple(shard),
                    len(task_results), round(wall_s, 4), cache,
                    summary, results, metrics)
 
     @staticmethod
     def _build_metrics(cache: Dict[str, object],
+                       explore: Dict[str, int],
                        task_results: List[TaskResult],
                        wall_s: float) -> Dict[str, object]:
         """The unified ``metrics`` block: every worker's obs snapshot
@@ -114,10 +118,18 @@ class CampaignReport:
                 "store_hit_rate": cache["store_hit_rate"],
                 "store_corrupt": cache.get("store_corrupt", 0),
             },
+            # Exploration-record reuse (mode="explore" with an explore
+            # store): warm campaigns show hit rate 1.0 and zero live
+            # paths.
             "explore": {
-                "hit_rate": cache["explore_hit_rate"],
-                "live_paths": cache["explore_live_paths"],
-                "resumes": cache["explore_resumes"],
+                "hits": explore.get("explore_hits", 0),
+                "misses": explore.get("explore_misses", 0),
+                "puts": explore.get("explore_puts", 0),
+                "hit_rate": _hit_rate(
+                    explore.get("explore_hits", 0),
+                    explore.get("explore_misses", 0)),
+                "live_paths": explore.get("explore_live_paths", 0),
+                "resumes": explore.get("explore_resumes", 0),
             },
             "farm": farm,
             "workers": workers,
@@ -315,6 +327,7 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                    resume: bool = True,
                    static_prune: bool = False,
                    lint: bool = False,
+                   backend: str = "compiled",
                    task_timeout: Optional[float] = None):
     """Sweep an ad-hoc ``(name, source)`` corpus; returns
     ``(task_results, CampaignReport)``.  ``strategy``/``por``/``seed``
@@ -325,9 +338,11 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
     ArtifactStore`, or :class:`~repro.farm.explorestore.ExploreStore`)
     persists per-program × per-model exploration records: shards
     publish what they explore, warm re-sweeps re-run zero paths (the
-    report's ``explore_hit_rate``/``explore_live_paths`` counters show
-    it), and ``resume`` continues interrupted explorations from their
-    persisted frontier.  ``static_prune`` turns on static
+    report's ``metrics["explore"]`` block shows it), and ``resume``
+    continues interrupted explorations from their persisted frontier.
+    ``backend`` selects the per-path evaluator for every task
+    (``"compiled"`` default, ``"tree"`` the Core-walking oracle of
+    record).  ``static_prune`` turns on static
     pre-pruning of ``unseq`` choice points (:mod:`repro.statics`) for
     explore tasks; ``lint`` runs the definite-UB linter per program
     and, in explore mode, acts as a *pre-exploration filter*: a
@@ -343,6 +358,7 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                          seed=seed, strategy=strategy, por=por,
                          explore_store=explore_store, resume=resume,
                          static_prune=static_prune, lint=lint,
+                         backend=backend,
                          task_timeout=task_timeout)
     wall = time.perf_counter() - start
 

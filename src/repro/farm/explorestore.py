@@ -145,7 +145,8 @@ class ExploreStore:
             por: bool = False,
             options=None,
             model_kwargs: Optional[Dict] = None,
-            static_prune: bool = False) -> str:
+            static_prune: bool = False,
+            backend: str = "compiled") -> str:
         """The content address of one exploration *space*: everything
         that determines which paths exist and what they do — the
         memory-model ``options`` and extra model constructor kwargs
@@ -155,7 +156,11 @@ class ExploreStore:
         because it changes which choice points exist (statically
         commuting ``unseq`` nodes are not branched), hence the
         accounting and frontier shape, even though the behaviour set
-        is invariant.  Budgets (``max_paths``, ``deadline_s``) are
+        is invariant.  ``backend`` is part of the key for the same
+        reason: the two evaluator back ends are behaviourally
+        interchangeable, but a frontier persisted by one is never
+        resumed by the other — each backend re-keys to its own
+        record.  Budgets (``max_paths``, ``deadline_s``) are
         deliberately excluded — they decide how much of the space one
         invocation walks, and live in the record as accounting
         instead."""
@@ -166,7 +171,7 @@ class ExploreStore:
             str(max_steps), str(strategy_name), str(seed), str(por),
             repr(options),
             repr(sorted((model_kwargs or {}).items())),
-            str(static_prune))
+            str(static_prune), str(backend))
 
     # -- record round-trip ----------------------------------------------------
 
@@ -196,12 +201,17 @@ class ExploreStore:
 
     def stats(self) -> Dict[str, int]:
         """Hits/misses/stores of exploration records in the backing
-        store, plus this handle's resume and live-path counters."""
+        store, plus this handle's resume and live-path counters.
+        Reads the per-``"exploration"``-kind counters, not the flat
+        record totals — the backing store also holds ``"statics"``
+        and ``"lowered"`` records whose traffic must not be billed to
+        exploration."""
         ss = self.store.stats()
-        return {"hits": ss["record_hits"],
-                "misses": ss["record_misses"],
-                "stores": ss["record_stores"],
-                "corrupt": ss["corrupt"],
+        per = ss.get("by_kind", {}).get(RECORD_KIND, {})
+        return {"hits": per.get("hits", 0),
+                "misses": per.get("misses", 0),
+                "stores": per.get("stores", 0),
+                "corrupt": per.get("corrupt", 0),
                 **self._counters}
 
 

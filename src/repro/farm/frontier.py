@@ -77,7 +77,8 @@ def explore_farm(source: str,
                  frontier_factor: int = 4,
                  name: str = "<string>",
                  entry: str = "main",
-                 task_timeout: Optional[float] = None
+                 task_timeout: Optional[float] = None,
+                 backend: str = "compiled"
                  ) -> ExplorationResult:
     """Explore one program's state space across ``jobs`` farm workers.
 
@@ -95,7 +96,8 @@ def explore_farm(source: str,
         return program.make_model(model)
 
     def make_driver(oracle):
-        return Driver(program.core, make_model(), oracle, max_steps)
+        return Driver(program.core, make_model(), oracle, max_steps,
+                      backend=backend)
 
     es = None if explore_store is None \
         else ExploreStore.wrap(explore_store)
@@ -103,7 +105,8 @@ def explore_farm(source: str,
     if es is not None:
         key = es.key(source, program.impl, model, name=name,
                      entry=entry, max_steps=max_steps,
-                     strategy=strategy, seed=seed, por=por)
+                     strategy=strategy, seed=seed, por=por,
+                     backend=backend)
 
     if jobs <= 1:
         if es is not None:
@@ -187,6 +190,7 @@ def explore_farm(source: str,
                            prefix=tuple(node.choices),
                            sleep=tuple(node.sleep),
                            requeue_interrupted=es is not None,
+                           backend=backend,
                            collect_metrics=ctx is not None)
                  for i, node in enumerate(frontier)]
         if ctx is not None:

@@ -142,6 +142,11 @@ class SweepTask:
     # branch statically-commuting unseq points, seed sleep sets from
     # precomputed footprint hulls).
     static_prune: bool = False
+    # run/explore/explore_shard/csmith: the per-path evaluator back
+    # end ("compiled" slotted linear code, or the "tree" oracle of
+    # record) — part of exploration record keys, so persisted
+    # frontiers never cross back ends.
+    backend: str = "compiled"
     # run/explore/suite: attach static lint findings to the result
     # ("lint" data key); campaign layers use definite findings as a
     # pre-exploration filter.
@@ -263,7 +268,8 @@ def _execute_task(task: SweepTask) -> TaskResult:
             outcomes = run_many(task.source, models=task.models,
                                 impl=task.impl,
                                 max_steps=task.max_steps,
-                                seed=task.seed, name=task.name)
+                                seed=task.seed, name=task.name,
+                                backend=task.backend)
             result.data["verdicts"] = {
                 m: Verdict.from_outcome(o) for m, o in outcomes.items()}
         elif task.kind == "explore":
@@ -289,7 +295,8 @@ def _execute_task(task: SweepTask) -> TaskResult:
                     por=task.por, seed=task.seed,
                     store=explore_store,
                     resume=task.resume,
-                    static_prune=task.static_prune)
+                    static_prune=task.static_prune,
+                    backend=task.backend)
                 result.data["explorations"] = {
                     m: ExploreSummary(r.paths_run, r.exhausted,
                                       r.behaviours(), r.has_ub(),
@@ -321,7 +328,8 @@ def _execute_task(task: SweepTask) -> TaskResult:
                 outcomes = run_many(program.source, models=task.models,
                                     impl=task.impl,
                                     max_steps=task.max_steps,
-                                    name=task.name)
+                                    name=task.name,
+                                    backend=task.backend)
             except CerberusError as exc:
                 result.data["category"] = "failed"
                 result.data["verdicts"] = {}
@@ -392,7 +400,8 @@ def _explore_shard(task: SweepTask):
 
     def make_driver(oracle):
         return Driver(program.core, program.make_model(model), oracle,
-                      task.max_steps, static_prune=task.static_prune)
+                      task.max_steps, static_prune=task.static_prune,
+                      backend=task.backend)
 
     explorer = Explorer(
         make_driver, max_paths=task.max_paths, entry=task.entry,
@@ -578,6 +587,7 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
           strategy: str = "dfs", por: bool = False,
           explore_store=None, resume: bool = True,
           static_prune: bool = False, lint: bool = False,
+          backend: str = "compiled",
           task_timeout: Optional[float] = None,
           collect_metrics: bool = True) -> List[TaskResult]:
     """Sweep a corpus of C programs across memory object models.
@@ -606,6 +616,7 @@ def sweep(programs: Iterable, models: Optional[Iterable[str]] = None,
                        seed=seed, strategy=strategy, por=por,
                        explore_store=explore_store, resume=resume,
                        static_prune=static_prune, lint=lint,
+                       backend=backend,
                        collect_metrics=collect_metrics)
              for i, (name, source) in enumerate(named)]
     return run_tasks(tasks, jobs=jobs, store=store,

@@ -63,7 +63,11 @@ from .. import obs
 # 4: static-analysis records ("statics" kind: per-unseq footprint
 #    annotation tables + lint findings, repro.pipeline.StaticsRecord)
 #    join the store, and exploration keys gain a static_prune part.
-STORE_SCHEMA_VERSION = 4
+# 5: back-end lowering records ("lowered" kind: frame/instruction
+#    layout tables, repro.pipeline.LoweredRecord) join the store, and
+#    exploration keys gain a backend part — version-4 exploration
+#    records predate the compiled back end and are invalidated.
+STORE_SCHEMA_VERSION = 5
 
 _MAGIC = "cerberus-farm-artifact"
 

@@ -372,10 +372,15 @@ class ValueCodec:
         return MVInteger(ty, IntegerValue(raw))
 
     def _abst_integer(self, ty: Integer, data: List[AByte]) -> MemValue:
-        if any(b.is_unspecified for b in data):
-            return MVUnspecified(ty)
-        raw = bytes(b.value for b in data)  # type: ignore[misc]
-        value = int.from_bytes(raw, "little" if self.impl.little_endian
+        # Hot path (one call per integer load): the unspecified check
+        # and byte extraction are fused into a single pass.
+        vals = []
+        for b in data:
+            if b.value is None:
+                return MVUnspecified(ty)
+            vals.append(b.value)
+        value = int.from_bytes(bytes(vals),
+                               "little" if self.impl.little_endian
                                else "big")
         if self.impl.is_signed(ty.kind):
             w = len(data) * 8
@@ -456,12 +461,16 @@ def _extract_bits(data: List[AByte], bit_pos: int,
 def _combined_byte_provenance(data: List[AByte]) -> Provenance:
     """All bytes agreeing on one allocation id -> that id; any mixture ->
     empty (the access-time check will then fail in provenance models)."""
-    provs = {b.prov for b in data if b.prov is not PROV_EMPTY}
-    if not provs:
-        return PROV_EMPTY
-    if len(provs) == 1:
-        return provs.pop()
-    return PROV_EMPTY
+    prov = PROV_EMPTY
+    for b in data:
+        p = b.prov
+        if p is PROV_EMPTY or p is prov:
+            continue
+        if prov is PROV_EMPTY:
+            prov = p
+        elif p != prov:
+            return PROV_EMPTY
+    return prov
 
 
 def _whole_pointer_fragment(data: List[AByte]) -> Optional[PointerValue]:

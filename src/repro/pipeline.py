@@ -70,6 +70,23 @@ MODELS: Dict[str, type] = {
 #: The artifact-store record kind of cached static analyses.
 STATICS_RECORD_KIND = "statics"
 
+#: The artifact-store record kind of cached back-end lowerings.
+LOWERED_RECORD_KIND = "lowered"
+
+
+@dataclass
+class LoweredRecord:
+    """One persisted back-end lowering
+    (:mod:`repro.dynamics.compile`): the positional frame/instruction
+    layout of every lowered procedure, pure function, and global —
+    enough to validate that a cached lowering still matches what
+    :func:`~repro.dynamics.compile.lower_program` produces for this
+    artifact (closures themselves are rebuilt per process; they are
+    not serialisable)."""
+
+    version: int
+    layout: dict
+
 
 @dataclass
 class StaticsRecord:
@@ -126,13 +143,54 @@ class CompiledProgram:
             oracle: Optional[Oracle] = None,
             max_steps: int = 2_000_000,
             seed: Optional[int] = None,
+            backend: str = "compiled",
             **model_kwargs) -> Outcome:
         """Execute one path (default oracle choices, or a seeded random
-        exploration when ``seed`` is given)."""
+        exploration when ``seed`` is given).  ``backend`` selects the
+        evaluator: ``"compiled"`` (default) runs the slotted lowered
+        code, ``"tree"`` walks the Core AST (the oracle of record)."""
         if oracle is None and seed is not None:
             oracle = Oracle(rng=random.Random(seed))
         mem = self.make_model(model, options, **model_kwargs)
-        return run_program(self.core, mem, oracle, max_steps)
+        return run_program(self.core, mem, oracle, max_steps,
+                           backend=backend)
+
+    def lowered(self, store=None, name: str = "<string>"):
+        """The compiled back end's lowering of this artifact
+        (:class:`~repro.dynamics.compile.LoweredProgram`), cached on
+        the Core term.
+
+        With ``store`` (an artifact store or directory path) the
+        positional frame/instruction layout is persisted under the
+        ``"lowered"`` kind, keyed like the compiled artifact itself
+        plus ``LOWERED_VERSION``.  A cached record whose layout still
+        matches is a validation hit (the closures are rebuilt either
+        way — they are process-local); a mismatched or corrupt record
+        is silently replaced by a fresh lowering."""
+        from .dynamics.compile import (
+            LOWERED_VERSION, ensure_lowered,
+        )
+        store = _as_artifact_store(store)
+        key = None
+        if store is not None:
+            key = store.record_key(
+                LOWERED_RECORD_KIND, self.source, repr(self.impl),
+                name, str(LOWERED_VERSION))
+            record = store.get_record(key, LoweredRecord,
+                                      kind=LOWERED_RECORD_KIND)
+            if record is not None \
+                    and record.version == LOWERED_VERSION:
+                lowered = ensure_lowered(self.core)
+                if record.layout == lowered.layout():
+                    return lowered
+        with obs.maybe_span(obs.active(), "pipeline.lower",
+                            profile=True, file=name):
+            lowered = ensure_lowered(self.core)
+        if store is not None and key is not None:
+            store.put_record(
+                key, LoweredRecord(LOWERED_VERSION, lowered.layout()),
+                kind=LOWERED_RECORD_KIND)
+        return lowered
 
     def statics(self, store=None,
                 name: str = "<string>") -> StaticsRecord:
@@ -191,6 +249,7 @@ class CompiledProgram:
                 resume: bool = True,
                 name: str = "<string>",
                 static_prune: bool = False,
+                backend: str = "compiled",
                 **model_kwargs) -> ExplorationResult:
         """Explore the allowed executions (the paper's test-oracle
         mode, §5.1).  ``deadline_s`` bounds the whole enumeration by
@@ -206,7 +265,11 @@ class CompiledProgram:
         seed, por)`` space is returned with zero paths re-run, an
         interrupted one persists its frontier, and ``resume=True``
         picks it up where it stopped.  ``name`` is folded into the
-        record key (source locations embed it)."""
+        record key (source locations embed it).  ``backend`` selects
+        the per-path evaluator (``"compiled"`` default, ``"tree"``
+        oracle of record); it is folded into the record key, so a
+        frontier persisted by one backend is never resumed by the
+        other."""
         cache_key = None
         if store is not None:
             from .farm.explorestore import ExploreStore
@@ -217,18 +280,25 @@ class CompiledProgram:
                                   strategy=strategy, seed=seed,
                                   por=por, options=options,
                                   model_kwargs=model_kwargs,
-                                  static_prune=static_prune)
+                                  static_prune=static_prune,
+                                  backend=backend)
         if static_prune and store is not None:
             # Attach (store-cached) footprint annotations ahead of the
             # engine's own ensure_annotated fallback.
             self.statics(store, name=name)
+        if backend == "compiled" and store is not None:
+            # Pre-warm (and persist the layout of) the lowering so
+            # per-path drivers find the cached artifact on the Core
+            # term instead of each racing to lower it.
+            self.lowered(store, name=name)
         return explore_program(
             self.core,
             lambda: self.make_model(model, options, **model_kwargs),
             max_paths=max_paths, max_steps=max_steps,
             deadline_s=deadline_s, strategy=strategy, por=por,
             seed=seed, store=store, resume=resume,
-            cache_key=cache_key, static_prune=static_prune)
+            cache_key=cache_key, static_prune=static_prune,
+            backend=backend)
 
 
 # Historical name for the compiled artifact.
@@ -403,11 +473,13 @@ def run_c(source: str, model: str = "provenance",
           options: Optional[MemoryOptions] = None,
           max_steps: int = 2_000_000,
           seed: Optional[int] = None,
+          backend: str = "compiled",
           **model_kwargs) -> Outcome:
     """One-shot: compile (memoised) and run a C program on the chosen
     memory object model, returning the observable Outcome."""
     return compile_for_model(source, model, impl).run(
-        model, options, max_steps=max_steps, seed=seed, **model_kwargs)
+        model, options, max_steps=max_steps, seed=seed,
+        backend=backend, **model_kwargs)
 
 
 def explore_c(source: str, model: str = "provenance",
@@ -421,6 +493,7 @@ def explore_c(source: str, model: str = "provenance",
               store=None,
               resume: bool = True,
               static_prune: bool = False,
+              backend: str = "compiled",
               **model_kwargs) -> ExplorationResult:
     """One-shot: compile (memoised) and explore a C program under the
     chosen search strategy, optionally with partial-order reduction.
@@ -430,7 +503,8 @@ def explore_c(source: str, model: str = "provenance",
     return compile_for_model(source, model, impl).explore(
         model, options, max_paths=max_paths, max_steps=max_steps,
         strategy=strategy, por=por, seed=seed, store=store,
-        resume=resume, static_prune=static_prune, **model_kwargs)
+        resume=resume, static_prune=static_prune, backend=backend,
+        **model_kwargs)
 
 
 def _compile_per_impl(source: str, models: Iterable[str],
@@ -456,6 +530,7 @@ def run_many(source: str, models: Optional[Iterable[str]] = None,
              seed: Optional[int] = None,
              name: str = "<string>",
              use_cache: bool = True,
+             backend: str = "compiled",
              **model_kwargs) -> Dict[str, Outcome]:
     """Run one program under many memory object models (default: all
     registered), compiling once per distinct implementation
@@ -466,7 +541,8 @@ def run_many(source: str, models: Optional[Iterable[str]] = None,
                                  else tuple(models),
                                  impl, name, use_cache)
     return {model: program.run(model, options, max_steps=max_steps,
-                               seed=seed, **model_kwargs)
+                               seed=seed, backend=backend,
+                               **model_kwargs)
             for model, program in programs.items()}
 
 
@@ -484,6 +560,7 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                  store=None,
                  resume: bool = True,
                  static_prune: bool = False,
+                 backend: str = "compiled",
                  **model_kwargs) -> Dict[str, ExplorationResult]:
     """Explore one program under many memory object models (default:
     all registered), compiling once per distinct implementation
@@ -506,6 +583,7 @@ def explore_many(source: str, models: Optional[Iterable[str]] = None,
                                    seed=seed, store=store,
                                    resume=resume, name=name,
                                    static_prune=static_prune,
+                                   backend=backend,
                                    **model_kwargs)
             for model, program in programs.items()}
 

@@ -52,15 +52,20 @@ def default_golden_path() -> Path:
 def behaviour_set(source: str, model: str,
                   max_paths: int = GOLDEN_MAX_PATHS,
                   max_steps: int = GOLDEN_MAX_STEPS,
-                  store=None) -> List[str]:
+                  store=None,
+                  backend: str = "compiled") -> List[str]:
     """The golden form of one test × model cell: the sorted distinct
     behaviour summaries of a bounded dfs exploration (UB name + site
     included), or a one-element ``error:<Type>`` list when the front
-    end rejects the program under that model's environment."""
+    end rejects the program under that model's environment.
+    ``backend`` selects the per-path evaluator — goldens are pinned to
+    be byte-identical under both back ends, which is exactly what
+    ``tests/test_compile_backend.py`` checks."""
     try:
         program = compile_for_model(source, model)
         result = program.explore(model, max_paths=max_paths,
-                                 max_steps=max_steps, store=store)
+                                 max_steps=max_steps, store=store,
+                                 backend=backend)
     except CerberusError as exc:
         return [f"error:{type(exc).__name__}"]
     return sorted(o.summary() for o in result.distinct())
@@ -70,12 +75,14 @@ def compute_verdicts(models: Optional[Sequence[str]] = None,
                      names: Optional[Sequence[str]] = None,
                      max_paths: int = GOLDEN_MAX_PATHS,
                      max_steps: int = GOLDEN_MAX_STEPS,
-                     store=None) -> Verdicts:
+                     store=None,
+                     backend: str = "compiled") -> Verdicts:
     """Live verdicts for ``names`` × ``models`` (default: the whole
     suite across all registered memory models).  ``store`` optionally
     routes the explorations through an exploration-record store
     (:mod:`repro.farm.explorestore`), so golden regeneration rides the
-    incremental re-exploration seam too."""
+    incremental re-exploration seam too; ``backend`` selects the
+    evaluator back end for every cell."""
     model_list = list(models) if models is not None else list(MODELS)
     out: Verdicts = {}
     for name in (sorted(TESTS) if names is None else names):
@@ -83,7 +90,8 @@ def compute_verdicts(models: Optional[Sequence[str]] = None,
         out[name] = {
             model: behaviour_set(test.source, model,
                                  max_paths=max_paths,
-                                 max_steps=max_steps, store=store)
+                                 max_steps=max_steps, store=store,
+                                 backend=backend)
             for model in model_list}
     return out
 

@@ -1,0 +1,195 @@
+"""Differential backend conformance: ``compiled`` vs ``tree``.
+
+The compiled back end (:mod:`repro.dynamics.compile`) and the
+Core-walking tree evaluator must be *observably identical* — same
+verdicts, same behaviour sets, same UB names and sites, same stdout,
+same choice trees.  The tree backend is the oracle of record: any
+disagreement is a compiled-backend bug by definition.
+
+Three layers of evidence:
+
+* single-path runs compare full :class:`Outcome` observables per
+  program × model, including seeded nondeterministic oracles;
+* bounded explorations compare behaviour sets cell by cell on a
+  tier-1 subset of the de facto suite (and, in the ``slow_sweep``
+  lane, the full suite × all models against the checked-in goldens);
+* exploration records are keyed per backend — a frontier persisted by
+  one backend is never resumed by the other (cross-backend resume
+  re-keys to a fresh record instead of corrupting accounting).
+"""
+
+import pytest
+
+from repro.farm.explorestore import ExploreStore
+from repro.pipeline import MODELS, compile_for_model, run_many
+from repro.testsuite.goldens import (
+    GOLDEN_MAX_PATHS, GOLDEN_MAX_STEPS, behaviour_set,
+    compute_verdicts,
+)
+from repro.testsuite.programs import TESTS
+
+BACKENDS = ("compiled", "tree")
+
+#: The tier-1 differential subset: one program per semantic corner —
+#: arithmetic + calls, pointer provenance, effective types, uninit
+#: reads, unsequenced races, concurrency, pointer/integer round-trips.
+SUBSET = (
+    "unsigned_wraparound",
+    "provenance_basic_global_yx",
+    "uninit_read",
+    "unsequenced_race",
+    "ptr_cast_roundtrip",
+)
+
+
+def _outcome_key(o):
+    """Every observable of one run (trace excluded: it is
+    diagnostic, not part of the verdict contract)."""
+    return (o.status, o.exit_code, o.stdout,
+            o.ub.name if o.ub else None, o.ub_detail,
+            str(o.loc) if o.ub else "", o.error)
+
+
+def _subset_names():
+    # Fall back to the first few suite programs if a name ever
+    # disappears — the subset must not silently shrink to nothing.
+    names = [n for n in SUBSET if n in TESTS]
+    return names if names else sorted(TESTS)[:4]
+
+
+class TestSinglePathEquivalence:
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_run_many_identical_across_backends(self, model):
+        for name in _subset_names():
+            source = TESTS[name].source
+            tree = run_many(source, models=[model], name=name,
+                            backend="tree")[model]
+            compiled = run_many(source, models=[model], name=name,
+                                backend="compiled")[model]
+            assert _outcome_key(compiled) == _outcome_key(tree), name
+
+    def test_seeded_oracle_paths_agree(self):
+        """A seeded random oracle resolves the same choice tree under
+        both backends: path-for-path identical observables."""
+        source = TESTS["unsequenced_race"].source
+        program = compile_for_model(source, "concrete")
+        for seed in range(6):
+            tree = program.run("concrete", seed=seed, backend="tree")
+            compiled = program.run("concrete", seed=seed,
+                                   backend="compiled")
+            assert _outcome_key(compiled) == _outcome_key(tree), seed
+
+    def test_stdout_and_steps_observables(self):
+        src = r'''
+        #include <stdio.h>
+        int fib(int n){ return n < 2 ? n : fib(n-1)+fib(n-2); }
+        int main(void){
+            int i;
+            for (i = 0; i < 8; i++) printf("%d ", fib(i));
+            printf("\n");
+            return 0;
+        }
+        '''
+        tree = run_many(src, models=["concrete"],
+                        backend="tree")["concrete"]
+        compiled = run_many(src, models=["concrete"],
+                            backend="compiled")["concrete"]
+        assert compiled.stdout == tree.stdout == "0 1 1 2 3 5 8 13 \n"
+        assert _outcome_key(compiled) == _outcome_key(tree)
+
+
+class TestExplorationEquivalence:
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_behaviour_sets_identical_on_subset(self, model):
+        for name in _subset_names():
+            cells = {backend: behaviour_set(TESTS[name].source, model,
+                                            backend=backend)
+                     for backend in BACKENDS}
+            assert cells["compiled"] == cells["tree"], (name, model)
+
+    def test_path_accounting_identical(self):
+        """Not just the behaviour *set*: the enumeration itself —
+        paths run, pruned, exhausted — matches, because the backends
+        present identical choice points to the explorer."""
+        source = TESTS["unsequenced_race"].source
+        program = compile_for_model(source, "concrete")
+        results = {b: program.explore("concrete", max_paths=10_000,
+                                      backend=b)
+                   for b in BACKENDS}
+        tree, compiled = results["tree"], results["compiled"]
+        assert compiled.paths_run == tree.paths_run
+        assert compiled.pruned == tree.pruned
+        assert compiled.exhausted == tree.exhausted
+        assert compiled.behaviour_keys() == tree.behaviour_keys()
+
+
+@pytest.mark.slow_sweep
+class TestFullSuiteConformance:
+    """The whole de facto suite × every model, both backends, against
+    the checked-in goldens — the full 53 × 5 cross-product."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_cells_match_goldens(self, backend):
+        from repro.testsuite.goldens import (
+            diff_goldens, load_goldens,
+        )
+        doc = load_goldens()
+        live = compute_verdicts(max_paths=doc["max_paths"],
+                                max_steps=doc["max_steps"],
+                                backend=backend)
+        mismatches = diff_goldens(doc, live)
+        assert not mismatches, "\n".join(mismatches)
+
+    def test_backends_byte_identical_everywhere(self):
+        compiled = compute_verdicts(max_paths=GOLDEN_MAX_PATHS,
+                                    max_steps=GOLDEN_MAX_STEPS,
+                                    backend="compiled")
+        tree = compute_verdicts(max_paths=GOLDEN_MAX_PATHS,
+                                max_steps=GOLDEN_MAX_STEPS,
+                                backend="tree")
+        assert compiled == tree
+
+
+class TestCrossBackendRecords:
+    """Exploration records are keyed per backend: resuming under the
+    other backend re-keys to a fresh record instead of consuming (or
+    clobbering) a frontier the other backend persisted."""
+
+    SRC = "int a, b; int main(void){ (a=1)+(b=2); return 0; }"
+
+    def test_keys_differ_per_backend(self, tmp_path):
+        es = ExploreStore(tmp_path / "s")
+        program = compile_for_model(self.SRC, "concrete")
+        k_compiled = es.key(self.SRC, program.impl, "concrete",
+                            backend="compiled")
+        k_tree = es.key(self.SRC, program.impl, "concrete",
+                        backend="tree")
+        assert k_compiled != k_tree
+        assert k_compiled == es.key(self.SRC, program.impl, "concrete")
+
+    def test_cross_backend_resume_re_keys(self, tmp_path):
+        es = ExploreStore(tmp_path / "s")
+        program = compile_for_model(self.SRC, "concrete")
+        cold = program.explore("concrete", max_paths=10_000, store=es,
+                               backend="compiled")
+        assert es.stats()["stores"] == 1
+        # Same space under the other backend: the compiled record is
+        # neither served nor resumed — a fresh live exploration under
+        # its own key.
+        other = program.explore("concrete", max_paths=10_000,
+                                store=es, backend="tree")
+        stats = es.stats()
+        assert stats["hits"] == 0          # no cross-backend serve
+        assert stats["resumes"] == 0       # no cross-backend resume
+        assert stats["stores"] == 2        # re-keyed fresh record
+        assert stats["live_paths"] == cold.paths_run + other.paths_run
+        assert other.behaviour_keys() == cold.behaviour_keys()
+        # Each backend now warm-hits its own record.
+        for backend, reference in (("compiled", cold),
+                                   ("tree", other)):
+            before = es.stats()["live_paths"]
+            warm = program.explore("concrete", max_paths=10_000,
+                                   store=es, backend=backend)
+            assert es.stats()["live_paths"] == before  # zero re-run
+            assert warm.behaviour_keys() == \
+                reference.behaviour_keys()

@@ -280,7 +280,11 @@ class TestExplorationRecords:
 
     def test_corrupt_record_re_explores_silently(self, tmp_path):
         es, program, cold = self._explore(tmp_path)
-        [path] = _entry_paths(es.store)
+        # The store also holds the backend's "lowered" record now;
+        # corrupt specifically the exploration record.
+        key = es.key(UNSEQ, program.impl, "concrete")
+        [path] = [p for p in _entry_paths(es.store)
+                  if p.name == f"{key}.pkl"]
         path.write_bytes(b"\x00garbage, not a record")
         redo = program.explore("concrete", max_paths=100_000, store=es)
         assert redo.paths_run == cold.paths_run        # re-explored
@@ -294,9 +298,10 @@ class TestExplorationRecords:
 
     def test_truncated_record_is_a_miss(self, tmp_path):
         es, program, _ = self._explore(tmp_path)
-        [path] = _entry_paths(es.store)
-        path.write_bytes(path.read_bytes()[:10])
         key = es.key(UNSEQ, program.impl, "concrete")
+        [path] = [p for p in _entry_paths(es.store)
+                  if p.name == f"{key}.pkl"]
+        path.write_bytes(path.read_bytes()[:10])
         assert es.get(key) is None
         assert es.stats()["corrupt"] == 1
 
@@ -333,12 +338,20 @@ class TestExplorationRecords:
         probe = ArtifactStore(tmp_path / "probe")
         es_probe = ExploreStore(probe)
         program = compile_c(UNSEQ, use_cache=False)
+        # Size the lowered record (put once per store) and one
+        # exploration record separately, so the bound below leaves
+        # room for the lowering plus ~2 exploration records.
+        program.lowered(probe)
+        lowered_size = probe.size_bytes()
         program.explore("concrete", max_paths=100_000, store=es_probe)
-        record_size = probe.size_bytes()
+        record_size = probe.size_bytes() - lowered_size
         assert record_size > 0
-        # Room for ~2 records: the third put must evict the oldest.
+        # Room for ~2 records: the third put must evict the oldest
+        # exploration record (the lowered record is touched by every
+        # explore, so it stays recent).
         store = ArtifactStore(tmp_path / "bounded",
-                              max_bytes=int(record_size * 2.5))
+                              max_bytes=lowered_size
+                              + int(record_size * 2.5))
         es = ExploreStore(store)
         keys = []
         for i, model in enumerate(["concrete", "provenance", "gcc"]):
@@ -357,15 +370,20 @@ class TestExplorationRecords:
                   compile_c(SRC, use_cache=False))
         artifact_size = probe.size_bytes()
         program = compile_c(UNSEQ, use_cache=False)
+        program.lowered(probe)
+        lowered_size = probe.size_bytes() - artifact_size
         program.explore("concrete", max_paths=100_000,
                         store=ExploreStore(probe))
-        record_size = probe.size_bytes() - artifact_size
+        record_size = probe.size_bytes() - artifact_size \
+            - lowered_size
         assert record_size > 0
-        # Room for the artifact plus ~2 records: the record flood
-        # below must push the (older) artifact out.
+        # Room for the artifact, the lowering, plus ~2 exploration
+        # records: the record flood below must push the (older)
+        # artifact out.
         store = ArtifactStore(
             tmp_path / "shared",
-            max_bytes=artifact_size + int(record_size * 2.5))
+            max_bytes=artifact_size + lowered_size
+            + int(record_size * 2.5))
         store.put(SRC, LP64, "<string>", True,
                   compile_c(SRC, use_cache=False))
         assert store.get(SRC, LP64) is not None
@@ -404,6 +422,85 @@ class TestExplorationRecords:
         assert old.get(SRC, LP64) is not None
         assert es_old.get(es_old.key(UNSEQ, program.impl,
                                      "concrete")) is not None
+
+
+class TestLoweredRecords:
+    """Back-end lowering records (the ``"lowered"`` kind,
+    :meth:`repro.pipeline.CompiledProgram.lowered`) ride the same
+    store: a corrupt record falls back to a silent re-lower, lowered
+    bytes count against the shared LRU budget, and a schema bump
+    invalidates them with everything else."""
+
+    def _lowered_key(self, store, program, name="<string>"):
+        from repro.dynamics.compile import LOWERED_VERSION
+        from repro.pipeline import LOWERED_RECORD_KIND
+        return store.record_key(LOWERED_RECORD_KIND, program.source,
+                                repr(program.impl), name,
+                                str(LOWERED_VERSION))
+
+    def test_record_round_trip_validates(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        compile_c(SRC, use_cache=False).lowered(store)
+        per = store.stats()["by_kind"]["lowered"]
+        assert per["stores"] == 1 and per["misses"] == 1
+        # A fresh artifact (fresh Core term, e.g. a new process)
+        # validates against the persisted layout instead of re-putting.
+        compile_c(SRC, use_cache=False).lowered(store)
+        per = store.stats()["by_kind"]["lowered"]
+        assert per["hits"] == 1
+        assert per["stores"] == 1
+
+    def test_corrupt_record_re_lowers_silently(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        program = compile_c(SRC, use_cache=False)
+        program.lowered(store)
+        [path] = _entry_paths(store)
+        path.write_bytes(b"\x00garbage, not a lowering")
+        fresh = compile_c(SRC, use_cache=False)
+        assert fresh.lowered(store) is not None    # must not raise
+        per = store.stats()["by_kind"]["lowered"]
+        assert per["corrupt"] == 1
+        assert per["stores"] == 2        # damaged entry replaced
+        # ... and the replacement validates for the next consumer.
+        compile_c(SRC, use_cache=False).lowered(store)
+        assert store.stats()["by_kind"]["lowered"]["hits"] == 1
+
+    def test_eviction_counts_lowered_bytes(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        sources = [f"int main(void){{ return {i}; }}"
+                   for i in range(3)]
+        programs = [compile_c(s, use_cache=False) for s in sources]
+        programs[0].lowered(probe)
+        entry_size = probe.size_bytes()
+        assert entry_size > 0
+        # Room for ~2 lowered records: the third put must evict the
+        # oldest one.
+        store = ArtifactStore(tmp_path / "bounded",
+                              max_bytes=int(entry_size * 2.5))
+        for program in programs:
+            program.lowered(store)
+        assert store.stats()["evictions"] >= 1
+        assert store.size_bytes() <= store.max_bytes
+        assert store.get_record(
+            self._lowered_key(store, programs[0])) is None
+        assert store.get_record(
+            self._lowered_key(store, programs[2])) is not None
+
+    def test_schema_bump_invalidates_lowered_records(self, tmp_path):
+        root = tmp_path / "versioned"
+        old = ArtifactStore(root, schema_version=STORE_SCHEMA_VERSION)
+        compile_c(SRC, use_cache=False).lowered(old)
+        assert old.stats()["by_kind"]["lowered"]["stores"] == 1
+        new = ArtifactStore(root,
+                            schema_version=STORE_SCHEMA_VERSION + 1)
+        compile_c(SRC, use_cache=False).lowered(new)
+        per = new.stats()["by_kind"]["lowered"]
+        assert per["hits"] == 0 and per["stores"] == 1  # re-lowered
+        # The old-schema handle still validates its own record.
+        old2 = ArtifactStore(root,
+                             schema_version=STORE_SCHEMA_VERSION)
+        compile_c(SRC, use_cache=False).lowered(old2)
+        assert old2.stats()["by_kind"]["lowered"]["hits"] == 1
 
 
 class TestSchemaVersion:

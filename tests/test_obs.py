@@ -230,11 +230,12 @@ class TestFarmMetrics:
         workers = merge_metric_dicts(
             r.data["metrics"] for r in results)
         assert m["workers"]["counters"] == workers["counters"]
-        # the pre-existing scalars stay as aliases for one release
-        assert doc["cache"]["explore_hit_rate"] == \
-            m["explore"]["hit_rate"]
-        assert doc["cache"]["explore_live_paths"] == \
-            m["explore"]["live_paths"]
+        # exploration counters live only in the metrics block now —
+        # the transitional cache scalar aliases are gone
+        assert not any(k.startswith("explore_") for k in doc["cache"])
+        assert set(m["explore"]) == {"hits", "misses", "puts",
+                                     "hit_rate", "live_paths",
+                                     "resumes"}
 
     def test_campaign_folds_worker_metrics_into_trace(
             self, tmp_path):

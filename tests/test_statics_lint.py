@@ -21,7 +21,6 @@ Three layers of guarantees are pinned here:
   :mod:`repro.statics`).
 """
 
-import warnings
 
 import pytest
 
@@ -345,23 +344,14 @@ class TestFarmLintFilter:
                    for f in result.data["lint"])
 
 
-class TestDeprecatedExhaustiveShim:
-    def test_names_still_importable_with_warning(self):
-        import repro.dynamics.exhaustive as ex
-        from repro.dynamics import explore
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            cls = ex.Explorer
-        assert cls is explore.Explorer
-        with pytest.warns(DeprecationWarning):
-            fn = ex.explore_program
-        assert fn is explore.explore_program
-
-    def test_unknown_attribute_raises_without_warning(self):
-        import repro.dynamics.exhaustive as ex
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            with pytest.raises(AttributeError):
-                ex.no_such_name
+class TestExhaustiveShimRemoved:
+    def test_deprecated_module_is_gone(self):
+        # The one-release deprecation grace of
+        # repro.dynamics.exhaustive is over: the module no longer
+        # exists; repro.dynamics.explore is the import path.
+        with pytest.raises(ImportError):
+            import repro.dynamics.exhaustive  # noqa: F401
+        from repro.dynamics.explore import Explorer  # noqa: F401
 
 
 class TestLintCli:
