@@ -27,10 +27,14 @@ it, next to the warm steady-state runs the assertion uses.
 
 The JSON perf record is printed on the ``-s`` stream and written to
 ``benchmarks/perf_step_loop.json``; per-shape ratios must clear
-``MIN_SHAPE_RATIO`` and the aggregate must clear ``MIN_RATIO`` (3×).
+``MIN_SHAPE_RATIO`` (or their entry in ``SHAPE_FLOORS`` — the call
+shapes pin the round-2 specialized call protocol at 3×) and the
+aggregate must clear ``MIN_RATIO`` (3.5×).
 """
 
+import gc
 import json
+import threading
 import time
 from pathlib import Path
 
@@ -41,12 +45,19 @@ from repro.pipeline import compile_for_model
 MODEL = "concrete"
 ROUNDS = 3
 #: The headline floor: aggregate work-normalized steps/s, compiled
-#: over tree, across every shape.
-MIN_RATIO = 3.0
-#: Per-shape sanity floor (shapes measure 3.2–3.9; a single shape
-#: collapsing below this is a lowering regression even if the
-#: aggregate still clears the headline).
+#: over tree, across every shape.  Raised from 3.0 when round 2
+#: (specialized calls, fused instructions, run mode) landed.
+MIN_RATIO = 3.5
+#: Per-shape sanity floor (a single shape collapsing below this is a
+#: lowering regression even if the aggregate still clears the
+#: headline).
 MIN_SHAPE_RATIO = 2.0
+#: Shapes with their own, higher floor.  The call shapes pin the
+#: specialized call protocol: before it they measured ~2× (the
+#: generic call_proc path re-dispatched and copied a dict global env
+#: per call); with pre-resolved callee layouts and direct slot-write
+#: argument passing they must hold >= 3×.
+SHAPE_FLOORS = {"call_heavy": 3.0, "ptr_call": 3.0}
 
 # Straight-line-heavy step loops: no I/O, no nondeterminism — one
 # path, thousands of evaluator steps.  Unsigned arithmetic keeps
@@ -97,17 +108,87 @@ int main(void) {
     return 0;
 }
 ''',
+    # call-heavy: three short calls per iteration — the specialized
+    # call protocol's home turf (per-site callee cache, direct slot
+    # writes into the callee frame, pure-callee fast path)
+    "call_heavy": r'''
+unsigned acc;
+unsigned mix(unsigned s, unsigned k) {
+    return s * k + (s / 8u) + 1u;
+}
+int main(void) {
+    int i;
+    unsigned s = 1u;
+    for (i = 0; i < 600; i++) {
+        s = mix(s, 3u);
+        s = mix(s, 5u);
+        s = mix(s, 7u);
+    }
+    acc = s;
+    return 0;
+}
+''',
+    # pointer-argument calls: the callee dereferences and stores
+    # through a pointer parameter — these rode the generic ECcall
+    # route before round 2 lowered them onto the same fast path
+    "ptr_call": r'''
+unsigned acc;
+void bump(unsigned *p, unsigned k) {
+    *p = *p * k + 1u;
+}
+int main(void) {
+    int i;
+    unsigned s = 1u;
+    for (i = 0; i < 500; i++) {
+        bump(&s, 3u);
+        bump(&s, 5u);
+    }
+    acc = s;
+    return 0;
+}
+''',
 }
 
 
 def _observed_run(program, backend):
     """One run under a fresh metrics scope; returns the outcome plus
-    the driver's own telemetry (steps, instrumented wall seconds)."""
-    with obs.collecting() as registry:
-        outcome = program.run(MODEL, backend=backend)
-    steps = registry.counters.get("driver.steps", 0)
-    wall = registry.histograms.get("driver.run_s", [0, 0.0])[1]
-    return outcome, steps, wall
+    the driver's own telemetry (steps, instrumented wall seconds).
+
+    Two pieces of measurement hygiene isolate the run from harness
+    state that would otherwise skew the ratio:
+
+    * Cyclic GC is off during the timed run (and the heap collected
+      before it): collections trigger on *allocation counts*, so the
+      faster back end — same allocations in a fraction of the wall
+      time — absorbs proportionally more GC pauses per second, paying
+      for whatever unrelated garbage the process accumulated.
+    * The run executes on a fresh thread: CPython allocates Python
+      frames in fixed-size chunks, and a recursion that starts deep
+      in the caller's stack (a pytest runner is ~30 frames down) can
+      straddle a chunk boundary, re-allocating a chunk on every call
+      cycle.  The compiled back end's closure recursion is exactly
+      such a hot call cycle; starting from a shallow dedicated stack
+      measures the back end, not where the harness happened to sit."""
+    result = {}
+
+    def work():
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            with obs.collecting() as registry:
+                result["outcome"] = program.run(MODEL, backend=backend)
+        finally:
+            if was_enabled:
+                gc.enable()
+        result["steps"] = registry.counters.get("driver.steps", 0)
+        result["wall"] = registry.histograms.get(
+            "driver.run_s", [0, 0.0])[1]
+
+    t = threading.Thread(target=work)
+    t.start()
+    t.join()
+    return result["outcome"], result["steps"], result["wall"]
 
 
 def _outcome_key(o):
@@ -175,7 +256,9 @@ def test_step_loop(benchmark):
         }
         agg["tree_s"] += tree_s
         agg["compiled_s"] += compiled_s
-        assert ratio >= MIN_SHAPE_RATIO, (name, entries)
+        floor = SHAPE_FLOORS.get(name, MIN_SHAPE_RATIO)
+        entries[name]["min_ratio_asserted"] = floor
+        assert ratio >= floor, (name, entries)
 
     aggregate_ratio = round(agg["tree_s"] / agg["compiled_s"], 2)
     record = {

@@ -26,7 +26,7 @@ from ..memory.base import Footprint
 from ..source import Loc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActionRecord:
     aid: int
     kind: str                 # create/alloc/kill/load/store/rmw
@@ -60,6 +60,13 @@ class ActionSummary:
         return ActionSummary([record])
 
     def union(self, *others: "ActionSummary") -> "ActionSummary":
+        # Summaries are never mutated in place (union / tag_region
+        # build new ones), so an all-empty union may return ``self``
+        # unshared-copy-free — the common case on the compiled back
+        # end's run path, where most summaries are the `_EMPTY`
+        # singleton.
+        if not any(o.records for o in others):
+            return self
         out = list(self.records)
         for o in others:
             out.extend(o.records)
@@ -69,6 +76,8 @@ class ActionSummary:
         return [r for r in self.records if r.polarity == "neg"]
 
     def tag_region(self, region: int) -> "ActionSummary":
+        if not self.records:
+            return self
         return ActionSummary([r.tagged(region) for r in self.records])
 
 

@@ -11,9 +11,35 @@ interchangeable per :class:`repro.dynamics.driver.Driver` instance
 (``backend="compiled"`` is the default; ``backend="tree"`` is the
 oracle of record and settles any behavioural dispute).
 
-Lowering is cached per program object (:func:`ensure_lowered`) and its
-positional frame/instruction layout persists in the farm
-:class:`~repro.farm.store.ArtifactStore` as a ``"lowered"`` record
+Round 2 (the raw-speed work) added three layers on top of that base:
+
+* **The specialized call protocol** — every C call (``ECcall``)
+  resolves its callee through a one-element per-site inline cache,
+  writes arguments directly into a preallocated callee frame (no
+  generic ``call_proc`` dispatch), and completes statically pure
+  callees with no generator suspension at all.  Fast-path vs
+  generic-fallback dispatch is counted per run (``compile.call_fast``
+  / ``compile.call_generic`` in traces and ``cerberus-py stats``).
+* **The fusion pass** — recurring sequences collapse into single
+  pre-resolved instructions at lower time: comparison/arithmetic
+  operands that are slots or constants are read directly, irrefutable
+  spine steps become direct slot-write instructions, and the C
+  assignment ``load → compute → store`` triple becomes one fused
+  instruction in the run-mode spine plan.  Hit counts live in
+  ``LoweredProgram.fused`` (``compile.fused.*`` counters).
+* **Run mode** — thread-free programs on plain single-path runs
+  execute through direct ``run(ev, fr)`` closures serviced by the
+  driver's inline request callback instead of a suspended generator
+  stack; exploration and threaded programs keep the full protocol
+  (see the :mod:`.lower` module docstring for the exact gate).
+
+Closure-cache lifecycle: lowering is cached per program object
+(:func:`ensure_lowered`); the serializable frame/instruction layout
+persists in the farm :class:`~repro.farm.store.ArtifactStore` as a
+``"lowered"`` record; and the rebuilt closures themselves persist
+per process in :data:`repro.farm.store.WARM_CLOSURES`, keyed by the
+same content address (artifact + ``LOWERED_VERSION`` + store schema),
+so repeat explorations of one artifact skip re-lowering entirely
 (see :meth:`repro.pipeline.CompiledProgram.lowered`).
 """
 

@@ -52,7 +52,26 @@ class CompiledEvaluator:
         from ...libc.builtins import NATIVE_PROCS
         self.native_procs = dict(NATIVE_PROCS)
         self.lowered: LoweredProgram = ensure_lowered(program)
-        self._unseq_nodes = self.lowered.unseq_nodes
+        # Static annotations are positional (collect_unseqs order ==
+        # stable instruction id), and they are applied to *this*
+        # program object's AST nodes.  Resolving the node table from
+        # self.program rather than the lowered object keeps the
+        # mapping correct when the warm-closure cache hands back a
+        # LoweredProgram built from an earlier, equivalent program
+        # object (same source ⇒ same deterministic elaboration ⇒ same
+        # positional ids; only the node identities differ).
+        from ...statics import collect_unseqs
+        self._unseq_nodes = collect_unseqs(program)
+        # Specialized-call-protocol telemetry: calls resolved onto the
+        # direct slot-write fast path vs the generic call_proc
+        # fallback (natives, unknown targets).  Surfaced by the
+        # driver as compile.call_fast / compile.call_generic.
+        self.call_fast = 0
+        self.call_generic = 0
+        # Run-mode gate: direct (non-generator) execution is only
+        # sound when the program provably cannot suspend into the
+        # thread scheduler (see LoweredProgram.threads_possible).
+        self._run_ok = not self.lowered.threads_possible
         # Plain-run scheduling fast path, set by the driver when the
         # oracle is a plain default-0 one (no replay prefix, no rng,
         # no sleep set, no event log).  Such an oracle always picks
@@ -122,6 +141,13 @@ class CompiledEvaluator:
             if body.pure is not None:
                 value = body.pure(self, fr)
                 summary = ActionSummary.empty()
+            elif self._inline is not None and self._run_ok:
+                # Run mode: execute the body directly — every request
+                # is serviced through the driver's inline callback,
+                # and this generator finishes on its first advance
+                # (one StopIteration round-trip, exactly like the
+                # generator path's final advance).
+                value, summary = body.run(self, fr)
             else:
                 value, summary = yield from body.gen(self, fr)
         except ProcReturn as r:

@@ -25,6 +25,41 @@ pre-resolved closures:
   subtrees additionally carry a non-generator fast path (``LE.pure``)
   that the sequencing combinators use to skip generator construction
   entirely on the hot ``let strong <pure>`` spine.
+* **Run mode** (``LE.run``): every effectful form *also* carries a
+  direct, non-generator executor ``run(ev, fr) -> (value, summary)``
+  that services requests through the driver's inline callback
+  (``ev._inline``) instead of suspending a generator stack.  The
+  driver enters it through :meth:`CompiledEvaluator.call_proc` only
+  on plain single-path runs of **thread-free** programs
+  (``LoweredProgram.threads_possible`` is the lower-time gate: any
+  ``par``/``wait`` node or any reference to a thread native keeps
+  the program on the generator protocol).  Exploration always
+  records events, so run mode never touches behaviour sets, path
+  accounting, or the POR machinery — it is exactly the single-path
+  hot loop.
+
+**The specialized call protocol.**  Every C call elaborates to
+``ECcall``; its lowering resolves the callee through a one-element
+per-site inline cache (function value identity → lowered callee),
+pre-builds the callee frame by direct slot writes — no generic
+``call_proc`` dispatch, no intermediate generator — and, for
+statically pure callee bodies, completes the call entirely on the
+closure fast path with no suspension at all.  Generic fallbacks
+(natives, unknown/indirect targets the cache misses on) are counted
+against the fast path via ``ev.call_fast`` / ``ev.call_generic`` —
+surfaced as ``compile.call_fast`` / ``compile.call_generic`` obs
+counters.
+
+**The fusion pass.**  During lowering, recurring sequences collapse
+into single pre-resolved instructions, counted in
+``LoweredProgram.fused``: comparison and arithmetic operands that
+are frame slots or constants are read directly (no operand-closure
+calls — the compare half of every compare-branch), spine steps with
+irrefutable patterns become direct slot-writing instructions, and
+the ``load → compute → store`` triple every C assignment elaborates
+to becomes one fused load-op-store instruction in the run-mode
+spine plan (the generator path keeps the unfused step list — the
+explorer's request protocol is untouched).
 
 Static-analysis annotations (:mod:`repro.statics`) are re-keyed from
 AST node identity onto **stable instruction ids**: every ``unseq``
@@ -41,7 +76,7 @@ serializable frame/instruction layout is persisted separately as a
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ...core import ast as K
 from ...ctypes.types import IntKind, Integer
@@ -65,7 +100,16 @@ from ..values import (
 # Version of the lowering scheme itself: bump when the slot layout,
 # instruction-id basis, or closure protocol changes so persisted
 # "lowered" store records from older lowerings stop validating.
-LOWERED_VERSION = 1
+#   1: PR 8 — slotted closure-threaded linear code.
+#   2: PR 9 — specialized call protocol, fusion counters and the
+#      threads_possible gate join the serialized layout.
+LOWERED_VERSION = 2
+
+# Natives that suspend into the thread scheduler (spawn / wait
+# requests).  Any lexical reference to one of these names — or any
+# `par`/`wait` Core node — marks the program "threads possible" and
+# keeps it off run mode: run-mode execution cannot suspend.
+_THREAD_NATIVES = frozenset(("thrd_create", "thrd_join"))
 
 # Shared singleton request for loop-tick accounting.
 _TICK = ("tick",)
@@ -116,13 +160,18 @@ class _SlotEnvView:
 class LE:
     """One lowered effectful expression: ``gen(ev, fr)`` builds the
     request generator; ``pure`` (when the subtree is statically
-    effect-free — it cannot yield) evaluates directly to the value."""
+    effect-free — it cannot yield) evaluates directly to the value;
+    ``run(ev, fr) -> (value, summary)`` executes directly through the
+    driver's inline request service (only entered when ``ev._inline``
+    is installed and the program is thread-free — see the module
+    docstring's run-mode contract)."""
 
-    __slots__ = ("gen", "pure")
+    __slots__ = ("gen", "pure", "run")
 
-    def __init__(self, gen, pure=None):
+    def __init__(self, gen, pure=None, run=None):
         self.gen = gen
         self.pure = pure
+        self.run = run
 
 
 def _pure_le(p) -> LE:
@@ -130,7 +179,27 @@ def _pure_le(p) -> LE:
         return p(ev, fr), _EMPTY
         yield  # pragma: no cover - makes this a generator function
 
-    return LE(gen, p)
+    def run(ev, fr, _p=p):
+        return _p(ev, fr), _EMPTY
+
+    return LE(gen, p, run)
+
+
+def _drive_inline(ev, gen):
+    """Run-mode pump for request generators that stay generic (native
+    procedures, the generic ``call_proc`` path): every yielded request
+    is serviced by the driver's inline callback — same step
+    accounting, same deadline checks as a scheduler round-trip."""
+    inline = ev._inline
+    response = None
+    started = False
+    while True:
+        try:
+            request = gen.send(response) if started else next(gen)
+            started = True
+        except StopIteration as stop:
+            return stop.value
+        response = inline(request)
 
 
 class _FrameAlloc:
@@ -188,14 +257,32 @@ class LoweredProgram:
     the positional ``unseq`` instruction table that re-keys static
     annotations onto stable ids."""
 
-    __slots__ = ("procs", "funs", "globs", "unseq_nodes")
+    __slots__ = ("procs", "funs", "globs", "glob_names",
+                 "unseq_nodes", "threads_possible", "fused")
 
     def __init__(self):
         self.procs: Dict[str, LoweredProc] = {}
         self.funs: Dict[str, LoweredFun] = {}
         self.globs: Dict[str, LoweredGlob] = {}
+        #: Every file-scope object of the source program, in
+        #: definition order — including the uninitialised ones, which
+        #: never get a ``LoweredGlob``.  File-scope objects carry
+        #: process-unique Core names (``a_17`` vs ``a_53`` for the
+        #: same source compiled twice), and the lowered closures bake
+        #: those names into their ``global_env`` lookups: a lowering
+        #: may only be adopted by a program whose glob names match
+        #: exactly (see ``CompiledProgram.lowered``).
+        self.glob_names: Tuple[str, ...] = ()
         #: ``collect_unseqs`` order: position == stable instruction id.
         self.unseq_nodes: List[K.EUnseq] = []
+        #: Lower-time gate for run mode: True when any ``par``/``wait``
+        #: node or any lexical reference to a thread native exists —
+        #: such a program can suspend into the thread scheduler, which
+        #: direct (non-generator) execution cannot do.
+        self.threads_possible = False
+        #: Fusion-pass hit counts (lower-time): how many recurring
+        #: sequences collapsed into single pre-resolved instructions.
+        self.fused: Dict[str, int] = {}
 
     def layout(self) -> dict:
         """The serializable positional layout (frame sizes, arity,
@@ -211,6 +298,8 @@ class LoweredProgram:
             "globs": {name: g.frame_size
                       for name, g in sorted(self.globs.items())},
             "n_unseqs": len(self.unseq_nodes),
+            "threads_possible": self.threads_possible,
+            "fused": dict(sorted(self.fused.items())),
         }
 
 
@@ -240,9 +329,15 @@ class _Lowerer:
         self._unseq_ids = {id(node): i for i, node
                            in enumerate(self.out.unseq_nodes)}
         self._n_instr = 0
+        self._threads = False
+        self.fused: Dict[str, int] = {
+            "cmp_operand": 0, "arith_operand": 0, "slot_instr": 0,
+            "load_op_store": 0,
+        }
 
     def lower(self) -> LoweredProgram:
         out = self.out
+        out.glob_names = tuple(g.name for g in self.program.globs)
         # Definitions are registered before their bodies are lowered so
         # (mutually) recursive calls resolve to the in-progress object.
         for name, fun in self.program.funs.items():
@@ -284,6 +379,8 @@ class _Lowerer:
             lg.body = self._expr(g.init, {}, falloc)
             lg.frame_size = falloc.n
             out.globs[g.name] = lg
+        out.threads_possible = self._threads
+        out.fused = self.fused
         return out
 
     # ==================== patterns =========================================
@@ -439,6 +536,12 @@ class _Lowerer:
     def _pure(self, pe: K.Pexpr, scope: Dict[str, int],
               falloc: _FrameAlloc):
         if isinstance(pe, K.PSym):
+            if pe.name in _THREAD_NATIVES:
+                # A lexical reference to a thread native: the only way
+                # spawn/wait requests can ever be reached (natives are
+                # invoked by name or through a function value taken
+                # from that name).  Keeps the program off run mode.
+                self._threads = True
             slot = scope.get(pe.name)
             if slot is not None:
                 def p_slot(ev, fr, _s=slot, _n=pe.name, _l=pe.loc):
@@ -689,7 +792,54 @@ class _Lowerer:
         # re-evaluates the operands, which is safe: pure closures are
         # deterministic and effect-free, so the rare non-integer
         # shape just pays one duplicate read.
+        #
+        # Operand fusion: when an operand is a bound symbol or an
+        # integer literal, the fetch is resolved at lower time into a
+        # direct frame read / captured constant — no operand-closure
+        # call at all.  An unbound slot (None) fails the VInteger type
+        # test and falls into the generic closure, which re-evaluates
+        # through the original operand closures and raises the proper
+        # diagnostic.
+        ls = self._operand_slot(pe.lhs, scope)
+        rs = self._operand_slot(pe.rhs, scope)
+        liv = self._operand_const(pe.lhs)
+        riv = self._operand_const(pe.rhs)
         if cmp is not None:
+            if ls is not None and rs is not None:
+                self.fused["cmp_operand"] += 1
+
+                def p_cmp_ss(ev, fr, _i=ls, _j=rs, _cmp=cmp,
+                             _slow=p_binop):
+                    a = fr[_i]
+                    b = fr[_j]
+                    if type(a) is VInteger and type(b) is VInteger:
+                        return VBool(_cmp(a.ival.value, b.ival.value))
+                    return _slow(ev, fr)
+
+                return p_cmp_ss
+            if ls is not None and riv is not None:
+                self.fused["cmp_operand"] += 1
+
+                def p_cmp_sc(ev, fr, _i=ls, _c=riv.value, _cmp=cmp,
+                             _slow=p_binop):
+                    a = fr[_i]
+                    if type(a) is VInteger:
+                        return VBool(_cmp(a.ival.value, _c))
+                    return _slow(ev, fr)
+
+                return p_cmp_sc
+            if liv is not None and rs is not None:
+                self.fused["cmp_operand"] += 1
+
+                def p_cmp_cs(ev, fr, _c=liv.value, _j=rs, _cmp=cmp,
+                             _slow=p_binop):
+                    b = fr[_j]
+                    if type(b) is VInteger:
+                        return VBool(_cmp(_c, b.ival.value))
+                    return _slow(ev, fr)
+
+                return p_cmp_cs
+
             def p_cmp(ev, fr, _a=lhs, _b=rhs, _cmp=cmp,
                       _slow=p_binop):
                 a = _a(ev, fr)
@@ -699,6 +849,52 @@ class _Lowerer:
                 return _slow(ev, fr)
 
             return p_cmp
+        if ls is not None and riv is not None:
+            self.fused["arith_operand"] += 1
+
+            def p_arith_sc(ev, fr, _i=ls, _ib=riv, _op=op,
+                           _minus=minus, _l=pe.loc, _slow=p_binop):
+                a = fr[_i]
+                if type(a) is VInteger:
+                    ia = a.ival
+                    math = ev._int_math(_op, ia.value, _ib.value, _l)
+                    hooked = ev._int_hook
+                    if hooked is not None:
+                        special = hooked(_op, ia, _ib, math)
+                        if special is not None:
+                            return VInteger(special)
+                    prov = combine_provenance(ia.prov, _ib.prov)
+                    if _minus and ia.prov is not None and \
+                            ia.prov == _ib.prov:
+                        prov = None  # intra-object difference (§5.9)
+                    return VInteger(IntegerValue(math, prov))
+                return _slow(ev, fr)
+
+            return p_arith_sc
+        if ls is not None and rs is not None:
+            self.fused["arith_operand"] += 1
+
+            def p_arith_ss(ev, fr, _i=ls, _j=rs, _op=op,
+                           _minus=minus, _l=pe.loc, _slow=p_binop):
+                a = fr[_i]
+                b = fr[_j]
+                if type(a) is VInteger and type(b) is VInteger:
+                    ia = a.ival
+                    ib = b.ival
+                    math = ev._int_math(_op, ia.value, ib.value, _l)
+                    hooked = ev._int_hook
+                    if hooked is not None:
+                        special = hooked(_op, ia, ib, math)
+                        if special is not None:
+                            return VInteger(special)
+                    prov = combine_provenance(ia.prov, ib.prov)
+                    if _minus and ia.prov is not None and \
+                            ia.prov == ib.prov:
+                        prov = None  # intra-object difference (§5.9)
+                    return VInteger(IntegerValue(math, prov))
+                return _slow(ev, fr)
+
+            return p_arith_ss
 
         def p_arith(ev, fr, _a=lhs, _b=rhs, _op=op, _minus=minus,
                     _l=pe.loc, _slow=p_binop):
@@ -721,6 +917,24 @@ class _Lowerer:
             return _slow(ev, fr)
 
         return p_arith
+
+    @staticmethod
+    def _operand_slot(pe: K.Pexpr, scope) -> Optional[int]:
+        """The frame slot of a binop operand that is a locally bound
+        symbol (``None`` for anything else — globals included, since
+        their lookup needs the evaluator)."""
+        if isinstance(pe, K.PSym):
+            return scope.get(pe.name)
+        return None
+
+    @staticmethod
+    def _operand_const(pe: K.Pexpr) -> Optional[IntegerValue]:
+        """The integer literal payload of a binop operand, when it is
+        one (the captured :class:`IntegerValue` keeps provenance
+        semantics identical to the closure path)."""
+        if isinstance(pe, K.PVal) and type(pe.value) is VInteger:
+            return pe.value.ival
+        return None
 
     def _pure_call(self, pe: K.PCall, scope, falloc):
         lf = self.out.funs.get(pe.name)
@@ -887,7 +1101,13 @@ class _Lowerer:
                     value = yield ("ptrop", _op, vals, _aux, _l)
                 return value, _EMPTY
 
-            return LE(g_ptrop)
+            def r_ptrop(ev, fr, _op=e.op, _args=args, _aux=e.aux,
+                        _l=e.loc):
+                vals = [a(ev, fr) for a in _args]
+                return ev._inline(("ptrop", _op, vals, _aux, _l)), \
+                    _EMPTY
+
+            return LE(g_ptrop, run=r_ptrop)
         if isinstance(e, K.ECase):
             return self._ecase(e, scope, falloc)
         if isinstance(e, K.ELet):
@@ -895,37 +1115,23 @@ class _Lowerer:
         if isinstance(e, K.EIf):
             return self._eif(e, scope, falloc)
         if isinstance(e, K.EProc):
+            if e.name in _THREAD_NATIVES:
+                self._threads = True
             args = self._pure_list(e.args, scope, falloc)
 
             def g_proc(ev, fr, _n=e.name, _args=args, _l=e.loc):
                 vals = [a(ev, fr) for a in _args]
                 return (yield from ev.call_proc(_n, vals, _l))
 
-            return LE(g_proc)
-        if isinstance(e, K.ECcall):
-            fn = self._pure(e.fn, scope, falloc)
-            args = self._pure_list(e.args, scope, falloc)
-
-            def g_ccall(ev, fr, _fn=fn, _args=args, _l=e.loc):
-                f = _fn(ev, fr)
+            def r_proc(ev, fr, _n=e.name, _args=args, _l=e.loc):
                 vals = [a(ev, fr) for a in _args]
-                name = ev._function_name(f, _l)
-                region = next(_region_counter)
-                # The lock bracket only gates unseq interleaving, and
-                # the driver's per-thread lock counter is write-only:
-                # on the inline fast path the bracket is vacuous.
-                locked = ev._inline is None
-                if locked:
-                    yield ("lock", 1)
-                # No unlock on exception — same teardown contract as
-                # the tree evaluator's _ccall.
-                value, summary = yield from ev.call_proc(name, vals,
-                                                         _l)
-                if locked:
-                    yield ("lock", -1)
-                return value, summary.tag_region(region)
+                # call_proc itself takes the direct path when the
+                # callee is lowered; the pump only turns for natives.
+                return _drive_inline(ev, ev.call_proc(_n, vals, _l))
 
-            return LE(g_ccall)
+            return LE(g_proc, run=r_proc)
+        if isinstance(e, K.ECcall):
+            return self._ccall(e, scope, falloc)
         if isinstance(e, K.EUnseq):
             return self._unseq(e, scope, falloc)
         if isinstance(e, (K.EWseq, K.ESseq)):
@@ -946,7 +1152,16 @@ class _Lowerer:
                     return le.pure(ev, fr), _EMPTY
                 return (yield from le.gen(ev, fr))
 
-            return LE(g_nd)
+            def r_nd(ev, fr, _les=les, _n=len(les)):
+                idx = 0
+                if _n > 1:
+                    idx = ev._inline(("choose", "nd", _n))
+                le = _les[idx]
+                if le.pure is not None:
+                    return le.pure(ev, fr), _EMPTY
+                return le.run(ev, fr)
+
+            return LE(g_nd, run=r_nd)
         if isinstance(e, K.ESave):
             return self._save(e, scope, falloc)
         if isinstance(e, K.EScope):
@@ -954,6 +1169,8 @@ class _Lowerer:
         if isinstance(e, K.EVlaCreate):
             return self._vla_create(e, scope, falloc)
         if isinstance(e, K.EPar):
+            # par spawns threads: the whole program stays off run mode.
+            self._threads = True
             les = self._expr_list(e.exprs, scope, falloc)
 
             def g_par(ev, fr, _les=les):
@@ -969,6 +1186,8 @@ class _Lowerer:
 
             return LE(g_par)
         if isinstance(e, K.EWait):
+            # wait suspends into the thread scheduler: no run mode.
+            self._threads = True
             th = self._pure(e.thread, scope, falloc)
 
             def g_wait(ev, fr, _th=th, _l=e.loc):
@@ -984,10 +1203,18 @@ class _Lowerer:
 
     def _action(self, action: K.Action, scope, falloc) -> LE:
         args = self._pure_list(action.args, scope, falloc)
+        # Lifetime actions (create / kill / alloc) can never be one
+        # side of an unsequenced race — ``conflicting`` exempts them
+        # unconditionally — so their summaries are statically empty:
+        # no per-action ActionSummary allocation, and every enclosing
+        # union / tag_region walks fewer records.  The driver still
+        # logs the full record (POR barriers need it when exploring).
+        lifetime = action.kind in ("create", "create_vla", "kill",
+                                   "alloc")
 
         def g_action(ev, fr, _args=args, _k=action.kind,
                      _p=action.polarity, _o=action.order,
-                     _l=action.loc):
+                     _l=action.loc, _life=lifetime):
             vals = [a(ev, fr) for a in _args]
             # Single-threaded plain runs service hot requests through
             # the driver's inline callback instead of suspending the
@@ -999,9 +1226,143 @@ class _Lowerer:
             else:
                 value, record = yield ("action", _k, vals, _p, _o,
                                        _l, ())
-            return value, ActionSummary([record])
+            return value, _EMPTY if _life else ActionSummary([record])
 
-        return LE(g_action)
+        def r_action(ev, fr, _args=args, _k=action.kind,
+                     _p=action.polarity, _o=action.order,
+                     _l=action.loc, _life=lifetime):
+            vals = [a(ev, fr) for a in _args]
+            value, record = ev._inline(("action", _k, vals, _p, _o,
+                                        _l, ()))
+            return value, _EMPTY if _life else ActionSummary([record])
+
+        return LE(g_action, run=r_action)
+
+    # ---- C function calls (the specialized call protocol) ----------------
+
+    def _ccall(self, e: K.ECcall, scope, falloc) -> LE:
+        """Every C call elaborates to ``ECcall``; this lowering
+        replaces the generic ``call_proc`` path with a specialized
+        protocol: a one-element per-site inline cache resolves the
+        function value to its lowered callee (function values are
+        per-driver objects, so a fresh run's first call through a
+        site re-resolves once and re-primes), arguments are written
+        directly into a preallocated callee frame, and a statically
+        pure callee body completes with no generator suspension at
+        all.  Natives and cache-missing indirect targets fall back to
+        the generic path; both sides are counted (``ev.call_fast`` /
+        ``ev.call_generic``).  The lock bracket and region tagging
+        are byte-identical to the tree evaluator's ``_ccall``."""
+        fn = self._pure(e.fn, scope, falloc)
+        args = self._pure_list(e.args, scope, falloc)
+        procs = self.out.procs
+        site: list = [None, None, None]  # f, name, lowered-or-None
+
+        def g_ccall(ev, fr, _fn=fn, _args=args, _l=e.loc,
+                    _site=site, _procs=procs):
+            f = _fn(ev, fr)
+            vals = [a(ev, fr) for a in _args]
+            if f is _site[0]:
+                name = _site[1]
+                lp = _site[2]
+            else:
+                name = ev._function_name(f, _l)
+                lp = _procs.get(name)
+                _site[0] = f
+                _site[1] = name
+                _site[2] = lp
+            region = next(_region_counter)
+            # The lock bracket only gates unseq interleaving, and
+            # the driver's per-thread lock counter is write-only:
+            # on the inline fast path the bracket is vacuous.
+            locked = ev._inline is None
+            if locked:
+                yield ("lock", 1)
+            # No unlock on exception — same teardown contract as
+            # the tree evaluator's _ccall.
+            if lp is None:
+                # Native or unknown name: the generic protocol
+                # (call_proc raises the canonical diagnostic).
+                ev.call_generic += 1
+                value, summary = yield from ev.call_proc(name, vals,
+                                                         _l)
+            else:
+                ev.call_fast += 1
+                nparams = len(lp.params)
+                if len(vals) != nparams and not lp.variadic:
+                    raise InternalError(
+                        f"arity mismatch calling {name}: {len(vals)} "
+                        f"args for {nparams} params", _l)
+                ffr = [None] * lp.frame_size
+                for slot, v in zip(lp.param_slots, vals):
+                    ffr[slot] = v
+                if lp.variadic:
+                    ffr[lp.varargs_slot] = VList(
+                        tuple(vals[nparams:]))
+                body = lp.body
+                try:
+                    if body.pure is not None:
+                        value = body.pure(ev, ffr)
+                        summary = _EMPTY
+                    else:
+                        value, summary = yield from body.gen(ev, ffr)
+                except ProcReturn as r:
+                    value = r.value
+                    summary = _EMPTY
+            if locked:
+                yield ("lock", -1)
+            return value, summary.tag_region(region)
+
+        def r_ccall(ev, fr, _fn=fn, _args=args, _l=e.loc,
+                    _site=site, _procs=procs):
+            # No region tagging on this path: a tagged record is inert
+            # in every later race check (cross-group pairs from
+            # *different* calls carry different chains and the
+            # indeterminate-sequencing exemption skips them; records of
+            # one dynamic call can never straddle two groups), so the
+            # callee summary is dropped here instead of being rebuilt
+            # record-by-record only to be exempted.  The generator path
+            # keeps the tagging — the tree evaluator is the oracle for
+            # exploration and the two must stay structurally aligned.
+            f = _fn(ev, fr)
+            vals = [a(ev, fr) for a in _args]
+            if f is _site[0]:
+                name = _site[1]
+                lp = _site[2]
+            else:
+                name = ev._function_name(f, _l)
+                lp = _procs.get(name)
+                _site[0] = f
+                _site[1] = name
+                _site[2] = lp
+            if lp is None:
+                ev.call_generic += 1
+                value, _ = _drive_inline(
+                    ev, ev.call_proc(name, vals, _l))
+            else:
+                ev.call_fast += 1
+                nparams = len(lp.params)
+                if len(vals) != nparams and not lp.variadic:
+                    raise InternalError(
+                        f"arity mismatch calling {name}: {len(vals)} "
+                        f"args for {nparams} params", _l)
+                ffr = [None] * lp.frame_size
+                for slot, v in zip(lp.param_slots, vals):
+                    ffr[slot] = v
+                if lp.variadic:
+                    ffr[lp.varargs_slot] = VList(
+                        tuple(vals[nparams:]))
+                body = lp.body
+                try:
+                    if body.pure is not None:
+                        value = body.pure(ev, ffr)
+                    else:
+                        value, _ = body.run(ev, ffr)
+                except ProcReturn as r:
+                    value = r.value
+            return value, _EMPTY
+
+        return LE(g_ccall, run=r_ccall)
 
     # ---- binding combinators ---------------------------------------------
 
@@ -1035,7 +1396,17 @@ class _Lowerer:
             raise InternalError(f"no matching case branch for {v!r}",
                                 _l)
 
-        return LE(g_case)
+        def r_case(ev, fr, _s=scrut, _b=branches, _l=e.loc):
+            v = _s(ev, fr)
+            for m, le in _b:
+                if m(v, fr):
+                    if le.pure is not None:
+                        return le.pure(ev, fr), _EMPTY
+                    return le.run(ev, fr)
+            raise InternalError(f"no matching case branch for {v!r}",
+                                _l)
+
+        return LE(g_case, run=r_case)
 
     def _elet(self, e: K.ELet, scope, falloc) -> LE:
         bound = self._pure(e.bound, scope, falloc)
@@ -1058,7 +1429,13 @@ class _Lowerer:
                 raise InternalError("refutable let pattern", _l)
             return (yield from _body(ev, fr))
 
-        return LE(g_let)
+        def r_let(ev, fr, _b=bound, _m=m, _body=body, _l=e.loc):
+            v = _b(ev, fr)
+            if not _m(v, fr):
+                raise InternalError("refutable let pattern", _l)
+            return _body.run(ev, fr)
+
+        return LE(g_let, run=r_let)
 
     def _eif(self, e: K.EIf, scope, falloc) -> LE:
         cond = self._pure(e.cond, scope, falloc)
@@ -1077,7 +1454,13 @@ class _Lowerer:
                 return le.pure(ev, fr), _EMPTY
             return (yield from le.gen(ev, fr))
 
-        return LE(g_if)
+        def r_if(ev, fr, _c=cond, _t=then, _e=els):
+            le = _t if truthy(_c(ev, fr)) else _e
+            if le.pure is not None:
+                return le.pure(ev, fr), _EMPTY
+            return le.run(ev, fr)
+
+        return LE(g_if, run=r_if)
 
     # ---- sequencing ------------------------------------------------------
 
@@ -1090,15 +1473,34 @@ class _Lowerer:
         nested evaluation performs innermost-first, after the whole
         spine has run) are all preserved exactly."""
         steps = []
+        meta = []
         while isinstance(e, (K.ESseq, K.EWseq)):
             weak = isinstance(e, K.EWseq)
             self._n_instr += 1
-            first = self._expr(e.first, scope, falloc)
+            node = e.first
+            # Run-plan metadata: actions get their request parts
+            # re-lowered against the *pre-pattern* scope (pure
+            # lowering is deterministic and allocates no step slots)
+            # so the plan can issue the request without the generator
+            # wrapper; patterns record their single target slot when
+            # irrefutable.
+            act = None
+            if isinstance(node, K.EAction):
+                a = node.action
+                act = (a.kind,
+                       self._pure_list(a.args, scope, falloc),
+                       a.polarity, a.order, a.loc)
+            first = self._expr(node, scope, falloc)
             scope = dict(scope)
-            m = self._pattern(e.pat, scope, falloc)
+            pat = e.pat
+            m = self._pattern(pat, scope, falloc)
+            slot = scope[pat.name] if isinstance(pat, K.PatSym) \
+                else None
+            wild = isinstance(pat, K.PatWild)
             msg = "refutable weak-let pattern" if weak \
                 else "refutable strong-let pattern"
             steps.append((first, m, msg, e.loc, weak))
+            meta.append((act, slot, wild))
             e = e.second
         tail = self._expr(e, scope, falloc)
         if tail.pure is not None and \
@@ -1113,8 +1515,10 @@ class _Lowerer:
                 return _tail(ev, fr)
 
             return _pure_le(p_spine)
+        plan = self._spine_plan(steps, meta) \
+            if not any(st[4] for st in steps) else None
         steps = tuple(steps)
-        if not any(st[4] for st in steps):
+        if plan is not None:
             # All-strong spine (the dominant shape): no weak race
             # checks, so the summary is just the step records
             # concatenated in evaluation order.
@@ -1144,7 +1548,21 @@ class _Lowerer:
                     return v, _EMPTY
                 return v, ActionSummary(recs)
 
-            return LE(g_spine_strong)
+            def r_spine_strong(ev, fr, _plan=plan, _tail=tail):
+                recs = []
+                for instr in _plan:
+                    instr(ev, fr, recs)
+                if _tail.pure is not None:
+                    v = _tail.pure(ev, fr)
+                else:
+                    v, ts = _tail.run(ev, fr)
+                    if ts.records:
+                        recs.extend(ts.records)
+                if not recs:
+                    return v, _EMPTY
+                return v, ActionSummary(recs)
+
+            return LE(g_spine_strong, run=r_spine_strong)
 
         def g_spine(ev, fr, _steps=steps, _tail=tail):
             eff = None
@@ -1196,7 +1614,176 @@ class _Lowerer:
                 return v, parts[0]
             return v, ActionSummary(later)
 
-        return LE(g_spine)
+        def r_spine(ev, fr, _steps=steps, _tail=tail):
+            # The weak spine keeps the unfused step walk in run mode
+            # too: the innermost-first race checks below can raise
+            # UNSEQUENCED_RACE, a real verdict, and must see the same
+            # per-step summaries as the generator path.
+            eff = None
+            i = 0
+            for le, m, msg, lc, weak in _steps:
+                if le.pure is not None:
+                    v = le.pure(ev, fr)
+                else:
+                    v, s = le.run(ev, fr)
+                    if s.records:
+                        if eff is None:
+                            eff = [(i, s)]
+                        else:
+                            eff.append((i, s))
+                if not m(v, fr):
+                    raise InternalError(msg, lc)
+                i += 1
+            if _tail.pure is not None:
+                v = _tail.pure(ev, fr)
+                tail_s = None
+            else:
+                v, tail_s = _tail.run(ev, fr)
+                if not tail_s.records:
+                    tail_s = None
+            if eff is None and tail_s is None:
+                return v, _EMPTY
+            later = tail_s.records if tail_s is not None else []
+            parts = [] if tail_s is None else [tail_s]
+            if eff is not None:
+                for j in range(len(eff) - 1, -1, -1):
+                    i, s = eff[j]
+                    st = _steps[i]
+                    if st[4] and later:
+                        negs = s.negatives()
+                        if negs:
+                            race = find_unsequenced_race([negs, later])
+                            if race is not None:
+                                a, b = race
+                                raise UndefinedBehaviour(
+                                    UB.UNSEQUENCED_RACE, st[3],
+                                    f"store side effect unsequenced "
+                                    f"with {b.kind} at "
+                                    f"0x{b.footprint.addr:x}")
+                    later = s.records + later
+                    parts.append(s)
+            if len(parts) == 1:
+                return v, parts[0]
+            return v, ActionSummary(later)
+
+        return LE(g_spine, run=r_spine)
+
+    def _spine_plan(self, steps, meta):
+        """The run-mode instruction plan for an all-strong spine: one
+        pre-resolved instruction ``instr(ev, fr, recs)`` per step (or
+        per *fused* step group), appending action records to ``recs``
+        in evaluation order.  Fusions (lower-time, counted in
+        ``self.fused``):
+
+        * ``load_op_store`` — the ``let old = load; let new = <pure>;
+          let _ = store`` triple every C compound assignment /
+          increment elaborates to becomes ONE instruction: load
+          request, slot write, pure compute, slot write, store
+          request, two records — no pattern matchers, no per-step
+          dispatch.
+        * ``slot_instr`` — a step whose pattern is a plain binder or
+          wildcard becomes a direct slot-write (or value-drop)
+          instruction: the compiled matcher call disappears.
+
+        Steps the plan can't specialize run their generic
+        ``pure``/``run`` closure plus matcher, exactly like the
+        generator spine."""
+        plan = []
+        i = 0
+        n = len(steps)
+        while i < n:
+            le, m, msg, lc, _weak = steps[i]
+            act, slot, wild = meta[i]
+            if act is not None and act[0] == "load" and \
+                    slot is not None and i + 2 < n:
+                le2 = steps[i + 1][0]
+                act2, slot2, _w2 = meta[i + 1]
+                act3, _s3, wild3 = meta[i + 2]
+                if le2.pure is not None and act2 is None and \
+                        slot2 is not None and act3 is not None and \
+                        act3[0] == "store" and wild3:
+                    self.fused["load_op_store"] += 1
+                    plan.append(self._i_load_op_store(
+                        act, slot, le2.pure, slot2, act3))
+                    i += 3
+                    continue
+            if le.pure is not None and slot is not None:
+                self.fused["slot_instr"] += 1
+
+                def i_pure_slot(ev, fr, recs, _p=le.pure, _s=slot):
+                    fr[_s] = _p(ev, fr)
+
+                plan.append(i_pure_slot)
+            elif le.pure is not None and wild:
+                self.fused["slot_instr"] += 1
+
+                def i_pure_drop(ev, fr, recs, _p=le.pure):
+                    _p(ev, fr)
+
+                plan.append(i_pure_drop)
+            elif act is not None and (slot is not None or wild):
+                self.fused["slot_instr"] += 1
+                plan.append(self._i_action_slot(act, slot))
+            else:
+                def i_generic(ev, fr, recs, _le=le, _m=m, _msg=msg,
+                              _lc=lc):
+                    if _le.pure is not None:
+                        v = _le.pure(ev, fr)
+                    else:
+                        v, s = _le.run(ev, fr)
+                        if s.records:
+                            recs.extend(s.records)
+                    if not _m(v, fr):
+                        raise InternalError(_msg, _lc)
+
+                plan.append(i_generic)
+            i += 1
+        return tuple(plan)
+
+    @staticmethod
+    def _i_action_slot(act, slot):
+        kind, args, pol, order, loc = act
+        if slot is None:
+            def i_act_drop(ev, fr, recs, _args=args, _k=kind, _p=pol,
+                           _o=order, _l=loc):
+                vals = [a(ev, fr) for a in _args]
+                _v, record = ev._inline(("action", _k, vals, _p, _o,
+                                         _l, ()))
+                recs.append(record)
+
+            return i_act_drop
+
+        def i_act_slot(ev, fr, recs, _args=args, _k=kind, _p=pol,
+                       _o=order, _l=loc, _s=slot):
+            vals = [a(ev, fr) for a in _args]
+            v, record = ev._inline(("action", _k, vals, _p, _o, _l,
+                                    ()))
+            recs.append(record)
+            fr[_s] = v
+
+        return i_act_slot
+
+    @staticmethod
+    def _i_load_op_store(lact, lslot, pure, pslot, sact):
+        _lk, largs, lp, lo, ll = lact
+        _sk, sargs, sp, so, sl = sact
+
+        def i_los(ev, fr, recs, _largs=largs, _lp=lp, _lo=lo, _ll=ll,
+                  _ls=lslot, _pure=pure, _ps=pslot, _sargs=sargs,
+                  _sp=sp, _so=so, _sl=sl):
+            inline = ev._inline
+            vals = [a(ev, fr) for a in _largs]
+            v, rec1 = inline(("action", "load", vals, _lp, _lo, _ll,
+                              ()))
+            fr[_ls] = v
+            fr[_ps] = _pure(ev, fr)
+            svals = [a(ev, fr) for a in _sargs]
+            _v2, rec2 = inline(("action", "store", svals, _sp, _so,
+                                _sl, ()))
+            recs.append(rec1)
+            recs.append(rec2)
+
+        return i_los
 
     def _atomic_seq(self, e: K.EAtomicSeq, scope, falloc) -> LE:
         a1 = e.first
@@ -1234,7 +1821,21 @@ class _Lowerer:
             # loaded pre-increment value, which is the value of x++).
             return v1, ActionSummary([rec1, rec2])
 
-        return LE(g_atomic)
+        def r_atomic(ev, fr, _a1=args1, _a2=args2, _slot=sym_slot,
+                     _k1=a1.kind, _p1=a1.polarity, _o1=a1.order,
+                     _l1=a1.loc, _k2=a2.kind, _p2=a2.polarity,
+                     _o2=a2.order, _l2=a2.loc):
+            inline = ev._inline
+            vals1 = [a(ev, fr) for a in _a1]
+            v1, rec1 = inline(("action", _k1, vals1, _p1, _o1, _l1,
+                               ()))
+            fr[_slot] = v1
+            vals2 = [a(ev, fr) for a in _a2]
+            _v2, rec2 = inline(("action", _k2, vals2, _p2, _o2, _l2,
+                                ()))
+            return v1, ActionSummary([rec1, rec2])
+
+        return LE(g_atomic, run=r_atomic)
 
     # ---- unseq -----------------------------------------------------------
 
@@ -1363,7 +1964,48 @@ class _Lowerer:
             total = _EMPTY.union(*summaries)
             return VTuple(tuple(results)), total
 
-        return LE(g_unseq)
+        def r_unseq(ev, fr, _children=children, _uidx=uidx, _l=loc):
+            # Run mode implies the plain oracle (`_fast_sched` and
+            # `_inline` are installed together), so only the
+            # sequential fast path exists here; the static-prune skip
+            # counter and the race check are kept identical.
+            static = ev._static_info(_uidx) if ev.static_prune \
+                else None
+            if static is not None and static[0]:
+                ev.static_unseq_skips += 1
+            results = []
+            first = None
+            groups = None
+            for child in _children:
+                if child.pure is not None:
+                    results.append(child.pure(ev, fr))
+                else:
+                    value, summary = child.run(ev, fr)
+                    results.append(value)
+                    if summary.records:
+                        if first is None:
+                            first = summary
+                        elif groups is None:
+                            groups = [first.records, summary.records]
+                        else:
+                            groups.append(summary.records)
+            if groups is None:
+                return VTuple(tuple(results)), \
+                    first if first is not None else _EMPTY
+            race = find_unsequenced_race(groups)
+            if race is not None:
+                a, b = race
+                raise UndefinedBehaviour(
+                    UB.UNSEQUENCED_RACE, _l,
+                    f"unsequenced {a.kind} and {b.kind} on "
+                    f"overlapping footprints at "
+                    f"0x{a.footprint.addr:x}")
+            recs = []
+            for g in groups:
+                recs.extend(g)
+            return VTuple(tuple(results)), ActionSummary(recs)
+
+        return LE(g_unseq, run=r_unseq)
 
     # ---- save / run ------------------------------------------------------
 
@@ -1407,7 +2049,32 @@ class _Lowerer:
                     else:
                         yield _TICK
 
-        return LE(g_save)
+        def r_save(ev, fr, _defaults=defaults, _slots=slots,
+                   _body=body, _label=e.label, _l=e.loc):
+            values = [d(ev, fr) for d in _defaults]
+            total = _EMPTY
+            bp = _body.pure
+            br = _body.run
+            inline = ev._inline
+            while True:
+                for s, v in zip(_slots, values):
+                    fr[s] = v
+                try:
+                    if bp is not None:
+                        return bp(ev, fr), total
+                    value, summary = br(ev, fr)
+                    return value, total.union(summary)
+                except RunSignal as r:
+                    if r.label != _label:
+                        raise
+                    if len(r.run_args) != len(_slots):
+                        raise InternalError(
+                            f"run {_label} arity mismatch",
+                            _l) from None
+                    values = r.run_args
+                    inline(_TICK)
+
+        return LE(g_save, run=r_save)
 
     # ---- scoped lifetimes ------------------------------------------------
 
@@ -1453,7 +2120,31 @@ class _Lowerer:
             kill_summary = yield from _kill_scope(ev, created, _l)
             return value, summary.union(body_summary, kill_summary)
 
-        return LE(g_scope)
+        def r_scope(ev, fr, _cslot=created_slot, _specs=specs,
+                    _body=body, _l=e.loc):
+            inline = ev._inline
+            created = []
+            fr[_cslot] = VScopeList(created)
+            summary = _EMPTY
+            for slot, args, sloc in _specs:
+                value, record = inline(("action", "create", args,
+                                        "pos", "na", sloc, ()))
+                fr[slot] = value
+                created.append(value)
+                summary = summary.union(ActionSummary.single(record))
+            try:
+                if _body.pure is not None:
+                    value = _body.pure(ev, fr)
+                    body_summary = _EMPTY
+                else:
+                    value, body_summary = _body.run(ev, fr)
+            except (RunSignal, ProcReturn) as signal:
+                _kill_scope_run(ev, created, _l)
+                raise signal
+            kill_summary = _kill_scope_run(ev, created, _l)
+            return value, summary.union(body_summary, kill_summary)
+
+        return LE(g_scope, run=r_scope)
 
     def _vla_create(self, e: K.EVlaCreate, scope, falloc) -> LE:
         size = self._pure(e.size, scope, falloc)
@@ -1479,7 +2170,20 @@ class _Lowerer:
                     holder.items.append(value)
             return value, ActionSummary.single(record)
 
-        return LE(g_vla)
+        def r_vla(ev, fr, _size=size, _av=align_v, _cv=cty_v,
+                  _prefix=e.prefix, _cslot=created_slot, _l=e.loc):
+            n = ev._as_integer(_size(ev, fr), _l)
+            value, record = ev._inline(
+                ("action", "create_vla",
+                 [_av, _cv, VInteger(n), _prefix], "pos", "na", _l,
+                 ()))
+            if _cslot is not None:
+                holder = fr[_cslot]
+                if isinstance(holder, VScopeList):
+                    holder.items.append(value)
+            return value, ActionSummary.single(record)
+
+        return LE(g_vla, run=r_vla)
 
 
 def _match_any(value, fr) -> bool:
@@ -1496,5 +2200,15 @@ def _kill_scope(ev, created, loc):
             _, record = inline(req)
         else:
             _, record = yield req
+        summary = summary.union(ActionSummary.single(record))
+    return summary
+
+
+def _kill_scope_run(ev, created, loc):
+    inline = ev._inline
+    summary = _EMPTY
+    for v in reversed(created):
+        _, record = inline(("action", "kill", [v, VBool(False)],
+                            "pos", "na", loc, ()))
         summary = summary.union(ActionSummary.single(record))
     return summary

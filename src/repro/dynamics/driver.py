@@ -246,6 +246,9 @@ class Driver:
             # instead of a generator suspension — cleared at the
             # first spawn (see _advance).
             self.evaluator._inline = self._inline_request
+        # QualType wrappers per C-type object for the load/store hot
+        # path (the entry keeps the type alive, so ids are stable).
+        self._qt_cache: Dict[int, Tuple] = {}
         self.max_steps = max_steps
         # Absolute time.monotonic() cut-off checked inside the step
         # loop: one long path times out cooperatively at the deadline
@@ -344,6 +347,14 @@ class Driver:
             skips = self.evaluator.static_unseq_skips
             if skips:
                 ctx.inc("explore.static_prune_skips", skips)
+            # Specialized-call-protocol hit rates (compiled back end
+            # only; the tree evaluator has no such counters).
+            fast = getattr(self.evaluator, "call_fast", 0)
+            if fast:
+                ctx.inc("compile.call_fast", fast)
+            generic = getattr(self.evaluator, "call_generic", 0)
+            if generic:
+                ctx.inc("compile.call_generic", generic)
 
     def _run(self, entry: str = "main",
              args: Optional[List[Value]] = None) -> Outcome:
@@ -524,6 +535,23 @@ class Driver:
             return self._perform_ptrop(request)
         if kind == "tick":
             return None
+        # The remaining request kinds only reach the inline service in
+        # run mode (direct execution of a thread-free program, where
+        # *every* request is serviced here): choices still consult the
+        # oracle (a plain one — that is the inline precondition), and
+        # I/O / raw services behave exactly as `_handle`'s, minus the
+        # POR notification that is statically off on this path.
+        if kind == "choose":
+            return self.oracle.choose(request[1], request[2],
+                                      request[3] if len(request) > 3
+                                      else None)
+        if kind == "stdout":
+            self.stdout_chunks.append(request[1])
+            return None
+        if kind == "raw":
+            return self._perform_raw(request, None)
+        if kind == "lock":
+            return None
         raise InternalError(f"inline request {kind} not supported")
 
     def _handle(self, request: tuple, thread: Optional[_Thread]):
@@ -575,6 +603,27 @@ class Driver:
         _, action_kind, args, polarity, order, loc = request[:6]
         model = self.model
         try:
+            # Dispatch order follows action frequency: loads and stores
+            # dominate every run, then the create/kill lifetime pairs.
+            if action_kind == "load":
+                cty, target = args
+                qty = cty.ty if isinstance(cty, VCtype) else cty
+                ptr = self.evaluator._as_pointer(target, loc)
+                footprint, mv = model.load(self._qualtype(qty), ptr)
+                record = self._record("load", footprint, False, polarity,
+                                      loc)
+                self._race_check(footprint, False, order, thread, loc)
+                return mem_to_core(mv), record
+            if action_kind == "store":
+                cty, target, value = args[:3]
+                qty = cty.ty if isinstance(cty, VCtype) else cty
+                ptr = self.evaluator._as_pointer(target, loc)
+                mv = core_to_mem(qty, value)
+                footprint = model.store(self._qualtype(qty), ptr, mv)
+                record = self._record("store", footprint, True, polarity,
+                                      loc)
+                self._race_check(footprint, True, order, thread, loc)
+                return UNIT, record
             if action_kind == "create":
                 align, cty, prefix, readonly = args
                 ptr = model.create(cty.ty, align.ival.value, prefix,
@@ -582,6 +631,12 @@ class Driver:
                 record = self._record("create", None, False, polarity,
                                       loc)
                 return VPointer(ptr), record
+            if action_kind == "kill":
+                target, dyn = args
+                ptr = self.evaluator._as_pointer(target, loc)
+                model.kill(ptr, dyn.b)
+                record = self._record("kill", None, False, polarity, loc)
+                return UNIT, record
             if action_kind == "create_vla":
                 align, cty, count, prefix = args
                 n = count.ival.value
@@ -635,31 +690,6 @@ class Driver:
                 ptr = model.alloc_region(n, align.ival.value)
                 record = self._record("alloc", None, False, polarity, loc)
                 return VPointer(ptr), record
-            if action_kind == "kill":
-                target, dyn = args
-                ptr = self.evaluator._as_pointer(target, loc)
-                model.kill(ptr, dyn.b)
-                record = self._record("kill", None, False, polarity, loc)
-                return UNIT, record
-            if action_kind == "load":
-                cty, target = args
-                qty = cty.ty if isinstance(cty, VCtype) else cty
-                ptr = self.evaluator._as_pointer(target, loc)
-                footprint, mv = model.load(QualType(qty), ptr)
-                record = self._record("load", footprint, False, polarity,
-                                      loc)
-                self._race_check(footprint, False, order, thread, loc)
-                return mem_to_core(mv), record
-            if action_kind == "store":
-                cty, target, value = args[:3]
-                qty = cty.ty if isinstance(cty, VCtype) else cty
-                ptr = self.evaluator._as_pointer(target, loc)
-                mv = core_to_mem(qty, value)
-                footprint = model.store(QualType(qty), ptr, mv)
-                record = self._record("store", footprint, True, polarity,
-                                      loc)
-                self._race_check(footprint, True, order, thread, loc)
-                return UNIT, record
             if action_kind == "rmw":
                 cty, target, delta = args[:3]
                 qty = cty.ty if isinstance(cty, VCtype) else cty
@@ -678,6 +708,13 @@ class Driver:
         except MemoryError_ as me:
             raise UndefinedBehaviour(me.entry, loc, me.detail) from None
         raise InternalError(f"unknown action {action_kind}")
+
+    def _qualtype(self, ty) -> QualType:
+        hit = self._qt_cache.get(id(ty))
+        if hit is None:
+            hit = (ty, QualType(ty))
+            self._qt_cache[id(ty)] = hit
+        return hit[1]
 
     def _record(self, kind: str, footprint, is_write: bool,
                 polarity: str, loc) -> ActionRecord:

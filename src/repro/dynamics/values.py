@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.ast import Pattern, PatCtor, PatSym, PatWild
-from ..ctypes.types import CType, QualType
+from ..ctypes.types import CType, Floating, Integer, Pointer, QualType
 from ..errors import InternalError
 from ..memory.values import (
     FloatingValue, IntegerValue, MemValue, MVArray, MVFloating, MVInteger,
@@ -136,10 +136,10 @@ class VScopeList(Value):
 
 def mem_to_core(mv: MemValue) -> Value:
     """Convert a loaded memory value to a Core *loaded* value."""
-    if isinstance(mv, MVUnspecified):
-        return VUnspecified(mv.ty)
     if isinstance(mv, MVInteger):
         return VSpecified(VInteger(mv.ival))
+    if isinstance(mv, MVUnspecified):
+        return VUnspecified(mv.ty)
     if isinstance(mv, MVFloating):
         return VSpecified(VFloating(mv.fval))
     if isinstance(mv, MVPointer):
@@ -152,11 +152,10 @@ def mem_to_core(mv: MemValue) -> Value:
 def core_to_mem(ty: CType, value: Value) -> MemValue:
     """Convert a Core loaded value back to a memory value for a store of
     C type ``ty``."""
-    from ..ctypes.types import Floating, Integer, Pointer
-    if isinstance(value, VUnspecified):
-        return MVUnspecified(value.ty)
     if isinstance(value, VSpecified):
         value = value.value
+    elif isinstance(value, VUnspecified):
+        return MVUnspecified(value.ty)
     if isinstance(value, VInteger):
         assert isinstance(ty, Integer), f"integer store at {ty}"
         return MVInteger(ty, value.ival)

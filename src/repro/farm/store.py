@@ -81,6 +81,86 @@ class StoreCorruptionWarning(UserWarning):
     but slow, so the fallback is surfaced rather than silent."""
 
 
+class WarmCache:
+    """A process-local keyed cache of rebuilt per-artifact objects —
+    the in-memory layer of the two-level persistence scheme for
+    compiled-back-end lowerings.
+
+    The artifact store persists only the serializable *layout* of a
+    lowering (``"lowered"`` records); the closures themselves are
+    process-local and were, before this cache, rebuilt once per
+    :class:`~repro.pipeline.CompiledProgram` instance.  The warm cache
+    keeps the rebuilt :class:`~repro.dynamics.compile.LoweredProgram`
+    keyed by the *same* content address as its store record — source,
+    implementation, name, ``LOWERED_VERSION``, and (via
+    :meth:`ArtifactStore.record_key`) ``STORE_SCHEMA_VERSION`` — so
+    repeat explorations of the same artifact in one process skip
+    re-lowering entirely, and a schema or lowering-version bump
+    invalidates the warm entries exactly as it invalidates the
+    persisted ones.  Lowered closures read the memory model and
+    global environment through the evaluator at run time, so one
+    entry soundly serves every memory model; only the compiled back
+    end reads or writes it (``backend="tree"`` has no lowerings).
+
+    Entries are LRU-bounded by count.  Hit/miss counters mirror to
+    the active obs context as ``store.warm_closures.{hits,misses}``.
+    """
+
+    def __init__(self, max_entries: int = 64,
+                 kind: str = "warm_closures"):
+        self.max_entries = max_entries
+        self.kind = kind
+        self.hits = 0
+        self.misses = 0
+        self._entries: "Dict[str, object]" = {}
+
+    def _event(self, event: str) -> None:
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.inc(f"store.{self.kind}.{event}")
+
+    def get(self, key: str, validate=None):
+        entry = self._entries.pop(key, None)
+        if entry is not None and validate is not None \
+                and not validate(entry):
+            # An entry the caller can never use — e.g. a lowering
+            # whose baked-in uniquified symbol names belong to a
+            # different compile of the same source.  Evict it (it can
+            # serve no future caller either) and report a miss; the
+            # caller's fresh rebuild re-populates the slot.
+            entry = None
+        if entry is None:
+            self.misses += 1
+            self._event("misses")
+            return None
+        # Re-insert to refresh recency (dicts preserve insertion
+        # order, so the first key is always the least recently used).
+        self._entries[key] = entry
+        self.hits += 1
+        self._event("hits")
+        return entry
+
+    def put(self, key: str, value) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+
+# The process-wide warm-closure cache for compiled-back-end lowerings
+# (see repro.pipeline.CompiledProgram.lowered).  Tests may clear() it
+# or swap it out; it is intentionally tiny state with no disk
+# footprint.
+WARM_CLOSURES = WarmCache()
+
+
 class ArtifactStore:
     """An on-disk compile cache shared across processes.
 
@@ -337,12 +417,17 @@ class ArtifactStore:
     def stats(self) -> Dict[str, int]:
         """Per-process counters plus the current on-disk footprint.
         ``by_kind`` breaks hits/misses/stores/corrupt down per record
-        kind, additively to the flat totals."""
+        kind, additively to the flat totals.  ``warm_closures``
+        reports the process-wide :data:`WARM_CLOSURES` cache — not
+        per-store state, but surfaced here so campaign reports and
+        ``cerberus-py stats`` see the closure-reuse rate next to the
+        record traffic it rides on."""
         return dict(self._counters,
                     by_kind={k: dict(v) for k, v
                              in sorted(self._kind_counters.items())},
                     entries=len(self._entries()),
-                    size_bytes=self.size_bytes())
+                    size_bytes=self.size_bytes(),
+                    warm_closures=WARM_CLOSURES.stats())
 
     def reset_stats(self) -> None:
         for k in self._counters:

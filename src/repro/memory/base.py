@@ -46,7 +46,7 @@ class MemoryError_(Exception):
         super().__init__(f"{entry.name}: {detail}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Footprint:
     """The byte footprint of one memory action."""
 
@@ -64,7 +64,7 @@ class AllocationKind:
     DYNAMIC = "dynamic"
 
 
-@dataclass
+@dataclass(slots=True)
 class Allocation:
     aid: int
     base: int
@@ -145,6 +145,12 @@ class MemoryModel:
         self.options = options or MemoryOptions()
         self.codec = ValueCodec(impl, tags)
         self.allocations: Dict[int, Allocation] = {}
+        # Live subset of ``allocations``: address-based lookups must not
+        # scan the (ever-growing) dead majority on every access.
+        self._live: Dict[int, Allocation] = {}
+        # Most-recently-hit allocation: accesses cluster heavily on one
+        # object (loop counters, accumulators), so check it first.
+        self._last_hit: Optional[Allocation] = None
         self._next_aid = 1
         self._static_top = self.options.static_base
         self._stack_top = self.options.stack_base
@@ -153,6 +159,28 @@ class MemoryModel:
         self.choose: Callable[[str, int], int] = lambda tag, n: 0
         # "stable" uninit materialisation counter (deterministic pattern).
         self._stable_seed = 0xA5
+        # Per-type-object size/align cache for the access hot path; the
+        # cached entry keeps the type alive so its id cannot be reused.
+        self._ty_cache: Dict[int, tuple] = {}
+        # Access fast-path flags, fixed at construction (options are
+        # never mutated after init).  A model that neither checks
+        # provenance nor overrides ``_locate`` lets load/store resolve
+        # the target allocation straight from the MRU hit; the other
+        # two skip the per-access calls into checks their options turn
+        # into no-ops.
+        self._plain_locate = (
+            type(self)._locate is MemoryModel._locate
+            and not self.options.check_provenance)
+        self._check_et = self.options.check_effective_types
+        self._pad_keep = self.options.padding_on_member_store == "keep"
+
+    def _size_align(self, ty: CType) -> Tuple[int, int]:
+        hit = self._ty_cache.get(id(ty))
+        if hit is None:
+            hit = (ty, self.impl.sizeof(ty, self.tags),
+                   self.impl.alignof(ty, self.tags))
+            self._ty_cache[id(ty)] = hit
+        return hit[1], hit[2]
 
     # -- snapshots (exhaustive exploration) ------------------------------------
 
@@ -168,6 +196,9 @@ class MemoryModel:
 
     def restore(self, snap: dict) -> None:
         self.allocations = copy.deepcopy(snap["allocations"])
+        self._live = {aid: a for aid, a in self.allocations.items()
+                      if a.alive}
+        self._last_hit = None
         self._next_aid = snap["next_aid"]
         self._static_top = snap["static_top"]
         self._stack_top = snap["stack_top"]
@@ -216,12 +247,15 @@ class MemoryModel:
             self._stack_top = base + max(size, 1)
         data: List[AByte]
         if initial is not None and ty is not None:
-            data = self.codec.repify(ty, initial)
+            # Copy: repify may return a cached (shared) byte list, and
+            # this list becomes the allocation's mutable buffer.
+            data = list(self.codec.repify(ty, initial))
         else:
             data = [UNSPEC_BYTE] * size
         alloc = Allocation(aid, base, size, kind, name, align, ty,
                            data=data, readonly=readonly)
         self.allocations[aid] = alloc
+        self._live[aid] = alloc
         if ty is not None:
             alloc.effective[0] = ty
         return self.make_pointer(alloc)
@@ -253,13 +287,14 @@ class MemoryModel:
             raise MemoryError_(ub.ACCESS_DEAD_OBJECT,
                                f"kill of unknown object {ptr!r}")
         alloc.alive = False
+        self._live.pop(alloc.aid, None)
 
     def _find_allocation_for_kill(self, ptr: PointerValue,
                                   dyn: bool) -> Optional[Allocation]:
         if isinstance(ptr.prov, int):
             return self.allocations.get(ptr.prov)
-        for alloc in self.allocations.values():
-            if alloc.alive and alloc.base == ptr.addr:
+        for alloc in self._live.values():
+            if alloc.base == ptr.addr:
                 return alloc
         return None
 
@@ -319,8 +354,16 @@ class MemoryModel:
 
     def _find_live_by_address(self, addr: int,
                               size: int) -> Optional[Allocation]:
-        for alloc in self.allocations.values():
-            if alloc.alive and alloc.contains(addr, size):
+        hit = self._last_hit
+        if hit is not None and hit.alive and hit.contains(addr, size):
+            return hit
+        # Newest-first: accesses cluster on recently created
+        # allocations (stack locality — parameters and locals of the
+        # active call), which sit at the end of the insertion-ordered
+        # live index.
+        for alloc in reversed(self._live.values()):
+            if alloc.contains(addr, size):
+                self._last_hit = alloc
                 return alloc
         return None
 
@@ -399,11 +442,19 @@ class MemoryModel:
     def load(self, qty: QualType, ptr: PointerValue) -> Tuple[Footprint,
                                                               MemValue]:
         ty = qty.ty
-        size = self.impl.sizeof(ty, self.tags)
-        alloc = self._locate(ptr, size, writing=False)
-        self._check_alignment(ptr, ty)
-        self._check_effective(alloc, ptr, ty, writing=False)
-        off = ptr.addr - alloc.base
+        size, align = self._size_align(ty)
+        addr = ptr.addr
+        hit = self._last_hit
+        if self._plain_locate and addr and hit is not None and \
+                hit.alive and hit.contains(addr, size):
+            alloc = hit
+        else:
+            alloc = self._locate(ptr, size, writing=False)
+        if addr % align != 0:
+            self._check_alignment(ptr, ty)
+        if self._check_et:
+            self._check_effective(alloc, ptr, ty, writing=False)
+        off = addr - alloc.base
         data = alloc.data[off:off + size]
         value = self.codec.abstify(ty, data)
         if isinstance(value, MVUnspecified):
@@ -431,19 +482,28 @@ class MemoryModel:
     def store(self, qty: QualType, ptr: PointerValue,
               value: MemValue) -> Footprint:
         ty = qty.ty
-        size = self.impl.sizeof(ty, self.tags)
-        alloc = self._locate(ptr, size, writing=True)
-        self._check_alignment(ptr, ty)
+        size, align = self._size_align(ty)
+        addr = ptr.addr
+        hit = self._last_hit
+        if self._plain_locate and addr and hit is not None and \
+                hit.alive and hit.contains(addr, size):
+            alloc = hit
+        else:
+            alloc = self._locate(ptr, size, writing=True)
+        if addr % align != 0:
+            self._check_alignment(ptr, ty)
         if alloc.readonly:
             raise MemoryError_(
                 ub.MODIFYING_CONST,
                 f"store to read-only object '{alloc.name}'")
-        self._check_effective(alloc, ptr, ty, writing=True)
-        off = ptr.addr - alloc.base
+        if self._check_et:
+            self._check_effective(alloc, ptr, ty, writing=True)
+        off = addr - alloc.base
         data = self.codec.repify(ty, value)
         alloc.data[off:off + size] = data
-        self._apply_padding_policy(alloc, off, ty)
-        return Footprint(ptr.addr, size)
+        if not self._pad_keep:
+            self._apply_padding_policy(alloc, off, ty)
+        return Footprint(addr, size)
 
     def _apply_padding_policy(self, alloc: Allocation, off: int,
                               ty: CType) -> None:

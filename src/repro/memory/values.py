@@ -65,7 +65,7 @@ def combine_provenance(a: Provenance, b: Provenance) -> Provenance:
 # Scalar values
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntegerValue:
     """An integer value: a mathematical integer plus a provenance (Q5:
     "Our formal model associates provenances with all integer values")."""
@@ -87,7 +87,7 @@ class IntegerValue:
         return f"{self.value}{p}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FloatingValue:
     value: float
 
@@ -95,7 +95,7 @@ class FloatingValue:
         return repr(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PointerValue:
     """A pointer value: concrete address plus provenance (§2.1: "Abstract
     pointer values must also contain concrete addresses").
@@ -187,7 +187,7 @@ class MVUnion(MemValue):
 # Abstract bytes
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AByte:
     """One byte of the object representation.
 
@@ -211,6 +211,10 @@ class AByte:
 
 UNSPEC_BYTE = AByte()
 
+#: Interned pure bytes (no provenance, no fragment) — the common case
+#: for every integer store; AByte is frozen, so sharing is safe.
+_PURE_BYTES = tuple(AByte(i) for i in range(256))
+
 
 # --------------------------------------------------------------------------
 # repify / abstify: memory values <-> abstract bytes
@@ -223,6 +227,12 @@ class ValueCodec:
     def __init__(self, impl: Implementation, tags: TagEnv):
         self.impl = impl
         self.tags = tags
+        # Per-pointer-object representation cache: storing the same
+        # (frozen) PointerValue repeatedly — a pointer argument passed
+        # in a loop — re-creates identical fragment bytes each time.
+        # The cached entry keeps the pointer alive so its id is stable;
+        # callers never mutate repify results in place.
+        self._ptr_rep: Dict[int, Tuple[PointerValue, List[AByte]]] = {}
 
     # -- encoding ------------------------------------------------------------
 
@@ -292,6 +302,9 @@ class ValueCodec:
                                    meta=ival.meta)
             return [AByte(b, ival.prov, (carrier, i))
                     for i, b in enumerate(data)]
+        if ival.prov is PROV_EMPTY:
+            pure = _PURE_BYTES
+            return [pure[b] for b in data]
         return [AByte(b, ival.prov) for b in data]
 
     def _rep_float(self, fval: FloatingValue, size: int) -> List[AByte]:
@@ -305,6 +318,9 @@ class ValueCodec:
         return [AByte(b) for b in data]
 
     def _rep_pointer(self, ptr: PointerValue, size: int) -> List[AByte]:
+        hit = self._ptr_rep.get(id(ptr))
+        if hit is not None and hit[0] is ptr and len(hit[1]) == size:
+            return hit[1]
         addr_size = min(size, 8)
         data = (ptr.addr & ((1 << (addr_size * 8)) - 1)).to_bytes(
             addr_size, "little" if self.impl.little_endian else "big")
@@ -312,6 +328,9 @@ class ValueCodec:
         # Capability pointers are wider than the address: metadata bytes.
         for i in range(addr_size, size):
             out.append(AByte(0, ptr.prov, (ptr, i)))
+        if len(self._ptr_rep) > 4096:
+            self._ptr_rep.clear()
+        self._ptr_rep[id(ptr)] = (ptr, out)
         return out
 
     # -- decoding ------------------------------------------------------------
@@ -372,13 +391,18 @@ class ValueCodec:
         return MVInteger(ty, IntegerValue(raw))
 
     def _abst_integer(self, ty: Integer, data: List[AByte]) -> MemValue:
-        # Hot path (one call per integer load): the unspecified check
-        # and byte extraction are fused into a single pass.
+        # Hot path (one call per integer load): the unspecified check,
+        # byte extraction, and purity test are fused into one pass so
+        # the provenance/fragment scans only run when a byte carries
+        # either.
         vals = []
+        pure = True
         for b in data:
             if b.value is None:
                 return MVUnspecified(ty)
             vals.append(b.value)
+            if b.prov is not PROV_EMPTY or b.ptr_frag is not None:
+                pure = False
         value = int.from_bytes(bytes(vals),
                                "little" if self.impl.little_endian
                                else "big")
@@ -386,6 +410,8 @@ class ValueCodec:
             w = len(data) * 8
             if value >= (1 << (w - 1)):
                 value -= 1 << w
+        if pure:
+            return MVInteger(ty, IntegerValue(value))
         prov = _combined_byte_provenance(data)
         meta = None
         frag = _whole_pointer_fragment(data)
@@ -411,8 +437,9 @@ class ValueCodec:
         return MVFloating(ty, FloatingValue(value))
 
     def _abst_pointer(self, ty: Pointer, data: List[AByte]) -> MemValue:
-        if any(b.is_unspecified for b in data):
-            return MVUnspecified(ty)
+        for b in data:
+            if b.value is None:
+                return MVUnspecified(ty)
         frag = _whole_pointer_fragment(data)
         if frag is not None:
             return MVPointer(ty.to, frag)

@@ -14,7 +14,10 @@ from .metrics import MetricsRegistry
 from .trace import read_trace
 
 #: Record kinds the store families report under ``store.<kind>.*``.
-STORE_KINDS = ("compiled", "exploration", "statics", "record")
+#: ``warm_closures`` is the process-local rebuilt-lowering cache
+#: layered over the persisted ``lowered`` layout records.
+STORE_KINDS = ("compiled", "exploration", "statics", "lowered",
+               "warm_closures", "record")
 
 
 def summarize_trace(path) -> dict:
@@ -108,6 +111,19 @@ def summarize_trace(path) -> dict:
         "cache_misses": counters.get("pipeline.cache_misses", 0),
     }
 
+    # The compiled back end's specialized-call-protocol hit rates and
+    # lower-time fusion counts (compile.call_* / compile.fused.*).
+    call_fast = counters.get("compile.call_fast", 0)
+    call_generic = counters.get("compile.call_generic", 0)
+    compiled = {
+        "call_fast": call_fast,
+        "call_generic": call_generic,
+        "call_fast_rate": rate(call_fast, call_generic),
+        "fused": {k.split(".", 2)[2]: v
+                  for k, v in sorted(counters.items())
+                  if k.startswith("compile.fused.")},
+    }
+
     farm = {k.split(".", 1)[1]: v for k, v in sorted(counters.items())
             if k.startswith("farm.")}
 
@@ -120,6 +136,7 @@ def summarize_trace(path) -> dict:
         "stores": stores,
         "explorer": explorer,
         "pipeline": pipeline,
+        "compiled": compiled,
         "farm": farm,
         "timelines": [{"name": t["name"], "points": t["points"]}
                       for t in timelines],
@@ -180,6 +197,17 @@ def render_text(summary: dict) -> str:
         lines.append(f"pipeline: translations={pl['translations']} "
                      f"cache hits={pl['cache_hits']} "
                      f"misses={pl['cache_misses']}")
+    co = summary.get("compiled") or {}
+    if co.get("call_fast") or co.get("call_generic") or co.get("fused"):
+        lines.append("")
+        r = co.get("call_fast_rate")
+        lines.append(
+            f"compiled: call fast={co['call_fast']} "
+            f"generic={co['call_generic']}"
+            f"{f' ({r:.2%} fast)' if r is not None else ''}")
+        if co.get("fused"):
+            lines.append("fused: " + "  ".join(
+                f"{k}={v}" for k, v in sorted(co["fused"].items())))
     if summary["farm"]:
         lines.append("")
         lines.append("farm: " + "  ".join(

@@ -161,35 +161,65 @@ class CompiledProgram:
         the Core term.
 
         With ``store`` (an artifact store or directory path) the
-        positional frame/instruction layout is persisted under the
-        ``"lowered"`` kind, keyed like the compiled artifact itself
-        plus ``LOWERED_VERSION``.  A cached record whose layout still
-        matches is a validation hit (the closures are rebuilt either
-        way — they are process-local); a mismatched or corrupt record
-        is silently replaced by a fresh lowering."""
+        lowering is persisted in two layers sharing one content
+        address (artifact key + ``LOWERED_VERSION`` + schema):
+
+        * the serializable frame/instruction layout as a ``"lowered"``
+          store record (cross-process; a mismatched or corrupt record
+          is silently replaced by a fresh lowering), and
+        * the rebuilt closures themselves in the process-local
+          :data:`repro.farm.store.WARM_CLOSURES` cache, so repeat
+          explorations of the same artifact — even through a fresh
+          ``CompiledProgram`` instance — skip re-lowering entirely.
+          Adopted lowerings are safe across equivalent program
+          objects: closures resolve the evaluator, model, and global
+          environment at run time, and static annotations are keyed
+          positionally (see ``CompiledEvaluator``).  One caveat:
+          file-scope objects carry process-unique Core names, and the
+          closures bake those names into their ``global_env``
+          lookups — so a warm entry is adopted only when its glob
+          names match this program's exactly; a recompile of the same
+          source (fresh names) rejects the stale entry as a miss and
+          re-lowers."""
         from .dynamics.compile import (
             LOWERED_VERSION, ensure_lowered,
         )
+        from .farm.store import WARM_CLOSURES
         store = _as_artifact_store(store)
         key = None
         if store is not None:
             key = store.record_key(
                 LOWERED_RECORD_KIND, self.source, repr(self.impl),
                 name, str(LOWERED_VERSION))
+            if getattr(self.core, "_lowered", None) is None:
+                glob_names = tuple(g.name for g in self.core.globs)
+                warm = WARM_CLOSURES.get(
+                    key,
+                    validate=lambda lp: lp.glob_names == glob_names)
+                if warm is not None:
+                    self.core._lowered = warm
+                    return warm
             record = store.get_record(key, LoweredRecord,
                                       kind=LOWERED_RECORD_KIND)
             if record is not None \
                     and record.version == LOWERED_VERSION:
                 lowered = ensure_lowered(self.core)
                 if record.layout == lowered.layout():
+                    WARM_CLOSURES.put(key, lowered)
                     return lowered
-        with obs.maybe_span(obs.active(), "pipeline.lower",
-                            profile=True, file=name):
+        ctx = obs.active()
+        with obs.maybe_span(ctx, "pipeline.lower", profile=True,
+                            file=name):
             lowered = ensure_lowered(self.core)
+        if ctx is not None:
+            for fkind, count in lowered.fused.items():
+                if count:
+                    ctx.inc(f"compile.fused.{fkind}", count)
         if store is not None and key is not None:
             store.put_record(
                 key, LoweredRecord(LOWERED_VERSION, lowered.layout()),
                 kind=LOWERED_RECORD_KIND)
+            WARM_CLOSURES.put(key, lowered)
         return lowered
 
     def statics(self, store=None,

@@ -28,6 +28,18 @@ SRC = "int main(void){ return 40 + 2; }"
 UNSEQ = "int a, b; int main(void){ (a=1)+(b=2); return 0; }"
 
 
+@pytest.fixture(autouse=True)
+def warm_closures(monkeypatch):
+    """A fresh process-local warm-closure cache per test: entries are
+    keyed on content (not on the store directory), so a warm hit from
+    a previous test's identical source would otherwise short-circuit
+    this test's store and skew its counters."""
+    from repro.farm.store import WarmCache
+    cache = WarmCache()
+    monkeypatch.setattr("repro.farm.store.WARM_CLOSURES", cache)
+    return cache
+
+
 @pytest.fixture
 def store(tmp_path):
     s = ArtifactStore(tmp_path / "store")
@@ -438,30 +450,37 @@ class TestLoweredRecords:
                                 repr(program.impl), name,
                                 str(LOWERED_VERSION))
 
-    def test_record_round_trip_validates(self, tmp_path):
+    def test_record_round_trip_validates(self, tmp_path,
+                                         warm_closures):
         store = ArtifactStore(tmp_path / "s")
         compile_c(SRC, use_cache=False).lowered(store)
         per = store.stats()["by_kind"]["lowered"]
         assert per["stores"] == 1 and per["misses"] == 1
-        # A fresh artifact (fresh Core term, e.g. a new process)
-        # validates against the persisted layout instead of re-putting.
+        # A fresh artifact (fresh Core term, e.g. a new process —
+        # modelled by dropping the process-local warm closures)
+        # validates against the persisted layout instead of
+        # re-putting.
+        warm_closures.clear()
         compile_c(SRC, use_cache=False).lowered(store)
         per = store.stats()["by_kind"]["lowered"]
         assert per["hits"] == 1
         assert per["stores"] == 1
 
-    def test_corrupt_record_re_lowers_silently(self, tmp_path):
+    def test_corrupt_record_re_lowers_silently(self, tmp_path,
+                                               warm_closures):
         store = ArtifactStore(tmp_path / "s")
         program = compile_c(SRC, use_cache=False)
         program.lowered(store)
         [path] = _entry_paths(store)
         path.write_bytes(b"\x00garbage, not a lowering")
+        warm_closures.clear()        # force the on-disk record path
         fresh = compile_c(SRC, use_cache=False)
         assert fresh.lowered(store) is not None    # must not raise
         per = store.stats()["by_kind"]["lowered"]
         assert per["corrupt"] == 1
         assert per["stores"] == 2        # damaged entry replaced
         # ... and the replacement validates for the next consumer.
+        warm_closures.clear()
         compile_c(SRC, use_cache=False).lowered(store)
         assert store.stats()["by_kind"]["lowered"]["hits"] == 1
 
@@ -486,7 +505,8 @@ class TestLoweredRecords:
         assert store.get_record(
             self._lowered_key(store, programs[2])) is not None
 
-    def test_schema_bump_invalidates_lowered_records(self, tmp_path):
+    def test_schema_bump_invalidates_lowered_records(self, tmp_path,
+                                                     warm_closures):
         root = tmp_path / "versioned"
         old = ArtifactStore(root, schema_version=STORE_SCHEMA_VERSION)
         compile_c(SRC, use_cache=False).lowered(old)
@@ -497,6 +517,7 @@ class TestLoweredRecords:
         per = new.stats()["by_kind"]["lowered"]
         assert per["hits"] == 0 and per["stores"] == 1  # re-lowered
         # The old-schema handle still validates its own record.
+        warm_closures.clear()
         old2 = ArtifactStore(root,
                              schema_version=STORE_SCHEMA_VERSION)
         compile_c(SRC, use_cache=False).lowered(old2)
@@ -534,3 +555,123 @@ class TestSchemaVersion:
         finally:
             set_artifact_store(previous)
             clear_compile_cache()
+
+
+class TestWarmClosureCache:
+    """The process-local warm-closure cache
+    (:data:`repro.farm.store.WARM_CLOSURES`): the in-memory layer of
+    the two-level lowering persistence.  Entries are keyed on the same
+    content address as the ``"lowered"`` store records, one entry
+    soundly serves every memory model, a schema bump invalidates warm
+    entries exactly as it invalidates persisted ones, and only the
+    compiled back end ever touches it."""
+
+    @pytest.fixture
+    def warm(self, warm_closures):
+        return warm_closures
+
+    def test_repeat_lowering_adopts_one_entry(self, tmp_path, warm):
+        store = ArtifactStore(tmp_path / "s")
+        first = compile_c(SRC, use_cache=False).lowered(store)
+        assert warm.stats()["entries"] == 1
+        # A fresh CompiledProgram (fresh Core term) adopts the warm
+        # closures by identity instead of re-lowering.
+        assert compile_c(SRC, use_cache=False).lowered(store) is first
+        assert warm.stats()["hits"] == 1
+        assert warm.stats()["entries"] == 1
+
+    def test_key_discriminates_source_and_impl(self, tmp_path, warm):
+        store = ArtifactStore(tmp_path / "s")
+        compile_c(SRC, use_cache=False).lowered(store)
+        compile_c("int main(void){ return 7; }",
+                  use_cache=False).lowered(store)
+        compile_c(SRC, impl=ILP32, use_cache=False).lowered(store)
+        stats = warm.stats()
+        assert stats["entries"] == 3
+        assert stats["hits"] == 0
+
+    def test_one_entry_serves_every_model(self, tmp_path, warm):
+        store = ArtifactStore(tmp_path / "s")
+        seeded = compile_c(SRC, use_cache=False).lowered(store)
+        for model in ("concrete", "provenance"):
+            fresh = compile_c(SRC, use_cache=False)
+            assert fresh.lowered(store) is seeded
+            out = fresh.run(model, backend="compiled")
+            assert out.status == "done" and out.exit_code == 42
+        assert warm.stats() == {"hits": 2, "misses": 1, "entries": 1}
+
+    def test_schema_bump_invalidates_warm_entries(self, tmp_path,
+                                                  warm):
+        root = tmp_path / "s"
+        old = ArtifactStore(root, schema_version=STORE_SCHEMA_VERSION)
+        compile_c(SRC, use_cache=False).lowered(old)
+        new = ArtifactStore(root,
+                            schema_version=STORE_SCHEMA_VERSION + 1)
+        compile_c(SRC, use_cache=False).lowered(new)
+        # Distinct keys: the bumped schema never sees the old entry.
+        assert warm.stats()["entries"] == 2
+        assert warm.stats()["hits"] == 0
+
+    def test_warm_hit_shields_corrupt_record(self, tmp_path, warm):
+        store = ArtifactStore(tmp_path / "s")
+        compile_c(SRC, use_cache=False).lowered(store)
+        [path] = _entry_paths(store)
+        path.write_bytes(b"\x00garbage, not a lowering")
+        # While the warm entry lives, the damaged on-disk record is
+        # never even read.
+        assert compile_c(SRC, use_cache=False).lowered(store) \
+            is not None
+        assert warm.stats()["hits"] == 1
+        assert store.stats()["by_kind"]["lowered"]["corrupt"] == 0
+        # Once it is gone, the corrupt record falls back to a silent
+        # re-lower that re-warms the cache.
+        warm.clear()
+        assert compile_c(SRC, use_cache=False).lowered(store) \
+            is not None
+        assert store.stats()["by_kind"]["lowered"]["corrupt"] == 1
+        assert warm.stats()["entries"] == 1
+
+    def test_stale_glob_names_reject_adoption(self, tmp_path, warm):
+        # File-scope objects get process-unique Core names (a_17 in
+        # one compile, a_53 in the next), and the lowered closures
+        # bake those names into their global_env lookups.  A fresh
+        # compile of the same source must therefore NOT adopt the
+        # warm entry — doing so crashed with "unbound Core symbol"
+        # the moment main touched a global.
+        src = ("int a, b; int main(void)"
+               "{ (a = 1) + (b = 2); return a + b - 3; }")
+        store = ArtifactStore(tmp_path / "s")
+        first = compile_c(src, use_cache=False)
+        seeded = first.lowered(store)
+        assert first.run("concrete",
+                         backend="compiled").exit_code == 0
+        fresh = compile_c(src, use_cache=False)
+        relowered = fresh.lowered(store)
+        assert relowered is not seeded
+        out = fresh.run("concrete", backend="compiled")
+        assert out.status == "done" and out.exit_code == 0
+        # The stale entry reads as a miss (and is evicted, so the
+        # fresh lowering takes over its slot).
+        assert warm.stats() == {"hits": 0, "misses": 2, "entries": 1}
+
+    def test_tree_backend_never_touches_warm_cache(self, tmp_path,
+                                                   warm):
+        store = ArtifactStore(tmp_path / "s")
+        program = compile_c(SRC, use_cache=False)
+        result = program.explore("concrete", max_paths=10,
+                                 store=store, backend="tree")
+        assert result.paths_run >= 1
+        assert warm.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_lru_bound_by_count(self):
+        from repro.farm.store import WARM_CLOSURES, WarmCache
+        assert WARM_CLOSURES.max_entries == 64
+        cache = WarmCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refreshes recency
+        cache.put("c", 3)                   # evicts "b", not "a"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["entries"] == 2
