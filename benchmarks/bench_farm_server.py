@@ -1,0 +1,201 @@
+"""Farm server service-path performance: warm-request round-trip
+latency, in-flight dedup coalesce rate, and N-client throughput
+against a real ``cerberus-py serve`` daemon.
+
+Three service properties are measured on one live daemon subprocess
+(4 pre-warmed workers, temp unix socket):
+
+* **warm RTT** — median round-trip of a no-compute op (``health``)
+  and of a result-cache-hit ``submit``: the protocol + event-loop
+  overhead a client pays when the store already knows the answer;
+* **dedup coalesce rate** — concurrent identical submissions while
+  the job is in flight must coalesce (no second computation);
+* **N-client throughput floor** — 4 client threads hammering a warm
+  server with the whole corpus must finish no slower than the serial
+  cold direct-API sweep of that corpus (the asserted floor: the
+  service layer may not cost more than it saves).
+
+A JSON perf record is printed on the ``-s`` stream and written to
+``benchmarks/perf_farm_server.json``.
+"""
+
+import json
+import os
+import shutil
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.farm.campaign import sweep_campaign
+from repro.farm.client import FarmClient
+from repro.pipeline import clear_compile_cache
+
+#: 12 distinct tiny programs: enough corpus for a throughput figure,
+#: small enough that the serial cold baseline stays a few seconds.
+CORPUS = [(f"p{i}.c",
+           f"int main(void){{ int v = {i}; return v * 2; }}\n")
+          for i in range(12)]
+MODELS = ["concrete"]
+N_CLIENTS = 4
+#: The in-flight dedup probe: a large interleaving space (four
+#: unsequenced writes to distinct objects — no UB), ~seconds of
+#: exploration, so concurrent duplicates reliably coalesce.
+SLOW = ("int a; int b; int c; int d;\n"
+        "int main(void){ (a=1)+(b=2)+(c=3)+(d=4);"
+        " return a+b+c+d-10; }\n")
+SLOW_PATHS = 4000
+
+
+class _Daemon:
+    def __init__(self, workers: int):
+        self.tmp = tempfile.mkdtemp(prefix="cerb-bench-srv-")
+        self.socket_path = os.path.join(self.tmp, "d.sock")
+        src = os.path.dirname(os.path.dirname(os.path.abspath(
+            __import__("repro").__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", self.socket_path,
+             "--store", os.path.join(self.tmp, "store"),
+             "--workers", str(workers)],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL, start_new_session=True)
+        FarmClient(self.socket_path).wait_healthy(60)
+
+    def client(self, **kw):
+        return FarmClient(self.socket_path, **kw)
+
+    def cleanup(self):
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.proc.wait(timeout=30)
+        shutil.rmtree(self.tmp, ignore_errors=True)
+
+
+def _submit_corpus(daemon, client_name):
+    client = daemon.client(client=client_name, wait_timeout=600)
+    for name, source in CORPUS:
+        response = client.submit(source, name=name, models=MODELS)
+        assert response["report"]["ok"], response
+    return client
+
+
+def test_farm_server(benchmark):
+    clear_compile_cache()
+    cold_root = tempfile.mkdtemp(prefix="cerb-bench-cold-")
+    daemon = _Daemon(workers=N_CLIENTS)
+    try:
+        # Serial cold direct path: the pre-service baseline.
+        t0 = time.perf_counter()
+        results, campaign = sweep_campaign(
+            CORPUS, models=MODELS, jobs=1,
+            store=os.path.join(cold_root, "store"))
+        serial_cold_s = time.perf_counter() - t0
+        assert all(r.ok for r in results)
+
+        # Cold server pass: fills the daemon's store and result
+        # records (every job compiles + executes once).
+        t0 = time.perf_counter()
+        _submit_corpus(daemon, "warmup")
+        server_cold_s = time.perf_counter() - t0
+
+        # Warm RTT: no-compute ops against the live daemon.
+        client = daemon.client()
+        health_rtts = []
+        for _ in range(50):
+            t0 = time.perf_counter()
+            client.health()
+            health_rtts.append(time.perf_counter() - t0)
+        name0, source0 = CORPUS[0]
+        cached_rtts = []
+        for _ in range(20):
+            t0 = time.perf_counter()
+            response = client.submit(source0, name=name0,
+                                     models=MODELS)
+            cached_rtts.append(time.perf_counter() - t0)
+            assert response["cached"]
+
+        # Dedup coalesce rate: concurrent identical in-flight work.
+        before = client.stats()["server"]["counters"]
+        seed = client.submit(SLOW, name="slow.c", models=MODELS,
+                             mode="explore", max_paths=SLOW_PATHS,
+                             wait=False)
+        def dup(i):
+            daemon.client(client=f"dup-{i}", wait_timeout=600).submit(
+                SLOW, name="slow.c", models=MODELS, mode="explore",
+                max_paths=SLOW_PATHS)
+        threads = [threading.Thread(target=dup, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        client.wait_result(seed["job"], timeout=600)
+        after = client.stats()["server"]["counters"]
+        dup_submits = after["submits"] - before["submits"] - 1
+        coalesced = (after["dedup_coalesced"]
+                     - before["dedup_coalesced"]) \
+            + (after["result_cache_hits"]
+               - before["result_cache_hits"])
+        executed = after["jobs_executed"] - before["jobs_executed"]
+        assert executed == 1, \
+            f"dedup must pin one computation, got {executed}"
+        coalesce_rate = coalesced / dup_submits
+
+        # N-client throughput on the warm server: every client
+        # submits the whole corpus; all requests are result-record
+        # hits, so the service layer is the only cost.
+        def hammer(i):
+            _submit_corpus(daemon, f"client-{i}")
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(N_CLIENTS)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        warm_wall_s = benchmark.pedantic(
+            lambda: time.perf_counter() - t0, rounds=1, iterations=1)
+        requests = N_CLIENTS * len(CORPUS)
+
+        record = {
+            "benchmark": "farm_server",
+            "corpus": {"programs": len(CORPUS), "models": MODELS},
+            "workers": N_CLIENTS,
+            "serial_cold_s": round(serial_cold_s, 4),
+            "server_cold_s": round(server_cold_s, 4),
+            "warm_rtt_health_ms": round(
+                statistics.median(health_rtts) * 1000, 3),
+            "warm_rtt_cached_submit_ms": round(
+                statistics.median(cached_rtts) * 1000, 3),
+            "dedup": {"submissions": dup_submits + 1,
+                      "executed": executed,
+                      "coalesce_rate": round(coalesce_rate, 4)},
+            "clients": N_CLIENTS,
+            "warm_requests": requests,
+            "warm_wall_s": round(warm_wall_s, 4),
+            "warm_throughput_rps": round(requests / warm_wall_s, 2),
+            "speedup_warm_server_vs_serial_cold": round(
+                serial_cold_s / warm_wall_s, 2),
+        }
+        out_path = Path(__file__).with_name("perf_farm_server.json")
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        print("\n" + json.dumps(record))
+
+        # The asserted floors: identical submissions coalesce to one
+        # computation, and the warm 4-worker server clears the whole
+        # N-client load at least as fast as one serial cold sweep.
+        assert coalesce_rate == 1.0, record
+        assert warm_wall_s <= serial_cold_s, record
+    finally:
+        daemon.cleanup()
+        shutil.rmtree(cold_root, ignore_errors=True)

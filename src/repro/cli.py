@@ -246,6 +246,10 @@ def main(argv=None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         with open(args.file) as f:
@@ -554,6 +558,13 @@ def build_farm_parser() -> argparse.ArgumentParser:
                        help="evaluator back end for every task "
                             "(default: compiled; 'tree' is the "
                             "Core-walking oracle of record)")
+    sweep.add_argument("--server", default=None, metavar="SOCKET",
+                       help="route the sweep through a running farm "
+                            "daemon (cerberus-py serve) instead of a "
+                            "local pool: identical jobs coalesce "
+                            "server-side and --jobs/--store/"
+                            "--explore-store are the daemon's "
+                            "choices, not this invocation's")
 
     for sp in (suite, csmith, sweep):
         _add_farm_flags(sp)
@@ -594,7 +605,7 @@ def _farm_identity(args) -> str:
     (--report, --trace, --profile) and cache directories are excluded
     — see :func:`_main_identity`."""
     exclude = {"trace", "metrics", "profile", "report", "store",
-               "explore_store"}
+               "explore_store", "server"}
     parts = [f"{k}={v}" for k, v in sorted(vars(args).items())
              if k not in exclude]
     sources = []
@@ -680,7 +691,8 @@ def _dispatch_farm(args, models) -> int:
         strategy=args.strategy, por=args.por, seed=args.seed,
         explore_store=args.explore_store, resume=args.resume,
         static_prune=args.static_prune, lint=args.lint,
-        backend=args.backend, task_timeout=args.task_timeout)
+        backend=args.backend, task_timeout=args.task_timeout,
+        server=args.server)
     for entry in campaign.results:
         for model, verdict in entry.get("verdicts", {}).items():
             print(f"{entry['program']:32s} {model:12s} {verdict}")
@@ -702,6 +714,220 @@ def _dispatch_farm(args, models) -> int:
     any_ub = campaign.summary.get("ub", 0) > 0
     bad = any(not r.ok for r in results)
     return 1 if any_ub else (2 if bad else 0)
+
+
+# -- the serve / submit subcommands --------------------------------------------
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cerberus-py serve",
+        description="Run the long-lived farm daemon "
+                    "(repro.farm.server): a persistent worker pool "
+                    "plus one artifact/exploration-record store "
+                    "behind a JSON protocol on a unix socket.  "
+                    "Identical in-flight submissions coalesce into "
+                    "one computation; accepted jobs survive kill -9 "
+                    "(the queue persists as store records and the "
+                    "next incarnation resumes it); SIGTERM drains "
+                    "gracefully.  Submit with 'cerberus-py submit'.")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket path to serve on (an existing "
+                        "socket file is replaced)")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="artifact store directory: compiled "
+                        "artifacts, exploration records, AND the "
+                        "crash-safe job queue live here — restart "
+                        "with the same DIR to resume accepted jobs")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="pre-warmed worker processes (default: 2)")
+    p.add_argument("--quota", type=int, default=16, metavar="N",
+                   help="max unfinished jobs per client name "
+                        "(0 = unlimited; default: 16)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="S",
+                   help="cooperative per-job wall-clock deadline "
+                        "(exploration stops at the deadline)")
+    p.add_argument("--hard-timeout", type=float, default=None,
+                   metavar="S",
+                   help="hard per-job backstop: a job silent this "
+                        "long is reported job-timeout (default: "
+                        "4x --job-timeout + 30 when that is set)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="S",
+                   help="seconds to wait for in-flight jobs on "
+                        "SIGTERM / shutdown (default: 30)")
+    p.add_argument("--max-request-bytes", type=int,
+                   default=8 * 1024 * 1024, metavar="N",
+                   help="cap on one request line (and on submitted "
+                        "source size); larger requests get a "
+                        "structured 'oversized' error")
+    _add_obs_flags(p)
+    return p
+
+
+def serve_main(argv) -> int:
+    import asyncio
+    from .farm.server import FarmServer
+    args = build_serve_parser().parse_args(argv)
+    server = FarmServer(args.socket, args.store,
+                        workers=args.workers, quota=args.quota,
+                        job_timeout=args.job_timeout,
+                        hard_timeout=args.hard_timeout,
+                        drain_timeout=args.drain_timeout,
+                        max_request_bytes=args.max_request_bytes)
+    identity = "\x00".join(["serve", str(args.workers),
+                            str(args.quota), str(args.job_timeout)])
+
+    async def _serve():
+        resumed = await server.start()
+        print(f"cerberus-py serve: listening on {args.socket} "
+              f"({server.workers} workers"
+              + (f", {resumed} jobs resumed" if resumed else "")
+              + ")", file=sys.stderr, flush=True)
+        await server.wait_closed()
+        return server
+
+    with _obs_scope(args, identity) as ctx:
+        asyncio.run(_serve())
+    c = server.counters
+    print(f"cerberus-py serve: drained — {c['accepted']} accepted, "
+          f"{c['jobs_completed']} completed, "
+          f"{c['dedup_coalesced']} coalesced, "
+          f"{c['resumed']} resumed", file=sys.stderr)
+    if args.metrics:
+        _print_metrics(ctx)
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="cerberus-py submit",
+        description="Submit one C program to a running farm daemon "
+                    "(cerberus-py serve) and print the verdicts.  "
+                    "Exit codes: 0 ok, 1 UB found, 2 request/"
+                    "protocol error (bad field, malformed input, "
+                    "unknown model), 3 job failed or timed out, "
+                    "4 quota exceeded, 5 server draining.")
+    p.add_argument("file", help="C source file")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="the daemon's unix socket")
+    p.add_argument("--models", default="all", metavar="M1,M2,...",
+                   help="memory object models (or 'all')")
+    p.add_argument("--impl", choices=["LP64", "ILP32"],
+                   default="LP64")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="explore all allowed executions per model "
+                        "(mode=explore) instead of one run each")
+    p.add_argument("--strategy", choices=sorted(STRATEGIES),
+                   default="dfs")
+    p.add_argument("--por", action="store_true")
+    p.add_argument("--static-prune", action="store_true")
+    p.add_argument("--backend", choices=["compiled", "tree"],
+                   default="compiled")
+    p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.add_argument("--max-paths", type=int, default=500)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--lint", action="store_true",
+                   help="attach static lint findings to the report")
+    p.add_argument("--client", default="cli", metavar="NAME",
+                   help="client name for the server's per-client "
+                        "quota (default: cli)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and exit without waiting "
+                        "(poll later with another submit — identical "
+                        "requests are served from the result cache)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="client-side wait bound (default: none; the "
+                        "server's own job timeouts still apply)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw JSON response payload")
+    return p
+
+
+#: submit exit codes per structured server error code (anything
+#: unlisted is a generic request error, exit 2).
+_SUBMIT_EXIT_CODES = {
+    "quota-exceeded": 4,
+    "shutting-down": 5,
+    "job-failed": 3,
+    "job-timeout": 3,
+}
+
+
+def submit_main(argv) -> int:
+    from .farm.client import FarmClient, ServerError
+    args = build_submit_parser().parse_args(argv)
+    try:
+        models = _parse_models(args.models)
+    except argparse.ArgumentTypeError as exc:
+        print(f"cerberus-py submit: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"cerberus-py submit: {exc}", file=sys.stderr)
+        return 2
+    client = FarmClient(args.socket, client=args.client,
+                        wait_timeout=args.timeout)
+    try:
+        response = client.submit(
+            source, name=args.file, models=models,
+            mode="explore" if args.exhaustive else "run",
+            impl=args.impl, strategy=args.strategy, por=args.por,
+            static_prune=args.static_prune, backend=args.backend,
+            max_steps=args.max_steps, max_paths=args.max_paths,
+            seed=args.seed, lint=args.lint, wait=not args.no_wait)
+    except ServerError as exc:
+        print(f"cerberus-py submit: {exc.code}: {exc.detail}",
+              file=sys.stderr)
+        return _SUBMIT_EXIT_CODES.get(exc.code, 2)
+    except (OSError, ConnectionError) as exc:
+        print(f"cerberus-py submit: cannot reach server at "
+              f"{args.socket}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    if args.no_wait:
+        if not args.json:
+            print(f"job {response['job']} {response['state']}"
+                  + (" (coalesced)" if response.get("coalesced")
+                     else "")
+                  + (" (cached)" if response.get("cached") else ""))
+        return 0
+    return _render_submit_report(response, args.json)
+
+
+def _render_submit_report(response: dict, as_json: bool) -> int:
+    report = response.get("report") or {}
+    if not report.get("ok"):
+        error = report.get("error")
+        if isinstance(error, dict):
+            code = error.get("code", "job-failed")
+            if not as_json:
+                print(f"cerberus-py submit: {code}: "
+                      f"{error.get('detail', '')}", file=sys.stderr)
+            return _SUBMIT_EXIT_CODES.get(code, 3)
+        if not as_json:
+            print(f"cerberus-py submit: job failed: {error}",
+                  file=sys.stderr)
+        return 3
+    any_ub = False
+    statuses = set()
+    for model, v in sorted(report.get("verdicts", {}).items()):
+        statuses.add(v["status"])
+        any_ub = any_ub or v["status"] == "ub"
+        if not as_json:
+            summary = f"UB[{v['ub']}]" if v["status"] == "ub" \
+                else f"exit={v['exit_code']} stdout={v['stdout']!r}" \
+                if v["status"] in ("done", "exit") else v["status"]
+            print(f"{model:12s} {summary}")
+    for model, e in sorted(report.get("explorations", {}).items()):
+        any_ub = any_ub or e["has_ub"]
+        if not as_json:
+            print(f"{model:12s} {e['paths_run']:4d} paths  "
+                  + " | ".join(e["behaviours"]))
+    return 1 if any_ub else _exit_code_for(statuses, False)
 
 
 # -- the stats subcommand ------------------------------------------------------

@@ -60,6 +60,21 @@ Layers
     and sleep sets are plain picklable tuples).  CLI:
     ``cerberus-py file.c --exhaustive --explore-jobs N``.
 
+:mod:`repro.farm.server` / :mod:`repro.farm.client` — the daemon
+    Semantics-as-a-service: :class:`~repro.farm.server.FarmServer` is
+    a persistent asyncio daemon owning one store + a pre-warmed worker
+    pool behind a JSON protocol on a unix socket (submit / status /
+    result / stats / health / shutdown).  Identical in-flight
+    submissions coalesce into one computation (semantic content
+    addressing à la ``run_id_for``), the job queue persists as store
+    records so a ``kill -9`` server resumes every accepted job, and
+    finished payloads are served from ``"jobresult"`` records across
+    restarts.  :class:`~repro.farm.client.FarmClient` speaks the
+    protocol; :func:`~repro.farm.client.server_sweep` /
+    ``sweep_campaign(server=...)`` run whole corpora through a live
+    daemon.  CLI: ``cerberus-py serve`` / ``cerberus-py submit`` /
+    ``cerberus-py farm sweep --server SOCKET``.
+
 :mod:`repro.farm.campaign` — campaign drivers and JSON reports
     Drivers that re-back the repo's batch consumers:
     :func:`~repro.farm.campaign.suite_campaign` behind
@@ -87,13 +102,18 @@ CLI::
     cerberus-py farm suite  --models all --jobs 4 --store DIR --report r.json
     cerberus-py farm csmith --seeds 1,2,3 --jobs 4 --shard 0/2
     cerberus-py farm sweep a.c b.c --models concrete,cheri --jobs 2
+    cerberus-py serve --socket /run/cerb.sock --store DIR --workers 4
+    cerberus-py submit file.c --socket /run/cerb.sock --models all
 """
 
 from __future__ import annotations
 
 from .store import STORE_SCHEMA_VERSION, ArtifactStore
 from .explorestore import ExplorationRecord, ExploreStore
-from .pool import SweepTask, TaskResult, Verdict, shard_select, sweep
+from .pool import (
+    SweepTask, TaskResult, Verdict, shard_select, sweep,
+    task_result_from_json, task_result_to_json,
+)
 from .campaign import (
     CampaignReport, csmith_campaign, suite_campaign, sweep_campaign,
 )
@@ -109,6 +129,8 @@ __all__ = [
     "Verdict",
     "shard_select",
     "sweep",
+    "task_result_from_json",
+    "task_result_to_json",
     "CampaignReport",
     "suite_campaign",
     "csmith_campaign",

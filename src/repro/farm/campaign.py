@@ -328,7 +328,8 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
                    static_prune: bool = False,
                    lint: bool = False,
                    backend: str = "compiled",
-                   task_timeout: Optional[float] = None):
+                   task_timeout: Optional[float] = None,
+                   server=None):
     """Sweep an ad-hoc ``(name, source)`` corpus; returns
     ``(task_results, CampaignReport)``.  ``strategy``/``por``/``seed``
     select the search strategy, partial-order reduction, and the
@@ -348,18 +349,36 @@ def sweep_campaign(programs: Iterable[Tuple[str, str]],
     and, in explore mode, acts as a *pre-exploration filter*: a
     program with a definite finding reports the finding instead of
     being path-enumerated (its report entry carries
-    ``lint_filtered``)."""
+    ``lint_filtered``).
+
+    ``server`` (a unix socket path) routes the sweep through a running
+    farm daemon (``cerberus-py serve``) instead of a local pool: jobs
+    coalesce with identical in-flight submissions from other clients,
+    results come from the daemon's crash-safe queue, and ``jobs`` /
+    ``store`` / ``explore_store`` / ``resume`` are the *daemon's*
+    choices, not this call's (the local values are ignored)."""
     model_list = list(models) if models is not None else list(MODELS)
     start = time.perf_counter()
-    task_results = sweep(programs, models=model_list, jobs=jobs,
-                         mode=mode, store=store,
-                         shard_index=shard[0], shard_count=shard[1],
-                         max_steps=max_steps, max_paths=max_paths,
-                         seed=seed, strategy=strategy, por=por,
-                         explore_store=explore_store, resume=resume,
-                         static_prune=static_prune, lint=lint,
-                         backend=backend,
-                         task_timeout=task_timeout)
+    if server is not None:
+        from .client import server_sweep
+        sharded = shard_select(list(programs), *shard)
+        task_results = server_sweep(
+            server, sharded, models=model_list, mode=mode,
+            max_steps=max_steps, max_paths=max_paths, seed=seed,
+            strategy=strategy, por=por, static_prune=static_prune,
+            lint=lint, backend=backend, timeout=task_timeout)
+    else:
+        task_results = sweep(programs, models=model_list, jobs=jobs,
+                             mode=mode, store=store,
+                             shard_index=shard[0],
+                             shard_count=shard[1],
+                             max_steps=max_steps, max_paths=max_paths,
+                             seed=seed, strategy=strategy, por=por,
+                             explore_store=explore_store,
+                             resume=resume,
+                             static_prune=static_prune, lint=lint,
+                             backend=backend,
+                             task_timeout=task_timeout)
     wall = time.perf_counter() - start
 
     entries: List[dict] = []

@@ -180,6 +180,74 @@ class TaskResult:
     data: Dict[str, object] = field(default_factory=dict)
 
 
+def task_result_to_json(result: TaskResult) -> dict:
+    """The wire form of one :class:`TaskResult` — what the farm
+    server ships to clients (and persists as ``"jobresult"``
+    records).  ``verdicts`` / ``explorations`` dataclasses flatten to
+    dicts; ``lint`` / ``metrics`` / ``lint_filtered`` are already
+    JSON-able; anything else in ``data`` (e.g. suite ``TestResult``
+    lists) is dropped — server jobs only ever carry run/explore
+    payloads."""
+    from dataclasses import asdict
+    data: Dict[str, object] = {}
+    if "verdicts" in result.data:
+        data["verdicts"] = {m: asdict(v) for m, v
+                            in result.data["verdicts"].items()}
+    if "explorations" in result.data:
+        data["explorations"] = {m: asdict(e) for m, e
+                                in result.data["explorations"].items()}
+    for key in ("lint", "lint_filtered", "metrics"):
+        if key in result.data:
+            data[key] = result.data[key]
+    return {"index": result.index, "name": result.name,
+            "kind": result.kind, "ok": result.ok,
+            "error": result.error, "timed_out": result.timed_out,
+            "wall_s": result.wall_s,
+            "queue_wait_s": result.queue_wait_s,
+            "stats": dict(result.stats), **data}
+
+
+def task_result_from_json(payload: dict,
+                          index: Optional[int] = None) -> TaskResult:
+    """Rebuild a :class:`TaskResult` from its wire form, so
+    server-backed campaigns flow through the exact same
+    :class:`~repro.farm.campaign.CampaignReport` aggregation as local
+    pool sweeps."""
+    result = TaskResult(
+        index=payload.get("index", 0) if index is None else index,
+        name=payload.get("name", ""),
+        kind=payload.get("kind", "run"),
+        ok=payload.get("ok", False),
+        error=_error_text(payload),
+        timed_out=payload.get("timed_out", False),
+        wall_s=payload.get("wall_s", 0.0),
+        queue_wait_s=payload.get("queue_wait_s", 0.0),
+        stats=dict(payload.get("stats", {})))
+    if "verdicts" in payload:
+        result.data["verdicts"] = {
+            m: Verdict(**v) for m, v in payload["verdicts"].items()}
+    if "explorations" in payload:
+        result.data["explorations"] = {
+            m: ExploreSummary(**e)
+            for m, e in payload["explorations"].items()}
+    for key in ("lint", "lint_filtered", "metrics"):
+        if key in payload:
+            result.data[key] = payload[key]
+    return result
+
+
+def _error_text(payload: dict) -> str:
+    """A payload's error as a flat string: worker errors arrive as
+    plain text, server-side rejections as structured
+    ``{"code", "detail"}`` objects."""
+    error = payload.get("error", "")
+    if isinstance(error, dict):
+        code = error.get("code", "error")
+        detail = error.get("detail", "")
+        return f"{code}: {detail}" if detail else code
+    return error or ""
+
+
 def shard_select(items: Sequence, shard_index: int,
                  shard_count: int) -> list:
     """The deterministic ``shard_index``-th of ``shard_count``

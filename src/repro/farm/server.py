@@ -1,0 +1,905 @@
+"""Semantics-as-a-service: the long-lived farm daemon.
+
+The batch tool this repo grew up as pays its startup cost — process
+boot, imports, cold caches — on every invocation.  :class:`FarmServer`
+is the service seam the ROADMAP (and PRs 2 and 5) named next: one
+persistent asyncio daemon owns one :class:`~repro.farm.store.
+ArtifactStore` (and, through it, the exploration-record store) plus a
+pre-warmed forked worker pool, and serves C-semantics verdicts over a
+small JSON protocol on a unix socket.  Clients POST C source plus the
+semantic knobs (impl, models, mode, strategy, por, static_prune,
+backend, budgets) and get campaign-report payloads back.
+
+Robustness properties
+=====================
+
+* **In-flight dedup** — every request is content-addressed by its
+  *semantic* identity (:meth:`JobSpec.identity`, hashed with
+  :func:`repro.obs.run_id_for` exactly like trace run ids): source
+  text + every behaviour-determining knob, with client names, labels,
+  wait flags, and any output/cache paths excluded.  Two identical
+  submissions — concurrent or not — coalesce into **one**
+  computation; later waiters attach to the in-flight job
+  (``server.dedup_coalesced``), and finished payloads are persisted
+  so re-submissions are served from the result record
+  (``server.result_cache_hits``) without touching the pool.
+* **Crash-safe queue** — accepting a job persists it *before* the
+  submit response: a ``"job"`` record (the spec) plus membership in
+  the ``"jobqueue"`` pending-index record, both in the artifact
+  store (atomic writes, schema-versioned).  A killed ``-9`` server
+  restarted on the same store re-enqueues every accepted-but-
+  unfinished job (``server.resumed``); completed payloads were
+  persisted as ``"jobresult"`` records, so clients that re-connect
+  and poll ``result`` get every answer.  Job explorations run
+  through the exploration-record store in the same directory, so a
+  restart also rides PR 5's frontier/record resume: per-model cells
+  finished before the kill are never re-explored.
+* **Quotas** — at most ``quota`` unfinished jobs *accepted* per
+  client name (attaching to an in-flight duplicate is free);
+  exceeding it is a structured ``quota-exceeded`` error.
+* **Two-level timeouts** — a cooperative per-job wall-clock deadline
+  travels into the worker (``job_timeout``: exploration stops at the
+  deadline exactly like farm tasks), and a hard ``hard_timeout``
+  backstop in the daemon marks a silent job ``job-timeout`` so its
+  waiters are never wedged.
+* **Graceful drain** — SIGTERM or the ``shutdown`` op stops
+  accepting submissions (``shutting-down``), waits up to
+  ``drain_timeout`` for in-flight jobs, persists what remains in the
+  pending index, and exits; nothing accepted is ever lost.
+
+Observability: the daemon mirrors its counters to the active
+:mod:`repro.obs` context (``server.*`` counters, a
+``server.queue_depth`` gauge, one ``server.job`` span per executed
+job carrying the job id and state), so ``cerberus-py serve --trace
+FILE`` produces a trace readable by ``cerberus-py stats``; worker-side
+metrics ship back with each payload and are merged in, exactly like
+farm campaigns.
+
+The JSON protocol (version 1)
+=============================
+
+Transport: a unix stream socket; one JSON object per ``\\n``-
+terminated line per request, one JSON object line in response.
+Connections may be reused sequentially.  A request line longer than
+``max_request_bytes`` is answered with an ``oversized`` error and the
+connection is closed (the stream cannot be resynchronised).
+
+Every request carries ``"op"`` and optionally ``"v"`` (the protocol
+version, default 1 — any other value is a ``protocol-version``
+error).  Unknown fields are **rejected** (``unknown-field``), not
+ignored: a typo'd knob must not silently change a job's semantics.
+
+Requests::
+
+    {"op": "submit", "v": 1, "source": "int main(void){...}",
+     "name": "t.c", "impl": "LP64", "models": ["concrete", ...]|"all",
+     "mode": "run"|"explore", "strategy": "dfs", "por": false,
+     "static_prune": false, "backend": "compiled"|"tree",
+     "max_steps": 2000000, "max_paths": 500, "seed": null,
+     "lint": false,
+     "client": "ci", "label": "anything", "wait": true}
+    {"op": "status", "job": JOB_ID}
+    {"op": "result", "job": JOB_ID}
+    {"op": "stats"}
+    {"op": "health"}
+    {"op": "shutdown", "drain": true}
+
+``submit`` semantic fields (everything except ``client`` / ``label``
+/ ``wait``) form the job identity; only ``source`` is required.
+Responses (success)::
+
+    submit, wait=false: {"ok": true, "job": ID, "state": "queued"|
+                         "running"|"done"|"failed",
+                         "coalesced": bool, "cached": bool}
+    submit, wait=true:  {"ok": true, "job": ID, "state": ...,
+                         "coalesced": ..., "cached": ...,
+                         "report": PAYLOAD}
+    status:             {"ok": true, "job": ID, "state": ...,
+                         "wall_s": seconds-since-accept}
+    result:             {"ok": true, "job": ID, "state": "done"|
+                         "failed", "report": PAYLOAD}
+    stats:              {"ok": true, "protocol": 1, "server": {...},
+                         "store": ArtifactStore.stats()}
+    health:             {"ok": true, "protocol": 1, "status":
+                         "serving"|"draining", "pid": N}
+    shutdown:           {"ok": true, "draining": true, "inflight": N}
+
+``PAYLOAD`` is the JSON form of one farm
+:class:`~repro.farm.pool.TaskResult`
+(:func:`~repro.farm.pool.task_result_to_json`): ``ok`` / ``error`` /
+``timed_out`` / ``wall_s`` / per-task store counter deltas
+(``stats``) / ``verdicts`` ({model: verdict}) or ``explorations``
+({model: {paths, exhausted, behaviours, ...}}) / worker ``metrics``.
+``explorations[*].behaviours`` is byte-identical to the direct
+:func:`repro.pipeline.explore_many` behaviour set — pinned by
+``tests/test_server_conformance.py`` against the golden suite.
+
+Errors are structured, never tracebacks::
+
+    {"ok": false, "error": {"code": CODE, "detail": "...",
+                            "field": OPTIONAL}}
+
+with distinct codes: ``bad-json`` (unparsable line), ``bad-request``
+(not a JSON object / missing op), ``protocol-version``,
+``unknown-op``, ``unknown-field``, ``missing-field``, ``bad-field``
+(wrong type or value, named in ``field``), ``oversized`` (request
+line or source over the cap), ``unknown-job``, ``pending`` (result
+requested before completion), ``quota-exceeded``, ``shutting-down``,
+``job-failed``, ``job-timeout``, and ``internal``.
+
+Versioning: ``PROTOCOL_VERSION`` gates the wire schema (bump on
+incompatible request/response changes — old clients get a
+``protocol-version`` error, not garbage); persisted job/jobresult
+records additionally ride the store's ``STORE_SCHEMA_VERSION``, so a
+store-format bump invalidates stale queue state wholesale.
+
+Entry points: ``cerberus-py serve --socket S --store DIR`` /
+``cerberus-py submit file.c --socket S ...`` (:mod:`repro.cli`),
+:class:`repro.farm.client.FarmClient`, and
+:func:`repro.farm.campaign.sweep_campaign(server=...)
+<repro.farm.campaign.sweep_campaign>`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from .. import obs
+from ..obs.trace import run_id_for
+from .pool import (
+    SweepTask, _init_worker, _store_spec, execute_task,
+    task_result_to_json,
+)
+from .store import ArtifactStore
+
+#: Wire-protocol version: folded into every health/stats response and
+#: checked against each request's ``v`` field.
+PROTOCOL_VERSION = 1
+
+#: Store record kinds of the crash-safe queue.
+JOB_RECORD_KIND = "job"
+RESULT_RECORD_KIND = "jobresult"
+QUEUE_RECORD_KIND = "jobqueue"
+
+_DEFAULT_MAX_REQUEST = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A structured request rejection: becomes the JSON error payload
+    (code + human detail + optionally the offending field), never a
+    server-side traceback."""
+
+    def __init__(self, code: str, detail: str,
+                 field: Optional[str] = None):
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+        self.field = field
+
+    def to_json(self) -> dict:
+        error = {"code": self.code, "detail": self.detail}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"ok": False, "error": error}
+
+
+def error_payload(code: str, detail: str,
+                  field: Optional[str] = None) -> dict:
+    return ProtocolError(code, detail, field).to_json()
+
+
+# -- request identity ----------------------------------------------------------
+
+#: submit fields that determine behaviour — and ONLY those: they form
+#: the job identity.  ``client`` / ``label`` / ``wait`` (and any
+#: future output-path or cache-dir field) are deliberately excluded,
+#: mirroring the discipline of ``repro.cli._main_identity``: two
+#: clients differing only in who they are or where they want their
+#: trace written must coalesce to one computation.
+SEMANTIC_FIELDS = ("source", "name", "impl", "models", "mode",
+                   "strategy", "por", "static_prune", "backend",
+                   "max_steps", "max_paths", "seed", "lint")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The validated, semantic-only content of one submission."""
+
+    source: str
+    name: str = "<submit>"
+    impl: str = "LP64"
+    models: Tuple[str, ...] = ()
+    mode: str = "run"
+    strategy: str = "dfs"
+    por: bool = False
+    static_prune: bool = False
+    backend: str = "compiled"
+    max_steps: int = 2_000_000
+    max_paths: int = 500
+    seed: Optional[int] = None
+    lint: bool = False
+
+    def identity(self) -> str:
+        """The semantic identity string — hashed into the job id the
+        same way trace run ids are derived
+        (:func:`repro.obs.run_id_for`): content only, never client
+        names, wait flags, output paths, or cache directories."""
+        return "\x00".join([
+            "farm-job", str(PROTOCOL_VERSION), self.source, self.name,
+            self.impl, ",".join(self.models), self.mode,
+            self.strategy, str(self.por), str(self.static_prune),
+            self.backend, str(self.max_steps), str(self.max_paths),
+            str(self.seed), str(self.lint)])
+
+    def job_id(self) -> str:
+        return run_id_for(self.identity())
+
+    def to_dict(self) -> dict:
+        return {"source": self.source, "name": self.name,
+                "impl": self.impl, "models": list(self.models),
+                "mode": self.mode, "strategy": self.strategy,
+                "por": self.por, "static_prune": self.static_prune,
+                "backend": self.backend, "max_steps": self.max_steps,
+                "max_paths": self.max_paths, "seed": self.seed,
+                "lint": self.lint}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        d = dict(d)
+        d["models"] = tuple(d.get("models") or ())
+        return cls(**d)
+
+
+# -- request validation --------------------------------------------------------
+
+def _field(msg: dict, name: str, types, default,
+           choices=None, required: bool = False):
+    """One validated request field: wrong type or value is a
+    ``bad-field`` error naming the field, absence of a required field
+    is ``missing-field``."""
+    if name not in msg:
+        if required:
+            raise ProtocolError("missing-field",
+                                f"{name!r} is required", name)
+        return default
+    value = msg[name]
+    type_tuple = types if isinstance(types, tuple) else (types,)
+    ok = isinstance(value, type_tuple)
+    if ok and isinstance(value, bool) and bool not in type_tuple:
+        ok = False   # JSON true/false is not an acceptable integer
+    if not ok:
+        raise ProtocolError(
+            "bad-field", f"{name!r} has the wrong type "
+            f"({type(value).__name__})", name)
+    if choices is not None and value not in choices:
+        raise ProtocolError(
+            "bad-field",
+            f"{name!r} must be one of {sorted(choices)}, "
+            f"got {value!r}", name)
+    return value
+
+
+_SUBMIT_FIELDS = frozenset(
+    SEMANTIC_FIELDS) | {"op", "v", "client", "label", "wait"}
+_OP_FIELDS = {
+    "submit": _SUBMIT_FIELDS,
+    "status": frozenset({"op", "v", "job"}),
+    "result": frozenset({"op", "v", "job"}),
+    "stats": frozenset({"op", "v"}),
+    "health": frozenset({"op", "v"}),
+    "shutdown": frozenset({"op", "v", "drain"}),
+}
+
+
+def _check_fields(msg: dict, op: str) -> None:
+    """Unknown protocol fields are rejected, not ignored — a typo'd
+    semantic knob must never silently change what a job means."""
+    unknown = sorted(set(msg) - _OP_FIELDS[op])
+    if unknown:
+        raise ProtocolError(
+            "unknown-field",
+            f"unknown field(s) for {op!r}: {', '.join(unknown)}",
+            unknown[0])
+
+
+def validate_submit(msg: dict, max_source_bytes: int) -> JobSpec:
+    """The full submit schema check: types, value domains, the source
+    size cap, and unknown-field rejection — every failure a distinct
+    structured error code."""
+    from ..dynamics.explore import STRATEGIES
+    from ..pipeline import MODELS
+    _check_fields(msg, "submit")
+    source = _field(msg, "source", str, None, required=True)
+    if len(source.encode("utf-8", "surrogateescape")) \
+            > max_source_bytes:
+        raise ProtocolError(
+            "oversized", f"source exceeds {max_source_bytes} bytes",
+            "source")
+    models = msg.get("models", "all")
+    if models == "all":
+        models = sorted(MODELS)
+    if not isinstance(models, list) or not models \
+            or not all(isinstance(m, str) for m in models):
+        raise ProtocolError("bad-field", "'models' must be 'all' or "
+                            "a non-empty list of model names",
+                            "models")
+    unknown = sorted(set(models) - set(MODELS))
+    if unknown:
+        raise ProtocolError(
+            "bad-field", f"unknown model(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(MODELS))})", "models")
+    seed = msg.get("seed")
+    if seed is not None and (not isinstance(seed, int)
+                             or isinstance(seed, bool)):
+        raise ProtocolError("bad-field", "'seed' must be an integer "
+                            "or null", "seed")
+    max_steps = _field(msg, "max_steps", int, 2_000_000)
+    max_paths = _field(msg, "max_paths", int, 500)
+    if max_steps <= 0 or max_paths <= 0:
+        raise ProtocolError("bad-field",
+                            "budgets must be positive integers",
+                            "max_steps" if max_steps <= 0
+                            else "max_paths")
+    return JobSpec(
+        source=source,
+        name=_field(msg, "name", str, "<submit>"),
+        impl=_field(msg, "impl", str, "LP64",
+                    choices={"LP64", "ILP32"}),
+        models=tuple(models),
+        mode=_field(msg, "mode", str, "run",
+                    choices={"run", "explore"}),
+        strategy=_field(msg, "strategy", str, "dfs",
+                        choices=set(STRATEGIES)),
+        por=_field(msg, "por", bool, False),
+        static_prune=_field(msg, "static_prune", bool, False),
+        backend=_field(msg, "backend", str, "compiled",
+                       choices={"compiled", "tree"}),
+        max_steps=max_steps,
+        max_paths=max_paths,
+        seed=seed,
+        lint=_field(msg, "lint", bool, False))
+
+
+# -- the worker side -----------------------------------------------------------
+
+def _init_server_worker(store_spec) -> None:
+    """Pool-worker bootstrap for the daemon: the normal farm worker
+    init, plus SIGTERM/SIGINT ignored — a terminal or service manager
+    signalling the daemon's process group must drain through the
+    daemon, not shoot the workers mid-job (SIGKILL still works; the
+    crash tests rely on it)."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _init_worker(store_spec)
+
+
+def _warm_worker() -> int:
+    """A no-op task submitted once per worker at startup, so forking
+    and module imports happen before the first request, not during
+    it."""
+    import repro.pipeline  # noqa: F401  (fork keeps it warm)
+    return os.getpid()
+
+
+def _execute_job(spec_dict: dict, explore_dir: Optional[str],
+                 deadline_s: Optional[float]) -> dict:
+    """Run one job in a pool worker: exactly the farm task recipe
+    (:func:`repro.farm.pool.execute_task`), so server-path verdicts
+    ride the same ``run_many`` / ``explore_many`` seams as the direct
+    API, with the job's explorations persisted as records in the
+    server's store (``explore_dir``) — that persistence is what makes
+    a SIGKILL'd campaign resumable."""
+    spec = JobSpec.from_dict(spec_dict)
+    from ..ctypes.implementation import ILP32, LP64
+    task = SweepTask(
+        index=0, name=spec.name, kind=spec.mode, source=spec.source,
+        models=spec.models,
+        impl=LP64 if spec.impl == "LP64" else ILP32,
+        max_steps=spec.max_steps, max_paths=spec.max_paths,
+        seed=spec.seed, strategy=spec.strategy, por=spec.por,
+        static_prune=spec.static_prune, backend=spec.backend,
+        lint=spec.lint, deadline_s=deadline_s,
+        explore_store=explore_dir if spec.mode == "explore" else None,
+        resume=True, collect_metrics=True)
+    return task_result_to_json(execute_task(task))
+
+
+# -- the daemon ----------------------------------------------------------------
+
+@dataclass
+class Job:
+    """One accepted job's in-memory state (its spec and payload are
+    additionally persisted as store records)."""
+
+    spec: JobSpec
+    job_id: str
+    state: str = "queued"            # queued | running | done | failed
+    accepted_m: float = 0.0
+    payload: Optional[dict] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    clients: Set[str] = field(default_factory=set)
+
+
+class FarmServer:
+    """The long-lived daemon.  Construct, then ``await serve()`` (or
+    drive :meth:`start` / :meth:`wait_closed` separately from an
+    existing event loop, as the E2E tests do)."""
+
+    def __init__(self, socket_path, store, workers: int = 2,
+                 quota: int = 16,
+                 job_timeout: Optional[float] = None,
+                 hard_timeout: Optional[float] = None,
+                 drain_timeout: float = 30.0,
+                 max_request_bytes: int = _DEFAULT_MAX_REQUEST):
+        self.socket_path = str(socket_path)
+        self.store = store if isinstance(store, ArtifactStore) \
+            else ArtifactStore(store)
+        self.workers = max(1, int(workers))
+        self.quota = int(quota)
+        self.job_timeout = job_timeout
+        # The hard backstop must strictly dominate the cooperative
+        # deadline or it would fire first on healthy jobs.
+        if hard_timeout is None and job_timeout is not None:
+            hard_timeout = 4.0 * job_timeout + 30.0
+        self.hard_timeout = hard_timeout
+        self.drain_timeout = drain_timeout
+        self.max_request_bytes = int(max_request_bytes)
+        self._explore_dir = str(self.store.root)
+        self._jobs: Dict[str, Job] = {}
+        self._client_jobs: Dict[str, Set[str]] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self._draining = False       # refuse new submissions
+        self._drain_started = False  # drain() re-entry guard
+        self._started_m = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._executor = None
+        self.counters: Dict[str, int] = {
+            "requests": 0, "submits": 0, "accepted": 0,
+            "dedup_coalesced": 0, "result_cache_hits": 0,
+            "jobs_executed": 0, "jobs_completed": 0,
+            "jobs_failed": 0, "jobs_timeout": 0, "resumed": 0,
+            "rejects": 0,
+        }
+        self._queue_key = self.store.record_key(QUEUE_RECORD_KIND,
+                                                "pending")
+
+    # -- counters / obs mirrors -----------------------------------------------
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.inc(f"server.{name}", n)
+
+    def _queue_depth(self) -> int:
+        return sum(1 for j in self._jobs.values()
+                   if j.state in ("queued", "running"))
+
+    def _gauge_depth(self) -> None:
+        ctx = obs.active()
+        if ctx is not None:
+            ctx.gauge("server.queue_depth", self._queue_depth())
+
+    # -- crash-safe queue records ---------------------------------------------
+
+    def _job_key(self, job_id: str) -> str:
+        return self.store.record_key(JOB_RECORD_KIND, job_id)
+
+    def _result_key(self, job_id: str) -> str:
+        return self.store.record_key(RESULT_RECORD_KIND, job_id)
+
+    def _persist_pending(self) -> None:
+        pending = sorted(j.job_id for j in self._jobs.values()
+                         if j.state in ("queued", "running"))
+        self.store.put_record(self._queue_key, pending,
+                              kind=QUEUE_RECORD_KIND)
+
+    def _persist_job(self, job: Job) -> None:
+        self.store.put_record(self._job_key(job.job_id),
+                              job.spec.to_dict(),
+                              kind=JOB_RECORD_KIND)
+
+    def _persist_result(self, job: Job) -> None:
+        self.store.put_record(self._result_key(job.job_id),
+                              job.payload, kind=RESULT_RECORD_KIND)
+
+    def _recover_queue(self) -> int:
+        """Re-enqueue every job the previous incarnation accepted but
+        never finished: the pending-index record names them, each
+        ``"job"`` record carries the spec, and a ``"jobresult"``
+        record (present when the crash hit between result persist and
+        index rewrite) short-circuits straight to done."""
+        pending = self.store.get_record(self._queue_key, list,
+                                        kind=QUEUE_RECORD_KIND) or []
+        resumed = 0
+        for job_id in pending:
+            payload = self.store.get_record(self._result_key(job_id),
+                                            dict,
+                                            kind=RESULT_RECORD_KIND)
+            if payload is not None:
+                job = Job(JobSpec(source=""), job_id,
+                          state="done" if payload.get("ok")
+                          else "failed",
+                          accepted_m=time.monotonic(),
+                          payload=payload)
+                spec_dict = self.store.get_record(
+                    self._job_key(job_id), dict, kind=JOB_RECORD_KIND)
+                if spec_dict is not None:
+                    job.spec = JobSpec.from_dict(spec_dict)
+                job.done.set()
+                self._jobs[job_id] = job
+                continue
+            spec_dict = self.store.get_record(self._job_key(job_id),
+                                              dict,
+                                              kind=JOB_RECORD_KIND)
+            if spec_dict is None:
+                continue   # evicted or corrupt: nothing to resume
+            job = Job(JobSpec.from_dict(spec_dict), job_id,
+                      accepted_m=time.monotonic())
+            self._jobs[job_id] = job
+            self._spawn(job)
+            resumed += 1
+        if resumed:
+            self._inc("resumed", resumed)
+        self._persist_pending()
+        return resumed
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind the socket, pre-warm the pool, recover the persisted
+        queue; returns the number of resumed jobs."""
+        self._stopped = asyncio.Event()
+        methods = multiprocessing.get_all_start_methods()
+        mp_ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0])
+        self._executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=mp_ctx,
+            initializer=_init_server_worker,
+            initargs=(_store_spec(self.store),))
+        # Fork + import every worker now, not on the first request.
+        warm = [self._executor.submit(_warm_worker)
+                for _ in range(self.workers)]
+        concurrent.futures.wait(warm, timeout=60)
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=self.socket_path,
+            limit=self.max_request_bytes + 1024)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.drain()))
+            except (NotImplementedError, RuntimeError):
+                pass
+        return self._recover_queue()
+
+    async def wait_closed(self) -> None:
+        await self._stopped.wait()
+
+    async def serve(self) -> None:
+        """start + run until drained (the ``cerberus-py serve``
+        main loop)."""
+        await self.start()
+        await self.wait_closed()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new submissions, wait (bounded)
+        for in-flight jobs, persist the pending index, close."""
+        if self._drain_started:
+            return
+        self._drain_started = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._tasks:
+            await asyncio.wait(set(self._tasks),
+                               timeout=self.drain_timeout)
+        self._persist_pending()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self._stopped.set()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._reply(writer, error_payload(
+                        "oversized",
+                        f"request line exceeds "
+                        f"{self.max_request_bytes} bytes"))
+                    break    # stream unsynchronised: drop it
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                close = response.pop("_close", False)
+                await self._reply(writer, response)
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _reply(self, writer: asyncio.StreamWriter,
+                     response: dict) -> None:
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, line: bytes) -> dict:
+        self._inc("requests")
+        try:
+            try:
+                msg = json.loads(line)
+            except ValueError:
+                raise ProtocolError("bad-json",
+                                    "request is not valid JSON")
+            if not isinstance(msg, dict):
+                raise ProtocolError("bad-request",
+                                    "request must be a JSON object")
+            version = msg.get("v", PROTOCOL_VERSION)
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    "protocol-version",
+                    f"server speaks protocol {PROTOCOL_VERSION}, "
+                    f"request says {version!r}", "v")
+            op = msg.get("op")
+            if not isinstance(op, str):
+                raise ProtocolError("bad-request",
+                                    "request needs a string 'op'")
+            if op not in _OP_FIELDS:
+                raise ProtocolError("unknown-op",
+                                    f"unknown op {op!r}", "op")
+            _check_fields(msg, op)
+            handler = getattr(self, f"_op_{op}")
+            return await handler(msg)
+        except ProtocolError as exc:
+            self._inc("rejects")
+            ctx = obs.active()
+            if ctx is not None:
+                ctx.inc(f"server.errors.{exc.code}")
+            return exc.to_json()
+        except Exception as exc:   # never a traceback on the wire
+            self._inc("rejects")
+            return error_payload("internal",
+                                 f"{type(exc).__name__}: {exc}")
+
+    # -- ops ------------------------------------------------------------------
+
+    async def _op_submit(self, msg: dict) -> dict:
+        self._inc("submits")
+        if self._draining:
+            raise ProtocolError("shutting-down",
+                                "server is draining; resubmit to the "
+                                "next incarnation")
+        spec = validate_submit(msg, self.max_request_bytes)
+        client = _field(msg, "client", str, "anon")
+        wait = _field(msg, "wait", bool, True)
+        _field(msg, "label", str, None)   # type-checked, non-semantic
+        job_id = spec.job_id()
+        coalesced = cached = False
+
+        job = self._jobs.get(job_id)
+        if job is not None:
+            if job.state in ("queued", "running"):
+                coalesced = True
+                self._inc("dedup_coalesced")
+            else:
+                cached = True
+                self._inc("result_cache_hits")
+        else:
+            payload = self.store.get_record(
+                self._result_key(job_id), dict,
+                kind=RESULT_RECORD_KIND)
+            if payload is not None:
+                # A previous incarnation finished this exact request.
+                cached = True
+                self._inc("result_cache_hits")
+                job = Job(spec, job_id, accepted_m=time.monotonic(),
+                          state="done" if payload.get("ok")
+                          else "failed",
+                          payload=payload)
+                job.done.set()
+                self._jobs[job_id] = job
+            else:
+                active = self._client_jobs.setdefault(client, set())
+                active &= {j for j in active
+                           if self._unfinished(j)}
+                if self.quota and len(active) >= self.quota:
+                    raise ProtocolError(
+                        "quota-exceeded",
+                        f"client {client!r} already has "
+                        f"{len(active)} unfinished jobs "
+                        f"(quota {self.quota})")
+                job = Job(spec, job_id, accepted_m=time.monotonic())
+                job.clients.add(client)
+                active.add(job_id)
+                self._jobs[job_id] = job
+                # Persist BEFORE acknowledging: once the client sees
+                # the job id, a kill -9 cannot lose the job.
+                self._persist_job(job)
+                self._persist_pending()
+                self._inc("accepted")
+                self._spawn(job)
+        self._gauge_depth()
+        response = {"ok": True, "job": job_id, "state": job.state,
+                    "coalesced": coalesced, "cached": cached}
+        if wait:
+            await job.done.wait()
+            response["state"] = job.state
+            response["report"] = job.payload
+        return response
+
+    def _unfinished(self, job_id: str) -> bool:
+        job = self._jobs.get(job_id)
+        return job is not None and job.state in ("queued", "running")
+
+    async def _op_status(self, msg: dict) -> dict:
+        job = self._lookup(msg)
+        return {"ok": True, "job": job.job_id, "state": job.state,
+                "wall_s": round(time.monotonic() - job.accepted_m, 4)}
+
+    async def _op_result(self, msg: dict) -> dict:
+        job = self._lookup(msg)
+        if job.state in ("queued", "running"):
+            raise ProtocolError(
+                "pending", f"job {job.job_id} is {job.state}; poll "
+                f"again", "job")
+        return {"ok": True, "job": job.job_id, "state": job.state,
+                "report": job.payload}
+
+    def _lookup(self, msg: dict) -> Job:
+        job_id = _field(msg, "job", str, None, required=True)
+        job = self._jobs.get(job_id)
+        if job is None:
+            # Maybe a previous incarnation finished it.
+            payload = self.store.get_record(
+                self._result_key(job_id), dict,
+                kind=RESULT_RECORD_KIND)
+            if payload is None:
+                raise ProtocolError("unknown-job",
+                                    f"unknown job {job_id!r}", "job")
+            job = Job(JobSpec(source=""), job_id,
+                      accepted_m=time.monotonic(),
+                      state="done" if payload.get("ok") else "failed",
+                      payload=payload)
+            job.done.set()
+            self._jobs[job_id] = job
+        return job
+
+    async def _op_stats(self, msg: dict) -> dict:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "ok": True, "protocol": PROTOCOL_VERSION,
+            "server": {
+                "pid": os.getpid(),
+                "uptime_s": round(time.monotonic() - self._started_m,
+                                  3),
+                "draining": self._draining,
+                "workers": self.workers,
+                "quota": self.quota,
+                "queue_depth": self._queue_depth(),
+                "jobs": states,
+                "counters": dict(self.counters),
+            },
+            "store": self.store.stats(),
+        }
+
+    async def _op_health(self, msg: dict) -> dict:
+        return {"ok": True, "protocol": PROTOCOL_VERSION,
+                "status": "draining" if self._draining
+                else "serving",
+                "pid": os.getpid()}
+
+    async def _op_shutdown(self, msg: dict) -> dict:
+        drain = _field(msg, "drain", bool, True)
+        inflight = self._queue_depth()
+        self._draining = True
+        if drain:
+            asyncio.ensure_future(self.drain())
+        else:
+            for task in self._tasks:
+                task.cancel()
+            asyncio.ensure_future(self.drain())
+        return {"ok": True, "draining": True, "inflight": inflight,
+                "_close": True}
+
+    # -- job execution --------------------------------------------------------
+
+    def _spawn(self, job: Job) -> None:
+        task = asyncio.ensure_future(self._run_job(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        self._inc("jobs_executed")
+        self._gauge_depth()
+        ctx = obs.active()
+        t0 = ctx.tracer.now() if ctx is not None \
+            and ctx.tracer is not None else 0.0
+        w0 = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            future = loop.run_in_executor(
+                self._executor, _execute_job, job.spec.to_dict(),
+                self._explore_dir, self.job_timeout)
+            if self.hard_timeout is not None:
+                payload = await asyncio.wait_for(future,
+                                                 self.hard_timeout)
+            else:
+                payload = await future
+        except asyncio.CancelledError:
+            # Drain-without-wait: leave the job queued-on-disk for
+            # the next incarnation.
+            job.state = "queued"
+            job.done.set()
+            return
+        except asyncio.TimeoutError:
+            payload = dict(error_payload(
+                "job-timeout",
+                f"job exceeded the {self.hard_timeout:g}s hard "
+                f"backstop"), timed_out=True)
+            self._inc("jobs_timeout")
+        except Exception as exc:
+            payload = error_payload(
+                "job-failed", f"worker failure: "
+                f"{type(exc).__name__}: {exc}")
+        job.payload = payload
+        job.state = "done" if payload.get("ok") else "failed"
+        if job.state == "done":
+            self._inc("jobs_completed")
+        elif not payload.get("timed_out"):
+            self._inc("jobs_failed")   # timeouts counted above
+        wall = time.perf_counter() - w0
+        if ctx is not None:
+            ctx.merge(payload.get("metrics"))
+            ctx.observe("span.server.job", wall)
+            if ctx.tracer is not None:
+                ctx.tracer.emit_span(
+                    "server.job", t0, wall, 0.0, 0,
+                    {"job": job.job_id, "name": job.spec.name,
+                     "mode": job.spec.mode, "state": job.state})
+        self._persist_result(job)
+        self._persist_pending()
+        for client in job.clients:
+            self._client_jobs.get(client, set()).discard(job.job_id)
+        self._gauge_depth()
+        job.done.set()
+
+
+def serve_forever(socket_path, store_dir, **kwargs) -> None:
+    """Blocking entry point used by ``cerberus-py serve``."""
+    server = FarmServer(socket_path, store_dir, **kwargs)
+    asyncio.run(server.serve())

@@ -2,9 +2,104 @@
 
 from __future__ import annotations
 
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
 import pytest
 
 from repro.pipeline import compile_c, explore_c, run_c
+
+
+class FarmDaemon:
+    """One real ``cerberus-py serve`` subprocess on a temp unix socket
+    — the E2E server harness (tests/test_farm_server.py and
+    tests/test_server_conformance.py drive lifecycle, dedup, quota,
+    malformed-input, and kill-9/restart scenarios through it).
+
+    The daemon runs in its own session (process group) so
+    :meth:`kill9` can take the pre-forked pool workers down with it —
+    exactly what a machine crash does to a real deployment.  Socket
+    paths live under a short ``/tmp`` dir (``AF_UNIX`` paths cap at
+    ~104 bytes; deep pytest tmp paths overflow it)."""
+
+    def __init__(self, workers: int = 1, store: str = None,
+                 socket_path: str = None, extra_args=(),
+                 boot_timeout: float = 60.0):
+        self.tmp = tempfile.mkdtemp(prefix="cerb-srv-")
+        self.socket_path = socket_path or os.path.join(self.tmp,
+                                                       "d.sock")
+        self.store = store or os.path.join(self.tmp, "store")
+        self.stderr_path = os.path.join(self.tmp, "stderr.log")
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(__import__("repro").__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        with open(self.stderr_path, "ab") as errf:
+            self.proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve",
+                 "--socket", self.socket_path, "--store", self.store,
+                 "--workers", str(workers), *extra_args],
+                env=env, stdout=subprocess.DEVNULL, stderr=errf,
+                start_new_session=True)
+        try:
+            self.client().wait_healthy(boot_timeout)
+        except Exception:
+            self.cleanup(remove_tmp=False)
+            raise RuntimeError(
+                f"farm daemon failed to boot:\n{self.stderr()}")
+
+    def client(self, **kw):
+        from repro.farm.client import FarmClient
+        return FarmClient(self.socket_path, **kw)
+
+    def stderr(self) -> str:
+        with open(self.stderr_path) as f:
+            return f.read()
+
+    def kill9(self) -> None:
+        """SIGKILL the whole daemon process group — no drain, no
+        persistence flush beyond what already hit the store."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.proc.wait(timeout=30)
+
+    def terminate(self) -> int:
+        """SIGTERM (graceful drain); returns the exit code."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+        return self.proc.wait(timeout=60)
+
+    def cleanup(self, remove_tmp: bool = True) -> None:
+        if self.proc.poll() is None:
+            self.kill9()
+        if remove_tmp:
+            shutil.rmtree(self.tmp, ignore_errors=True)
+
+
+@pytest.fixture
+def farm_daemon():
+    """Factory fixture: boot real farm daemons; every one (and its
+    worker process group) is torn down at test end no matter how the
+    test exits."""
+    daemons = []
+
+    def _boot(**kw):
+        daemon = FarmDaemon(**kw)
+        daemons.append(daemon)
+        return daemon
+
+    yield _boot
+    for daemon in daemons:
+        daemon.cleanup()
 
 
 @pytest.fixture

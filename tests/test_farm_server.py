@@ -1,0 +1,418 @@
+"""E2E harness for the farm daemon (repro.farm.server).
+
+Every test here drives a *real* ``cerberus-py serve`` subprocess on a
+temp unix socket (the ``farm_daemon`` conftest fixture): lifecycle,
+concurrency, in-flight dedup, per-client quotas, malformed-input
+rejection, and kill-9/restart recovery.  Golden-verdict parity with
+the direct API lives in tests/test_server_conformance.py.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.farm.client import FarmClient, ServerError
+from repro.farm.server import PROTOCOL_VERSION
+
+OK = "int main(void){ return 7; }\n"
+UNSEQ = "int x; int main(void){ return (x=1)+(x=2); }\n"
+#: ~2.7s of exploration on this box: four unsequenced writes to
+#: *distinct* objects — no UB, just a large interleaving space — so
+#: the job is reliably still in flight when concurrent submissions,
+#: drains, and kills land on it.
+SLOW = ("int a; int b; int c; int d;\n"
+        "int main(void){ (a=1)+(b=2)+(c=3)+(d=4);"
+        " return a+b+c+d-10; }\n")
+SLOW_PATHS = 4000
+
+
+def raw_request(socket_path: str, line: bytes) -> dict:
+    """Speak one raw line to the daemon — no client-side validation,
+    so malformed bytes reach the server verbatim."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(30)
+        s.connect(socket_path)
+        s.sendall(line)
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    assert data, "server closed the connection without a response"
+    return json.loads(data)
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+def test_lifecycle_submit_status_result_stats(farm_daemon):
+    daemon = farm_daemon()
+    client = daemon.client(client="life")
+
+    health = client.health()
+    assert health["status"] == "serving"
+    assert health["protocol"] == PROTOCOL_VERSION
+
+    r = client.submit(OK, name="ok.c", models=["concrete"])
+    assert r["state"] == "done"
+    assert r["report"]["ok"]
+    assert r["report"]["verdicts"]["concrete"]["exit_code"] == 7
+
+    job = r["job"]
+    assert client.status(job)["state"] == "done"
+    result = client.result(job)
+    assert result["report"] == r["report"]
+
+    stats = client.stats()
+    assert stats["protocol"] == PROTOCOL_VERSION
+    server = stats["server"]
+    assert server["workers"] == 1
+    assert server["counters"]["accepted"] == 1
+    assert server["counters"]["jobs_completed"] == 1
+    assert server["jobs"]["done"] == 1
+    assert "by_kind" in stats["store"]
+
+
+def test_graceful_shutdown_removes_socket(farm_daemon):
+    daemon = farm_daemon()
+    client = daemon.client()
+    client.submit(OK, name="ok.c", models=["concrete"])
+    ack = client.shutdown()
+    assert ack["draining"] is True
+    assert daemon.proc.wait(timeout=30) == 0
+    assert not os.path.exists(daemon.socket_path)
+    assert "drained" in daemon.stderr()
+
+
+def test_sigterm_drains_inflight_job(farm_daemon):
+    daemon = farm_daemon()
+    client = daemon.client()
+    ack = client.submit(SLOW, name="slow.c", models=["concrete"],
+                        mode="explore", max_paths=SLOW_PATHS,
+                        wait=False)
+    assert ack["state"] in ("queued", "running")
+    time.sleep(0.3)   # let the worker pick it up
+    assert daemon.terminate() == 0
+    # The drain waited for the in-flight job and persisted its result:
+    # a fresh incarnation on the same store serves it immediately.
+    daemon2 = farm_daemon(store=daemon.store)
+    result = daemon2.client().result(ack["job"])
+    assert result["state"] == "done"
+    exploration = result["report"]["explorations"]["concrete"]
+    assert exploration["paths_run"] >= 1
+    assert not exploration["has_ub"]
+
+
+# -- concurrency and dedup -----------------------------------------------------
+
+def test_concurrent_distinct_jobs_all_complete(farm_daemon):
+    daemon = farm_daemon()
+    sources = [f"int main(void){{ return {i}; }}\n" for i in range(6)]
+    results = [None] * len(sources)
+
+    def worker(i):
+        client = daemon.client(client=f"c{i}")
+        results[i] = client.submit(sources[i], name=f"p{i}.c",
+                                   models=["concrete"])
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(len(sources))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    for i, r in enumerate(results):
+        assert r is not None and r["state"] == "done"
+        assert r["report"]["verdicts"]["concrete"]["exit_code"] == i
+    counters = daemon.client().stats()["server"]["counters"]
+    assert counters["accepted"] == len(sources)
+    assert counters["jobs_executed"] == len(sources)
+
+
+def test_ten_concurrent_clients_coalesce_to_one_computation(
+        farm_daemon):
+    """The ISSUE's dedup pin: 10 clients submitting the identical
+    exploration — different client names and labels, which are
+    non-semantic — produce exactly ONE compilation + exploration."""
+    daemon = farm_daemon()
+    seed_ack = daemon.client(client="seeder").submit(
+        SLOW, name="slow.c", models=["concrete"], mode="explore",
+        max_paths=SLOW_PATHS, wait=False)
+    assert not seed_ack["coalesced"] and not seed_ack["cached"]
+
+    reports = [None] * 10
+    def worker(i):
+        client = daemon.client(client=f"client-{i}",
+                               wait_timeout=180)
+        reports[i] = client.submit(
+            SLOW, name="slow.c", models=["concrete"], mode="explore",
+            max_paths=SLOW_PATHS, label=f"distinct-label-{i}")
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(10)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=180)
+
+    assert all(r is not None for r in reports)
+    payloads = [json.dumps(r["report"], sort_keys=True)
+                for r in reports]
+    assert len(set(payloads)) == 1, "coalesced waiters must all see " \
+        "the one payload"
+    assert all(r["job"] == seed_ack["job"] for r in reports)
+
+    counters = daemon.client().stats()["server"]["counters"]
+    assert counters["accepted"] == 1
+    assert counters["jobs_executed"] == 1, \
+        "ten identical submissions must run exactly one exploration"
+    assert counters["dedup_coalesced"] + \
+        counters["result_cache_hits"] == 10
+    # The one executed job compiled the program exactly once.
+    assert reports[0]["report"]["stats"]["translations"] == 1
+    assert reports[0]["report"]["explorations"]["concrete"][
+        "paths_run"] >= 1
+
+
+def test_resubmission_is_served_from_result_record(farm_daemon):
+    daemon = farm_daemon()
+    client = daemon.client()
+    first = client.submit(UNSEQ, name="u.c", models=["concrete"],
+                          mode="explore", max_paths=32)
+    again = client.submit(UNSEQ, name="u.c", models=["concrete"],
+                          mode="explore", max_paths=32)
+    assert again["cached"] and again["report"] == first["report"]
+    # ...and across a restart: the payload is a store record.
+    daemon.terminate()
+    daemon2 = farm_daemon(store=daemon.store)
+    revived = daemon2.client().submit(UNSEQ, name="u.c",
+                                      models=["concrete"],
+                                      mode="explore", max_paths=32)
+    assert revived["cached"] and revived["report"] == first["report"]
+    assert daemon2.client().stats()["server"]["counters"][
+        "jobs_executed"] == 0
+
+
+def test_semantic_identity_ignores_client_label_wait(farm_daemon):
+    """Satellite 2: the job id is a hash of the *semantic* fields
+    only — client identity, labels, and wait flags never fork the
+    computation, so clients with different trace destinations (a
+    client-side concern) coalesce."""
+    daemon = farm_daemon()
+    a = daemon.client(client="alice").submit(
+        OK, name="ok.c", models=["concrete"], wait=False,
+        label="alice-writes-/tmp/a-trace")
+    b = daemon.client(client="bob").submit(
+        OK, name="ok.c", models=["concrete"], wait=True,
+        label="bob-writes-/tmp/b-trace")
+    assert a["job"] == b["job"]
+    # A semantic knob DOES fork the identity.
+    c = daemon.client(client="alice").submit(
+        OK, name="ok.c", models=["concrete"], max_steps=1_000_000,
+        wait=False)
+    assert c["job"] != a["job"]
+
+
+# -- quotas --------------------------------------------------------------------
+
+def test_quota_limits_unfinished_jobs_per_client(farm_daemon):
+    daemon = farm_daemon(extra_args=("--quota", "1"))
+    client = daemon.client(client="greedy")
+    ack = client.submit(SLOW, name="slow.c", models=["concrete"],
+                        mode="explore", max_paths=SLOW_PATHS,
+                        wait=False)
+    # A second distinct submission while the first is unfinished
+    # trips the quota...
+    with pytest.raises(ServerError) as exc:
+        client.submit(OK, name="ok.c", models=["concrete"],
+                      wait=False)
+    assert exc.value.code == "quota-exceeded"
+    # ...but re-submitting the in-flight job coalesces for free...
+    dup = client.submit(SLOW, name="slow.c", models=["concrete"],
+                        mode="explore", max_paths=SLOW_PATHS,
+                        wait=False)
+    assert dup["coalesced"] and dup["job"] == ack["job"]
+    # ...and other clients have their own budget.
+    other = daemon.client(client="patient").submit(
+        OK, name="ok.c", models=["concrete"], wait=False)
+    assert other["state"] in ("queued", "running")
+    # Once the slow job finishes, the quota slot frees up.
+    client.wait_result(ack["job"], timeout=120)
+    after = client.submit(UNSEQ, name="u.c", models=["concrete"],
+                          wait=False)
+    assert after["state"] in ("queued", "running", "done")
+
+
+# -- malformed and oversized input ---------------------------------------------
+
+def test_malformed_requests_get_structured_errors(farm_daemon):
+    daemon = farm_daemon(
+        extra_args=("--max-request-bytes", "4096"))
+    sp = daemon.socket_path
+
+    def err(line: bytes) -> dict:
+        payload = raw_request(sp, line)
+        assert payload["ok"] is False
+        assert "traceback" not in json.dumps(payload).lower()
+        return payload["error"]
+
+    assert err(b"{not json}\n")["code"] == "bad-json"
+    assert err(b"[1, 2]\n")["code"] == "bad-request"
+    assert err(b'{"v": 1}\n')["code"] == "bad-request"
+    assert err(b'{"op": "frobnicate"}\n')["code"] == "unknown-op"
+    e = err(b'{"op": "submit", "v": 99, "source": "int x;"}\n')
+    assert e["code"] == "protocol-version"
+    e = err(b'{"op": "submit"}\n')
+    assert (e["code"], e["field"]) == ("missing-field", "source")
+    # Unknown fields are rejected, not ignored: a typo'd semantic
+    # knob must not silently change what the job means.
+    e = err(b'{"op": "submit", "source": "int x;", '
+            b'"max_pathz": 9}\n')
+    assert (e["code"], e["field"]) == ("unknown-field", "max_pathz")
+    e = err(b'{"op": "submit", "source": "int x;", '
+            b'"max_steps": true}\n')
+    assert (e["code"], e["field"]) == ("bad-field", "max_steps")
+    e = err(b'{"op": "submit", "source": "int x;", '
+            b'"models": ["bogus"]}\n')
+    assert (e["code"], e["field"]) == ("bad-field", "models")
+    e = err(b'{"op": "result", "job": "never-heard-of-it"}\n')
+    assert e["code"] == "unknown-job"
+    # An oversized request line: structured error, connection closed.
+    big = json.dumps({"op": "submit",
+                      "source": "x" * 8192}).encode() + b"\n"
+    assert err(big)["code"] == "oversized"
+    # The daemon survived all of it.
+    assert daemon.client().health()["status"] == "serving"
+    counters = daemon.client().stats()["server"]["counters"]
+    assert counters["rejects"] >= 10
+    assert counters["accepted"] == 0
+
+
+def test_pending_result_is_a_structured_error(farm_daemon):
+    daemon = farm_daemon()
+    client = daemon.client()
+    ack = client.submit(SLOW, name="slow.c", models=["concrete"],
+                        mode="explore", max_paths=SLOW_PATHS,
+                        wait=False)
+    with pytest.raises(ServerError) as exc:
+        client.result(ack["job"])
+    assert exc.value.code == "pending"
+    final = client.wait_result(ack["job"], timeout=120)
+    assert final["state"] == "done"
+
+
+# -- kill -9 / restart ---------------------------------------------------------
+
+def test_kill9_restart_resumes_every_accepted_job(farm_daemon):
+    """The crash-safety pin: SIGKILL the daemon (and its workers)
+    with a running job and queued jobs, restart on the same store,
+    and every accepted job still completes with the right answer."""
+    daemon = farm_daemon()
+    client = daemon.client(client="doomed")
+    acks = [
+        client.submit(SLOW, name="slow.c", models=["concrete"],
+                      mode="explore", max_paths=SLOW_PATHS,
+                      wait=False),
+        client.submit(UNSEQ, name="u.c", models=["concrete"],
+                      mode="explore", max_paths=32, wait=False),
+        client.submit(OK, name="ok.c", models=["concrete"],
+                      wait=False),
+    ]
+    assert len({a["job"] for a in acks}) == 3
+    time.sleep(0.5)   # first job mid-exploration on the 1 worker
+    daemon.kill9()
+
+    daemon2 = farm_daemon(store=daemon.store,
+                          socket_path=daemon.socket_path)
+    # Every accepted-but-unfinished job was re-enqueued.
+    stats = daemon2.client().stats()["server"]
+    assert stats["counters"]["resumed"] == 3
+
+    client2 = daemon2.client(client="survivor")
+    results = {a["job"]: client2.wait_result(a["job"], timeout=180)
+               for a in acks}
+    assert all(r["state"] == "done" for r in results.values())
+    slow = results[acks[0]["job"]]["report"]["explorations"][
+        "concrete"]
+    assert slow["paths_run"] >= 1 and not slow["has_ub"]
+    unseq = results[acks[1]["job"]]["report"]["explorations"][
+        "concrete"]
+    assert any("Unsequenced_race" in b for b in unseq["behaviours"])
+    ok = results[acks[2]["job"]]["report"]["verdicts"]["concrete"]
+    assert ok["exit_code"] == 7
+
+
+def test_client_polling_survives_a_daemon_restart(farm_daemon):
+    """wait_result keeps polling through connection failures, so a
+    client that submitted before a kill -9 just keeps waiting and
+    gets its answer from the next incarnation."""
+    daemon = farm_daemon()
+    ack = daemon.client().submit(SLOW, name="slow.c",
+                                 models=["concrete"], mode="explore",
+                                 max_paths=SLOW_PATHS, wait=False)
+    collected = {}
+
+    def poller():
+        collected["r"] = FarmClient(daemon.socket_path).wait_result(
+            ack["job"], timeout=180)
+
+    t = threading.Thread(target=poller)
+    t.start()
+    time.sleep(0.4)
+    daemon.kill9()
+    farm_daemon(store=daemon.store, socket_path=daemon.socket_path)
+    t.join(timeout=180)
+    assert collected["r"]["state"] == "done"
+
+
+# -- the submit CLI ------------------------------------------------------------
+
+def _submit_cli(daemon, *args):
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(__import__("repro").__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "submit", *args,
+         "--socket", daemon.socket_path],
+        env=env, capture_output=True, text=True, timeout=120)
+
+
+def test_submit_cli_exit_codes(farm_daemon, tmp_path):
+    daemon = farm_daemon()
+    ok_c = tmp_path / "ok.c"
+    ok_c.write_text(OK)
+    ub_c = tmp_path / "ub.c"
+    ub_c.write_text(UNSEQ)
+
+    p = _submit_cli(daemon, str(ok_c), "--models", "concrete")
+    assert p.returncode == 0 and "exit=7" in p.stdout
+
+    p = _submit_cli(daemon, str(ub_c), "--models", "concrete",
+                    "--exhaustive", "--max-paths", "32")
+    assert p.returncode == 1 and "Unsequenced_race" in p.stdout
+
+    p = _submit_cli(daemon, str(ok_c), "--models", "bogus")
+    assert p.returncode == 2 and "unknown model" in p.stderr
+
+    p = _submit_cli(daemon, str(tmp_path / "missing.c"))
+    assert p.returncode == 2
+
+    p = _submit_cli(daemon, str(ok_c), "--models", "concrete",
+                    "--json")
+    assert p.returncode == 0
+    payload = json.loads(p.stdout)
+    assert payload["report"]["verdicts"]["concrete"][
+        "exit_code"] == 7
+
+    daemon.terminate()
+    p = _submit_cli(daemon, str(ok_c), "--models", "concrete")
+    assert p.returncode == 2 and "cannot reach server" in p.stderr

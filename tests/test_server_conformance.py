@@ -1,0 +1,170 @@
+"""Server conformance: daemon-path verdicts == direct-API verdicts.
+
+The golden document (tests/goldens/verdicts.json) pins the direct
+``explore_many`` behaviour set of every de facto test program under
+every memory model.  These tests submit the same programs through a
+*real* ``cerberus-py serve`` daemon and require the payloads to be
+byte-identical — the service seam must not change a single verdict.
+
+Tier 1 runs a 4-program slice (checked against both a live direct-API
+recomputation and the golden document); the full 53-program × 5-model
+matrix rides the ``slow_sweep`` lane.  The crash-recovery test pins
+the other conformance axis: a SIGKILL'd campaign, restarted on the
+same store, must end with behaviour sets and accounting identical to
+an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testsuite.goldens import (
+    GOLDEN_MAX_PATHS, GOLDEN_MAX_STEPS, behaviour_set, load_goldens,
+)
+from repro.testsuite.programs import TESTS
+
+#: The tier-1 slice: cheap programs whose golden cells span the
+#: interesting shapes — model-divergent behaviour sets
+#: (provenance_equality_*), pointer identity after free, and a
+#: plain single-behaviour baseline.
+TIER1_PROGRAMS = (
+    "provenance_equality_adjacent",
+    "provenance_equality_gcc",
+    "dangling_equality",
+    "computed_zero_is_null",
+)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return load_goldens()
+
+
+def server_behaviour_sets(daemon, name: str, models) -> dict:
+    """One program through the daemon at golden budgets; returns
+    {model: sorted behaviour list} — the golden cell shape.  Submits
+    under the direct API's default program name (``<string>``): UB
+    behaviours pin their source *site* including the file name, so
+    byte-identity requires the same name on both paths."""
+    response = daemon.client(client="conformance").submit(
+        TESTS[name].source, name="<string>", models=list(models),
+        mode="explore", max_paths=GOLDEN_MAX_PATHS,
+        max_steps=GOLDEN_MAX_STEPS)
+    assert response["state"] == "done", response
+    report = response["report"]
+    assert report["ok"], report.get("error")
+    return {model: exploration["behaviours"] for model, exploration
+            in report["explorations"].items()}
+
+
+def test_tier1_slice_matches_direct_api_and_goldens(farm_daemon,
+                                                    goldens):
+    daemon = farm_daemon()
+    models = goldens["models"]
+    for name in TIER1_PROGRAMS:
+        via_server = server_behaviour_sets(daemon, name, models)
+        for model in models:
+            direct = behaviour_set(TESTS[name].source, model)
+            assert via_server[model] == direct, \
+                f"{name} [{model}]: server != direct API"
+            assert via_server[model] == \
+                goldens["verdicts"][name][model], \
+                f"{name} [{model}]: server != golden"
+
+
+@pytest.mark.slow_sweep
+def test_full_golden_matrix_through_server(farm_daemon, goldens):
+    """All 53 programs × 5 models, one job per program × model (so
+    any divergence names its exact cell), byte-compared to the golden
+    document."""
+    daemon = farm_daemon()
+    client = daemon.client(client="matrix", wait_timeout=600)
+    mismatches = []
+    for name in sorted(goldens["verdicts"]):
+        for model in goldens["models"]:
+            response = client.submit(
+                TESTS[name].source, name="<string>", models=[model],
+                mode="explore", max_paths=GOLDEN_MAX_PATHS,
+                max_steps=GOLDEN_MAX_STEPS)
+            report = response["report"]
+            if not report["ok"]:
+                mismatches.append(f"{name} [{model}]: job failed: "
+                                  f"{report.get('error')}")
+                continue
+            behaviours = report["explorations"][model]["behaviours"]
+            golden = goldens["verdicts"][name][model]
+            if behaviours != golden:
+                mismatches.append(f"{name} [{model}]:\n"
+                                  f"  golden: {golden}\n"
+                                  f"  server: {behaviours}")
+    assert not mismatches, "\n".join(mismatches)
+
+
+# -- crash recovery ------------------------------------------------------------
+
+#: A mid-size corpus: the first program explores long enough
+#: (~seconds on one worker) that the SIGKILL reliably lands
+#: mid-campaign, with accepted-but-unstarted jobs behind it.
+CRASH_CORPUS = [
+    ("interleave.c",
+     "int a; int b; int c; int d;\n"
+     "int main(void){ (a=1)+(b=2)+(c=3)+(d=4);"
+     " return a+b+c+d-10; }\n"),
+    ("race.c", "int x; int main(void){ return (x=1)+(x=2); }\n"),
+    ("pair.c", "int a; int b;\n"
+               "int main(void){ return (a=1)+(b=2); }\n"),
+]
+CRASH_PATHS = 3000
+
+
+def _submit_corpus(daemon, client_name: str):
+    client = daemon.client(client=client_name)
+    return [client.submit(source, name=name, models=["concrete"],
+                          mode="explore", max_paths=CRASH_PATHS,
+                          wait=False)["job"]
+            for name, source in CRASH_CORPUS]
+
+
+def _collect(daemon, job_ids):
+    client = daemon.client()
+    out = {}
+    for job_id in job_ids:
+        response = client.wait_result(job_id, timeout=300)
+        assert response["state"] == "done", response
+        exploration = response["report"]["explorations"]["concrete"]
+        out[job_id] = (exploration["behaviours"],
+                       exploration["paths_run"],
+                       exploration["exhausted"])
+    return out
+
+
+def test_sigkill_midcampaign_restart_equals_uninterrupted(
+        farm_daemon):
+    # The uninterrupted baseline: same corpus through a daemon that
+    # is never disturbed.
+    baseline_daemon = farm_daemon()
+    baseline_jobs = _submit_corpus(baseline_daemon, "baseline")
+    baseline = _collect(baseline_daemon, baseline_jobs)
+    baseline_daemon.terminate()
+
+    # The doomed campaign: identical submissions, SIGKILL while the
+    # first exploration is in flight and the rest are queued.
+    doomed = farm_daemon()
+    jobs = _submit_corpus(doomed, "doomed")
+    assert jobs == baseline_jobs, \
+        "identical submissions must content-address identically"
+    time.sleep(0.8)
+    doomed.kill9()
+
+    revived = farm_daemon(store=doomed.store,
+                          socket_path=doomed.socket_path)
+    assert revived.client().stats()["server"]["counters"][
+        "resumed"] == len(jobs)
+    merged = _collect(revived, jobs)
+
+    # Behaviour sets AND accounting (paths_run, exhausted) must merge
+    # to exactly the uninterrupted run — the exploration-record
+    # frontier resume guarantees no path is lost or double-counted.
+    assert merged == baseline
